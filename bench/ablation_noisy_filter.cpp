@@ -1,0 +1,80 @@
+// ablation_noisy_filter — ablates the noisy-peer detection rule
+// (probability floor and median multiplier) against the ground-truth
+// injected noisy sessions of the 2024 experiment. The paper excludes
+// outlier peers manually; the library's NoisyPeerFilter must find the
+// same set across a reasonable parameter region — this bench maps
+// that region.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "zombie/longlived.hpp"
+#include "zombie/noisy.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+scenarios::LongLived2024Output g_out;
+std::vector<zombie::ZombieRoute> g_routes;
+
+void print_ablation() {
+  bench::print_header("Ablation — noisy-peer filter parameters",
+                      "IMC'25 paper §3.2/§5 noisy-peer exclusion rule");
+  g_out = bench::load_longlived2024();
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto result = detector.detect(g_out.updates, g_out.events, 90 * netbase::kMinute);
+  for (const auto& outbreak : result.outbreaks)
+    for (const auto& route : outbreak.routes) g_routes.push_back(route);
+
+  std::vector<std::vector<std::string>> rows;
+  for (double floor : {0.01, 0.03, 0.05, 0.10}) {
+    for (double multiplier : {2.0, 4.0, 8.0, 16.0}) {
+      zombie::NoisyPeerConfig config;
+      config.probability_floor = floor;
+      config.median_multiplier = multiplier;
+      zombie::NoisyPeerFilter filter(config);
+      const auto detected =
+          filter.noisy_peer_keys(g_routes, g_out.all_peers, g_out.studied_announcements);
+      int true_positive = 0, false_positive = 0;
+      for (const auto& key : detected)
+        (g_out.noisy_peers.contains(key) ? true_positive : false_positive)++;
+      const int false_negative =
+          static_cast<int>(g_out.noisy_peers.size()) - true_positive;
+      rows.push_back({analysis::fmt(floor, 2), analysis::fmt(multiplier, 0),
+                      std::to_string(true_positive), std::to_string(false_positive),
+                      std::to_string(false_negative),
+                      (false_positive == 0 && false_negative == 0) ? "exact" : ""});
+    }
+  }
+  std::fputs(analysis::render_table({"floor", "x median", "true pos", "false pos",
+                                     "false neg", "verdict"},
+                                    rows)
+                 .c_str(),
+             stdout);
+  std::printf("Ground truth: the 3 injected RRC25 sessions (2x AS211509, 1x AS211380).\n"
+              "The filter should be exact across a broad parameter region — the\n"
+              "detection is not knife-edge.\n");
+}
+
+void BM_NoisyFilter(benchmark::State& state) {
+  zombie::NoisyPeerFilter filter;
+  for (auto _ : state) {
+    auto keys = filter.noisy_peer_keys(g_routes, g_out.all_peers,
+                                       g_out.studied_announcements);
+    benchmark::DoNotOptimize(keys.size());
+  }
+}
+BENCHMARK(BM_NoisyFilter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

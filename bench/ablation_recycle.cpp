@@ -1,0 +1,193 @@
+// ablation_recycle — ablates the paper's central beacon design choice
+// (§4 "Periodicity"): how the prefix recycle interval bounds the
+// zombie lifetimes a beacon infrastructure can observe.
+//
+// RIPE RIS beacons re-announce the same prefix every 4 hours, so a
+// stuck route is refreshed (and its zombie lifetime capped) after at
+// most 4 hours. The paper's beacons recycle after 24 hours (approach
+// 1) or 15 days (approach 2): "an announcement (and withdrawal) of a
+// beacon prefix can wipe out a stuck route only after 15 days, thus
+// allowing us to detect and analyze zombie routes that persist for a
+// week or more."
+//
+// The experiment injects the same 5-day-long stuck route under each
+// schedule and reports the zombie lifetime each one can observe.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "beacon/driver.hpp"
+#include "collector/collector.hpp"
+#include "netbase/rng.hpp"
+#include "zombie/state.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+struct RunResult {
+  double observed_days = 0.0;  // how long the stuck route stayed visible
+  int refreshes = 0;           // how many times a re-announcement wiped it
+};
+
+// Runs one schedule with a withdrawal-suppression fault lasting 5 days
+// on the route of the slot at `slot_time`, and measures how long the
+// collector kept seeing the stale route.
+RunResult run_with_schedule(bool ris_style, netbase::Duration recycle,
+                            std::uint64_t seed) {
+  using topology::Relationship;
+  topology::Topology topo;
+  topo.add_as({10, 2, "transit"});
+  topo.add_as({20, 2, "peer"});
+  topo.add_as({210312, 3, "origin"});
+  topo.add_link(10, 210312, Relationship::kCustomer);
+  topo.add_link(10, 20, Relationship::kCustomer);
+
+  simnet::Simulation sim(topo, simnet::SimConfig{}, netbase::Rng(seed));
+  collector::Collector rrc("rrc", 12654, netbase::IpAddress::parse("193.0.4.28"));
+  collector::SessionConfig session;
+  session.peer_asn = 20;
+  session.peer_address = netbase::IpAddress::parse("2001:7f8::1");
+  rrc.add_peer(sim, session, netbase::Rng(seed + 1));
+
+  const auto start = netbase::utc(2024, 6, 10);
+  const auto end = start + 7 * netbase::kDay;
+  netbase::Prefix target = netbase::Prefix::parse("2a0d:3dc1::/48");
+  std::vector<beacon::BeaconEvent> events;
+  if (ris_style) {
+    // Same prefix re-announced every `recycle`; up half the time.
+    for (netbase::TimePoint t = start; t < end; t += recycle)
+      events.push_back({target, t, t + recycle / 2, false});
+  } else {
+    // Paper-style: a distinct prefix per slot; the target slot's
+    // prefix recycles only after `recycle`.
+    const auto schedule = beacon::LongLivedBeaconSchedule::paper_deployment(
+        recycle >= 15 * netbase::kDay
+            ? beacon::LongLivedBeaconSchedule::Approach::kFifteenDay
+            : beacon::LongLivedBeaconSchedule::Approach::kDaily);
+    events = schedule.events(start, end);
+    target = schedule.prefix_for(start);
+  }
+
+  // The fault: the peer's upstream drops withdrawals of the target
+  // prefix for 5 days.
+  simnet::WithdrawalSuppression fault;
+  fault.from_asn = 10;
+  fault.to_asn = 20;
+  fault.prefix_filter = target;
+  fault.window = {start, start + 5 * netbase::kDay};
+  sim.add_withdrawal_suppression(fault);
+
+  beacon::BeaconDriver driver(sim, 210312, ris_style);
+  driver.drive(events);
+  sim.run_until(end + netbase::kDay);
+
+  // Measure the *attributable* zombie time. After a scheduled
+  // withdrawal, the route staying visible is a zombie — but only until
+  // the next scheduled announcement of the same prefix: from then on a
+  // visible route is indistinguishable from the fresh announcement, so
+  // the re-announcement ends the observation (and wipes the zombie).
+  // This is exactly the paper's argument for slow recycling.
+  std::vector<netbase::TimePoint> withdraw_times, announce_times;
+  for (const auto& event : driver.ground_truth()) {
+    if (event.prefix != target) continue;
+    announce_times.push_back(event.announce_time);
+    withdraw_times.push_back(event.withdraw_time);
+  }
+
+  // Reconstruct the peer's view of the target prefix over time.
+  struct Toggle {
+    netbase::TimePoint at;
+    bool present;
+  };
+  std::vector<Toggle> toggles;
+  for (const auto& record : rrc.updates()) {
+    const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record);
+    if (msg == nullptr) continue;
+    for (const auto& prefix : msg->update.announced)
+      if (prefix == target) toggles.push_back({msg->timestamp, true});
+    for (const auto& prefix : msg->update.withdrawn)
+      if (prefix == target) toggles.push_back({msg->timestamp, false});
+  }
+  auto present_at = [&](netbase::TimePoint t) {
+    bool present = false;
+    for (const auto& toggle : toggles) {
+      if (toggle.at > t) break;
+      present = toggle.present;
+    }
+    return present;
+  };
+
+  RunResult result;
+  for (netbase::TimePoint w : withdraw_times) {
+    // Still visible 10 minutes after the scheduled withdrawal?
+    if (!present_at(w + 10 * netbase::kMinute)) continue;
+    // The observation window closes at the next scheduled announcement.
+    netbase::TimePoint cap = sim.now();
+    for (netbase::TimePoint a : announce_times)
+      if (a > w) {
+        cap = std::min(cap, a);
+        break;
+      }
+    // When did the route actually disappear within the window?
+    netbase::TimePoint gone = cap;
+    for (const auto& toggle : toggles)
+      if (!toggle.present && toggle.at > w && toggle.at < cap) {
+        gone = toggle.at;
+        break;
+      }
+    if (gone == cap && cap != sim.now()) ++result.refreshes;  // wiped by re-announcement
+    result.observed_days = std::max(
+        result.observed_days, static_cast<double>(gone - w) / netbase::kDay);
+  }
+  return result;
+}
+
+void print_ablation() {
+  bench::print_header("Ablation — beacon prefix recycle interval vs observable lifetime",
+                      "IMC'25 paper §4 (periodicity) — why the new beacons recycle slowly");
+  struct Row {
+    const char* label;
+    bool ris;
+    netbase::Duration recycle;
+  };
+  const Row rows[] = {
+      {"RIS-style, 4h cycle (same prefix)", true, 4 * netbase::kHour},
+      {"paper approach 1, 24h recycle", false, netbase::kDay},
+      {"paper approach 2, 15d recycle", false, 15 * netbase::kDay},
+  };
+  std::vector<std::vector<std::string>> table;
+  for (const auto& row : rows) {
+    const auto result = run_with_schedule(row.ris, row.recycle, 99);
+    table.push_back({row.label, analysis::fmt(result.observed_days, 2) + " days",
+                     std::to_string(result.refreshes)});
+  }
+  std::fputs(analysis::render_table(
+                 {"Schedule", "Longest observable stuck period", "wipes by re-announcement"},
+                 table)
+                 .c_str(),
+             stdout);
+  std::printf("A 5-day fault is injected in every run. Fast-recycling schedules keep\n"
+              "wiping the stuck route, capping the observable zombie lifetime at the\n"
+              "recycle interval; the paper's 15-day recycle observes the full fault.\n");
+}
+
+void BM_RecycleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = run_with_schedule(false, 15 * netbase::kDay, 99);
+    benchmark::DoNotOptimize(result.observed_days);
+  }
+}
+BENCHMARK(BM_RecycleRun)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// ablation_rost — quantifies the countermeasure the paper's related
+// work proposes (Anahory et al., "Suppressing BGP Zombies with Route
+// Status Transparency", NSDI'25): how the RoST deployment fraction
+// shortens zombie lifetimes. The same fault plan (whole-cone
+// withdrawal suppression, as in the §5.2 impactful case) runs under
+// 0 / 25 / 50 / 100 % enrollment; the stuck route's survival at each
+// monitored AS is measured.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "netbase/rng.hpp"
+#include "rost/rost.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+struct RunOutcome {
+  int infected_at_3h = 0;   // ASes still holding the zombie 3h after withdrawal
+  int infected_at_24h = 0;  // ...and a day after
+  int evictions = 0;
+};
+
+RunOutcome run_with_deployment(double fraction, std::uint64_t seed) {
+  using topology::Relationship;
+  // A culprit with a cone of 12 customers, each multihomed.
+  topology::Topology topo;
+  topo.add_as({210312, 3, "origin"});
+  topo.add_as({8298, 2, "upstream"});
+  topo.add_as({33891, 2, "culprit"});
+  topo.add_as({50000, 2, "alt-transit"});
+  topo.add_link(8298, 210312, Relationship::kCustomer);
+  topo.add_link(33891, 8298, Relationship::kCustomer);
+  topo.add_link(50000, 8298, Relationship::kCustomer);
+  std::vector<bgp::Asn> cone;
+  for (int i = 0; i < 12; ++i) {
+    const bgp::Asn asn = 64600 + static_cast<bgp::Asn>(i);
+    cone.push_back(asn);
+    topo.add_as({asn, 3, "cust"});
+    topo.add_link(33891, asn, Relationship::kCustomer);
+    topo.add_link(50000, asn, Relationship::kCustomer);
+  }
+
+  simnet::Simulation sim(topo, simnet::SimConfig{}, netbase::Rng(seed));
+  const auto t0 = netbase::utc(2024, 6, 18, 22, 30, 0);
+  const auto prefix = netbase::Prefix::parse("2a0d:3dc1:2233::/48");
+
+  simnet::WithdrawalSuppression fault;
+  fault.from_asn = 33891;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+
+  rost::TransparencyLog log;
+  rost::RostAuditor auditor(sim, log, rost::RostConfig{30 * netbase::kMinute});
+  netbase::Rng enroll_rng(seed + 1);
+  for (bgp::Asn asn : cone)
+    if (enroll_rng.uniform() < fraction) auditor.enroll(asn);
+
+  sim.announce(t0, 210312, prefix);
+  sim.withdraw(t0 + 15 * netbase::kMinute, 210312, prefix);
+  log.publish_announce(prefix, 210312, t0);
+  log.publish_withdraw(prefix, 210312, t0 + 15 * netbase::kMinute);
+  auditor.schedule(t0, t0 + 25 * netbase::kHour);
+
+  RunOutcome outcome;
+  sim.run_until(t0 + 3 * netbase::kHour);
+  for (bgp::Asn asn : cone)
+    if (sim.router(asn).best(prefix) != nullptr) ++outcome.infected_at_3h;
+  sim.run_until(t0 + 24 * netbase::kHour);
+  for (bgp::Asn asn : cone)
+    if (sim.router(asn).best(prefix) != nullptr) ++outcome.infected_at_24h;
+  outcome.evictions = auditor.evictions();
+  return outcome;
+}
+
+void print_ablation() {
+  bench::print_header("Ablation — RoST deployment fraction vs zombie survival",
+                      "related work [1] (NSDI'25): the zombie countermeasure, quantified");
+  std::vector<std::vector<std::string>> rows;
+  for (double fraction : {0.0, 0.25, 0.5, 1.0}) {
+    const auto outcome = run_with_deployment(fraction, 17);
+    rows.push_back({analysis::pct(fraction, 0), std::to_string(outcome.infected_at_3h),
+                    std::to_string(outcome.infected_at_24h),
+                    std::to_string(outcome.evictions)});
+  }
+  std::fputs(analysis::render_table({"RoST deployment", "infected ASes @3h",
+                                     "infected @24h", "evictions"},
+                                    rows)
+                 .c_str(),
+             stdout);
+  std::printf("A whole-cone suppression (the §5.2 impactful case, 12 customer ASes)\n"
+              "under increasing RoST enrollment: enrolled ASes clear the zombie at\n"
+              "their next audit; at 100%% deployment the outbreak is fully suppressed\n"
+              "within one audit interval.\n");
+}
+
+void BM_RostScenario(benchmark::State& state) {
+  for (auto _ : state) {
+    auto outcome = run_with_deployment(1.0, 17);
+    benchmark::DoNotOptimize(outcome.evictions);
+  }
+}
+BENCHMARK(BM_RostScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "bench/bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "mrt/codec.hpp"
+
+namespace zombiescope::bench {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string period_tag(int which) {
+  switch (which) {
+    case 0:
+      return "ris2018jul";
+    case 1:
+      return "ris2017oct";
+    default:
+      return "ris2017mar";
+  }
+}
+
+// Rebuilds the deterministic (non-archive) parts of a period output.
+void fill_ris_metadata(const scenarios::RisPeriodSpec& spec,
+                       scenarios::ScenarioOutput& out) {
+  const auto schedule = beacon::RisBeaconSchedule::classic();
+  out.events = schedule.events(spec.start, spec.end);
+  out.studied_announcements = static_cast<int>(out.events.size());
+  out.noisy_peers = {zombie::PeerKey{
+      scenarios::kNoisyRisPeerAsn,
+      scenarios::peer_address_for(scenarios::kNoisyRisPeerAsn, 0, true)}};
+  // Peer sessions are recovered from the archive itself (like the
+  // paper, which learns the peer set from the data).
+  std::set<zombie::PeerKey> peers;
+  for (const auto& record : out.updates) {
+    if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record))
+      peers.insert({msg->peer_asn, msg->peer_address});
+  }
+  out.all_peers.assign(peers.begin(), peers.end());
+}
+
+}  // namespace
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("ZS_CACHE_DIR"); env != nullptr && *env != '\0')
+    return env;
+  return "zs_bench_cache";
+}
+
+scenarios::RisPeriodSpec ris_spec(int which) {
+  switch (which) {
+    case 0:
+      return scenarios::period_2018jul();
+    case 1:
+      return scenarios::period_2017oct();
+    default:
+      return scenarios::period_2017mar();
+  }
+}
+
+scenarios::ScenarioOutput load_ris_period(int which) {
+  const auto spec = ris_spec(which);
+  const std::string path = cache_dir() + "/" + period_tag(which) + ".updates.mrt";
+  scenarios::ScenarioOutput out;
+  if (fs::exists(path)) {
+    std::fprintf(stderr, "[cache] loading %s\n", path.c_str());
+    out.updates = mrt::read_file(path);
+  } else {
+    std::fprintf(stderr, "[sim] running period %s (cache miss)\n", spec.label.c_str());
+    out = scenarios::run_ris_period(spec);
+    fs::create_directories(cache_dir());
+    mrt::write_file(path, out.updates);
+  }
+  fill_ris_metadata(spec, out);
+  return out;
+}
+
+scenarios::LongLived2024Output load_longlived2024() {
+  const scenarios::LongLived2024Spec spec;
+  const std::string updates_path = cache_dir() + "/longlived2024.updates.mrt";
+  const std::string dumps_path = cache_dir() + "/longlived2024.ribs.mrt";
+  scenarios::LongLived2024Output out;
+  if (fs::exists(updates_path) && fs::exists(dumps_path)) {
+    std::fprintf(stderr, "[cache] loading %s\n", updates_path.c_str());
+    out.updates = mrt::read_file(updates_path);
+    out.rib_dumps = mrt::read_file(dumps_path);
+    // Deterministic metadata, recomputed.
+    const auto daily = beacon::LongLivedBeaconSchedule::paper_deployment(
+        beacon::LongLivedBeaconSchedule::Approach::kDaily);
+    const auto fifteen = beacon::LongLivedBeaconSchedule::paper_deployment(
+        beacon::LongLivedBeaconSchedule::Approach::kFifteenDay);
+    out.events =
+        daily.events(netbase::utc(2024, 6, 4, 11, 45, 0), netbase::utc(2024, 6, 10, 9, 30, 0) + 1);
+    auto second = fifteen.events(netbase::utc(2024, 6, 10, 11, 30, 0),
+                                 netbase::utc(2024, 6, 22, 17, 30, 0) + 1);
+    out.events.insert(out.events.end(), second.begin(), second.end());
+    out.studied_announcements = 0;
+    for (const auto& event : out.events)
+      if (!event.superseded) ++out.studied_announcements;
+    out.resurrected_prefix = fifteen.prefix_for(netbase::utc(2024, 6, 21, 18, 45, 0));
+    out.impactful_prefix = fifteen.prefix_for(netbase::utc(2024, 6, 18, 22, 30, 0));
+    out.longest_prefix = fifteen.prefix_for(netbase::utc(2024, 6, 18, 16, 0, 0));
+    out.roa_removed_at = netbase::utc(2024, 6, 22, 19, 49, 0);
+    out.rrc25_noisy_routers = {
+        {scenarios::Cast::kNoisy1, netbase::IpAddress::parse("176.119.234.201")},
+        {scenarios::Cast::kNoisy1, netbase::IpAddress::parse("2001:678:3f4:5::1")},
+        {scenarios::Cast::kNoisy2, netbase::IpAddress::parse("2a0c:9a40:1031::504")}};
+    for (const auto& key : out.rrc25_noisy_routers) out.noisy_peers.insert(key);
+    std::set<zombie::PeerKey> peers;
+    for (const auto& record : out.updates) {
+      if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record))
+        peers.insert({msg->peer_asn, msg->peer_address});
+    }
+    out.all_peers.assign(peers.begin(), peers.end());
+  } else {
+    std::fprintf(stderr, "[sim] running longlived2024 (cache miss)\n");
+    out = scenarios::run_longlived2024(spec);
+    fs::create_directories(cache_dir());
+    mrt::write_file(updates_path, out.updates);
+    mrt::write_file(dumps_path, out.rib_dumps);
+  }
+  return out;
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace zombiescope::bench

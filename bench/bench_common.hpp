@@ -1,0 +1,33 @@
+// bench/bench_common.hpp — shared infrastructure for the experiment
+// harness.
+//
+// Every bench binary regenerates one table or figure of the paper.
+// The underlying scenario runs are deterministic but take tens of
+// seconds, so their MRT archives are cached on disk (exactly the
+// artifact a real measurement pipeline would store) and reloaded by
+// later benches. Delete the cache directory to force re-simulation.
+
+#pragma once
+
+#include <string>
+
+#include "scenarios/longlived2024.hpp"
+#include "scenarios/ris_replication.hpp"
+
+namespace zombiescope::bench {
+
+/// Cache directory ($ZS_CACHE_DIR or ./zs_bench_cache).
+std::string cache_dir();
+
+/// Loads (or simulates + stores) a replication period. `which` is
+/// 0 = 2018-07, 1 = 2017-10, 2 = 2017-03.
+scenarios::ScenarioOutput load_ris_period(int which);
+scenarios::RisPeriodSpec ris_spec(int which);
+
+/// Loads (or simulates + stores) the 2024 long-lived experiment.
+scenarios::LongLived2024Output load_longlived2024();
+
+/// Prints a section header for the harness output.
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace zombiescope::bench

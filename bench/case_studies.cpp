@@ -1,0 +1,114 @@
+// case_studies — reproduces §5.2's two case studies plus the palm-tree
+// root-cause inference:
+//  * "Impactful zombie": 2a0d:3dc1:2233::/48 stuck in many peer
+//    routers/ASes >= 3h after withdrawal, all sharing the subpath
+//    "33891 25091 8298 210312" (suspect: Core-Backbone, ~2100-AS
+//    cone), gone 4 days later;
+//  * "Extremely long-lived zombie": 2a0d:3dc1:163::/48 stuck in
+//    AS9304/AS17639 ~4.5 months and AS142271 ~4 months, subpath
+//    "9304 6939 43100 25091 8298 210312" (suspect: HGC).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "zombie/longlived.hpp"
+#include "zombie/rootcause.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+scenarios::LongLived2024Output g_out;
+zombie::ZombieOutbreak g_impactful;
+
+void print_cases() {
+  bench::print_header("Case studies — impactful & extremely long-lived outbreaks",
+                      "IMC'25 paper §5.2 (palm-tree root-cause inference)");
+  g_out = bench::load_longlived2024();
+
+  // --- impactful zombie at the 3-hour mark -----------------------------
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto at180 = detector.detect(g_out.updates, g_out.events, 180 * netbase::kMinute);
+  const zombie::ZombieOutbreak* impactful = nullptr;
+  for (const auto& outbreak : at180.outbreaks)
+    if (outbreak.prefix == g_out.impactful_prefix) impactful = &outbreak;
+
+  std::printf("\nImpactful zombie: %s (paper: 2a0d:3dc1:2233::/48)\n",
+              g_out.impactful_prefix.to_string().c_str());
+  if (impactful == nullptr) {
+    std::printf("  ERROR: not detected at the 3-hour mark\n");
+  } else {
+    g_impactful = *impactful;
+    std::printf("  stuck >= 3h in %d peer routers / %d peer ASes (paper: 24 routers / 21 ASes)\n",
+                impactful->peer_router_count(), impactful->peer_as_count());
+    const auto cause = zombie::infer_root_cause(*impactful);
+    std::printf("  common subpath: '%s' (paper: '33891 25091 8298 210312')\n",
+                cause.common_subpath().c_str());
+    std::printf("  palm-tree suspect: AS%u (paper: AS33891, Core-Backbone, ~2100-AS cone)\n",
+                cause.suspect.value_or(0));
+    std::printf("  ambiguous=%s single_route=%s\n", cause.ambiguous ? "yes" : "no",
+                cause.single_route ? "yes" : "no");
+  }
+
+  // Duration of the impactful outbreak from RIB dumps (paper: 4 days).
+  zombie::LifespanAnalyzer analyzer{zombie::LongLivedConfig{}};
+  const auto lifespans =
+      analyzer.analyze(g_out.rib_dumps, g_out.events, g_out.rib_dump_interval);
+  for (const auto& l : lifespans) {
+    if (l.prefix == g_out.impactful_prefix)
+      std::printf("  disappeared from all RIBs after %.1f days (paper: 4 days)\n",
+                  static_cast<double>(l.duration()) / netbase::kDay);
+  }
+
+  // --- extremely long-lived zombie --------------------------------------
+  std::printf("\nExtremely long-lived zombie: %s (paper: 2a0d:3dc1:163::/48)\n",
+              g_out.longest_prefix.to_string().c_str());
+  for (const auto& l : lifespans) {
+    if (l.prefix != g_out.longest_prefix) continue;
+    std::map<bgp::Asn, std::pair<netbase::TimePoint, netbase::TimePoint>> per_as;
+    std::vector<bgp::AsPath> paths;
+    for (const auto& interval : l.intervals) {
+      auto [it, inserted] = per_as.try_emplace(
+          interval.peer.asn, std::make_pair(interval.first_seen, interval.last_seen));
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, interval.first_seen);
+        it->second.second = std::max(it->second.second, interval.last_seen);
+      }
+      paths.push_back(interval.path);
+    }
+    for (const auto& [asn, window] : per_as) {
+      std::printf("  AS%u: %s .. %s (%.1f months)\n", asn,
+                  netbase::format_date(window.first).c_str(),
+                  netbase::format_date(window.second).c_str(),
+                  static_cast<double>(window.second - window.first) / netbase::kDay / 30.4);
+    }
+    const auto cause = zombie::infer_root_cause(paths);
+    std::printf("  common subpath: '%s'\n  (paper: '9304 6939 43100 25091 8298 210312')\n",
+                cause.common_subpath().c_str());
+    std::printf("  palm-tree suspect: AS%u (paper: AS9304, HGC, ~750-AS cone)\n",
+                cause.suspect.value_or(0));
+  }
+  std::printf("\nPaper: AS9304/AS17639 held the route 2024-06-18..2024-11-03 (~4.5 months);\n"
+              "AS142271 2024-06-23..2024-10-25 (~4 months).\n");
+}
+
+void BM_RootCause(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cause = zombie::infer_root_cause(g_impactful);
+    benchmark::DoNotOptimize(cause.suspect);
+  }
+}
+BENCHMARK(BM_RootCause);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_cases();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// micro_hotpaths — google-benchmark microbenchmarks of the library's
+// hot paths: BGP UPDATE encode/decode, MRT record round trips, prefix
+// trie operations, the event simulator, and state reconstruction.
+// These are not paper reproductions; they establish throughput
+// baselines for the pipeline stages.
+
+#include <benchmark/benchmark.h>
+
+#include "beacon/clock.hpp"
+#include "mrt/codec.hpp"
+#include "netbase/rng.hpp"
+#include "netbase/trie.hpp"
+#include "simnet/simulation.hpp"
+#include "zombie/state.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+bgp::UpdateMessage sample_update() {
+  bgp::UpdateMessage msg;
+  msg.announced.push_back(netbase::Prefix::parse("2a0d:3dc1:1851::/48"));
+  msg.attributes.as_path = bgp::AsPath{61573, 28598, 10429, 12956, 3356, 34549, 8298, 210312};
+  msg.attributes.next_hop = netbase::IpAddress::parse("2001:db8::1");
+  msg.attributes.local_pref = 100;
+  msg.attributes.aggregator =
+      beacon::make_beacon_aggregator(12654, netbase::utc(2018, 7, 15, 12, 0, 0));
+  msg.attributes.communities = {{8298, 100}, {8298, 20}};
+  return msg;
+}
+
+void BM_UpdateEncode(benchmark::State& state) {
+  const auto msg = sample_update();
+  for (auto _ : state) {
+    auto wire = msg.encode();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UpdateEncode);
+
+void BM_UpdateDecode(benchmark::State& state) {
+  const auto wire = sample_update().encode();
+  for (auto _ : state) {
+    auto msg = bgp::UpdateMessage::decode(wire);
+    benchmark::DoNotOptimize(msg.announced.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_UpdateDecode);
+
+void BM_MrtRoundTrip(benchmark::State& state) {
+  mrt::Bgp4mpMessage record;
+  record.timestamp = netbase::utc(2024, 6, 4, 12, 0, 0);
+  record.peer_asn = 211509;
+  record.local_asn = 12654;
+  record.peer_address = netbase::IpAddress::parse("2001:678:3f4:5::1");
+  record.local_address = netbase::IpAddress::parse("2001:7f8::1");
+  record.update = sample_update();
+  for (auto _ : state) {
+    mrt::MrtWriter writer;
+    writer.write(record);
+    auto records = mrt::decode_all(writer.data());
+    benchmark::DoNotOptimize(records.size());
+  }
+}
+BENCHMARK(BM_MrtRoundTrip);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  netbase::Rng rng(7);
+  netbase::PrefixTrie<int> trie;
+  std::vector<netbase::IpAddress> probes;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::array<std::uint8_t, 16> bytes{0x2a, 0x0d};
+    for (std::size_t k = 2; k < 8; ++k)
+      bytes[k] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    trie.insert(netbase::Prefix(netbase::IpAddress::v6(bytes),
+                                static_cast<int>(rng.uniform_int(32, 64))),
+                i);
+  }
+  for (int i = 0; i < 1024; ++i) {
+    std::array<std::uint8_t, 16> bytes{0x2a, 0x0d};
+    for (std::size_t k = 2; k < 10; ++k)
+      bytes[k] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    probes.push_back(netbase::IpAddress::v6(bytes));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(probes[i++ & 1023]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1000)->Arg(10000);
+
+void BM_AggregatorClock(benchmark::State& state) {
+  const auto t = netbase::utc(2018, 7, 15, 12, 0, 0);
+  const auto addr = beacon::encode_aggregator_clock(t);
+  const auto observed = netbase::utc(2018, 7, 19, 2, 0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(beacon::decode_aggregator_clock(addr, observed));
+  }
+}
+BENCHMARK(BM_AggregatorClock);
+
+void BM_SimulatorBeaconCycle(benchmark::State& state) {
+  // One announce+withdraw cycle over a mid-size topology.
+  topology::GeneratorParams params;
+  params.tier1_count = 4;
+  params.tier2_count = 16;
+  params.tier3_count = static_cast<int>(state.range(0));
+  netbase::Rng topo_rng(11);
+  const auto topo = topology::generate_hierarchical(params, topo_rng);
+  const bgp::Asn origin = topo.all_asns().back();
+  const auto prefix = netbase::Prefix::parse("2a0d:3dc1:1145::/48");
+  for (auto _ : state) {
+    simnet::Simulation sim(topo, simnet::SimConfig{}, netbase::Rng(5));
+    const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+    sim.announce(t0, origin, prefix);
+    sim.withdraw(t0 + 15 * netbase::kMinute, origin, prefix);
+    sim.run_until(t0 + 2 * netbase::kHour);
+    benchmark::DoNotOptimize(sim.stats().messages_delivered);
+    state.counters["msgs"] = static_cast<double>(sim.stats().messages_delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorBeaconCycle)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+void BM_StateTrackerApply(benchmark::State& state) {
+  // Folding a synthetic archive of 10k records.
+  std::vector<mrt::MrtRecord> records;
+  netbase::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    mrt::Bgp4mpMessage m;
+    m.timestamp = 1700000000 + i;
+    m.peer_asn = static_cast<bgp::Asn>(64500 + rng.uniform_int(0, 40));
+    m.peer_address = netbase::IpAddress::v4(static_cast<std::uint32_t>(m.peer_asn));
+    m.local_asn = 12654;
+    m.local_address = netbase::IpAddress::parse("193.0.4.28");
+    const auto prefix = netbase::Prefix::parse(
+        "2a0d:3dc1:" + std::to_string(rng.uniform_int(0, 95) * 15 / 60 * 100 +
+                                      rng.uniform_int(0, 3) * 15) +
+        "::/48");
+    if (rng.chance(0.6)) {
+      m.update.announced.push_back(prefix);
+      m.update.attributes.as_path = bgp::AsPath{m.peer_asn, 25091, 8298, 210312};
+      m.update.attributes.next_hop = netbase::IpAddress::parse("2001:db8::1");
+    } else {
+      m.update.withdrawn.push_back(prefix);
+    }
+    records.push_back(std::move(m));
+  }
+  for (auto _ : state) {
+    zombie::StateTracker tracker;
+    for (const auto& record : records) tracker.apply(record);
+    benchmark::DoNotOptimize(tracker.peers().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_StateTrackerApply)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// table1_double_counting — reproduces Table 1: the estimated number of
+// zombie outbreaks with and without double-counting (the Aggregator
+// clock filter), for each period of the replication study, plus the
+// "#visible prefixes" column.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "zombie/interval_detector.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+struct PaperRow {
+  int dc_v4, dc_v6, nd_v4, nd_v6, visible;
+};
+// Table 1 of the paper, for side-by-side comparison.
+const PaperRow kPaper[3] = {
+    {536, 745, 226, 514, 7126},
+    {705, 1378, 478, 1370, 14336},
+    {1781, 610, 1319, 610, 9556},
+};
+
+std::vector<scenarios::ScenarioOutput> g_outputs;
+
+void print_table() {
+  bench::print_header("Table 1 — zombie outbreaks with vs without double-counting",
+                      "IMC'25 paper Table 1 (and Table 2's visible-prefix column)");
+  std::vector<std::vector<std::string>> rows;
+  for (int which = 0; which < 3; ++which) {
+    const auto spec = bench::ris_spec(which);
+    auto out = bench::load_ris_period(which);
+
+    zombie::IntervalDetectorConfig config;
+    for (const auto& peer : out.noisy_peers) config.excluded_peers.insert(peer);
+    zombie::IntervalZombieDetector detector(config);
+    const auto result = detector.detect(out.updates, out.events);
+
+    int dc_v4 = 0, dc_v6 = 0, nd_v4 = 0, nd_v6 = 0;
+    for (const auto& o : result.outbreaks_with_duplicates) (o.prefix.is_v4() ? dc_v4 : dc_v6)++;
+    for (const auto& o : result.outbreaks_deduplicated) (o.prefix.is_v4() ? nd_v4 : nd_v6)++;
+
+    rows.push_back({spec.label, std::to_string(dc_v4), std::to_string(dc_v6),
+                    std::to_string(nd_v4), std::to_string(nd_v6),
+                    std::to_string(result.visible_prefixes)});
+    rows.push_back({"  (paper)", std::to_string(kPaper[which].dc_v4),
+                    std::to_string(kPaper[which].dc_v6), std::to_string(kPaper[which].nd_v4),
+                    std::to_string(kPaper[which].nd_v6),
+                    std::to_string(kPaper[which].visible)});
+    const double red_v4 =
+        dc_v4 == 0 ? 0.0 : 100.0 * (dc_v4 - nd_v4) / static_cast<double>(dc_v4);
+    const double red_v6 =
+        dc_v6 == 0 ? 0.0 : 100.0 * (dc_v6 - nd_v6) / static_cast<double>(dc_v6);
+    rows.push_back({"  reduction", analysis::fmt(red_v4, 1) + "%", analysis::fmt(red_v6, 1) + "%",
+                    "", "", ""});
+    g_outputs.push_back(std::move(out));
+  }
+  std::fputs(analysis::render_table({"Period", "With dc IPv4", "With dc IPv6",
+                                     "Without dc IPv4", "Without dc IPv6", "#visible"},
+                                    rows)
+                 .c_str(),
+             stdout);
+  std::printf("Paper headline: filtering with the Aggregator clock removes ~21%% of\n"
+              "outbreaks overall (2018: v4 -57.8%%, v6 -31%%; 2017 periods: v4 ~-30%%,\n"
+              "v6 ~0%%) — stuck routes persist across beacon intervals for days.\n");
+}
+
+void BM_IntervalDetector2018(benchmark::State& state) {
+  const auto& out = g_outputs[0];
+  zombie::IntervalZombieDetector detector({});
+  for (auto _ : state) {
+    auto result = detector.detect(out.updates, out.events);
+    benchmark::DoNotOptimize(result.outbreaks_with_duplicates.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.updates.size()));
+}
+BENCHMARK(BM_IntervalDetector2018)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// table2_study_comparison — reproduces Table 2: the previous study's
+// counts ("Study [4]", emulated by the looking-glass detector) next to
+// the raw-data methodology with and without double-counting, per
+// period, plus total visible prefixes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "zombie/interval_detector.hpp"
+#include "zombie/lookingglass.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+// Table 2 of the paper.
+struct PaperRow {
+  int study_v4, study_v6, dc_v4, dc_v6, nd_v4, nd_v6, visible;
+};
+const PaperRow kPaper[3] = {
+    {520, 686, 536, 745, 226, 514, 7126},
+    {384, 1202, 705, 1378, 478, 1370, 14336},
+    {1732, 591, 1781, 610, 1319, 610, 9556},
+};
+
+scenarios::ScenarioOutput g_out0;
+
+void print_table() {
+  bench::print_header("Table 2 — previous study vs raw-data methodology",
+                      "IMC'25 paper Table 2 (App. B.1)");
+  std::vector<std::vector<std::string>> rows;
+  int total_raw = 0, total_study = 0;
+  for (int which = 0; which < 3; ++which) {
+    const auto spec = bench::ris_spec(which);
+    auto out = bench::load_ris_period(which);
+
+    zombie::IntervalDetectorConfig config;
+    for (const auto& peer : out.noisy_peers) config.excluded_peers.insert(peer);
+    zombie::IntervalZombieDetector raw(config);
+    const auto raw_result = raw.detect(out.updates, out.events);
+
+    // The previous study had no dedup; its real-time looking glass
+    // adds delay artifacts. For a like-for-like comparison both
+    // pipelines run on the noisy-peer-cleaned feed.
+    zombie::LookingGlassDetector study{zombie::LookingGlassConfig{}};
+    auto study_result = study.detect(out.updates, out.events);
+    std::erase_if(study_result.outbreaks, [&](zombie::ZombieOutbreak& o) {
+      std::erase_if(o.routes, [&](const zombie::ZombieRoute& r) {
+        return out.noisy_peers.contains(r.peer);
+      });
+      return o.routes.empty();
+    });
+
+    int sv4 = 0, sv6 = 0, dc4 = 0, dc6 = 0, nd4 = 0, nd6 = 0;
+    for (const auto& o : study_result.outbreaks) (o.prefix.is_v4() ? sv4 : sv6)++;
+    for (const auto& o : raw_result.outbreaks_with_duplicates) (o.prefix.is_v4() ? dc4 : dc6)++;
+    for (const auto& o : raw_result.outbreaks_deduplicated) (o.prefix.is_v4() ? nd4 : nd6)++;
+    total_raw += dc4 + dc6;
+    total_study += sv4 + sv6;
+
+    rows.push_back({spec.label, std::to_string(sv4), std::to_string(sv6), std::to_string(dc4),
+                    std::to_string(dc6), std::to_string(nd4), std::to_string(nd6),
+                    std::to_string(raw_result.visible_prefixes)});
+    const auto& p = kPaper[which];
+    rows.push_back({"  (paper)", std::to_string(p.study_v4), std::to_string(p.study_v6),
+                    std::to_string(p.dc_v4), std::to_string(p.dc_v6), std::to_string(p.nd_v4),
+                    std::to_string(p.nd_v6), std::to_string(p.visible)});
+    if (which == 0) g_out0 = std::move(out);
+  }
+  std::fputs(analysis::render_table({"Period", "Study v4", "Study v6", "With dc v4",
+                                     "With dc v6", "No dc v4", "No dc v6", "#visible"},
+                                    rows)
+                 .c_str(),
+             stdout);
+  const double gain = total_study == 0
+                          ? 0.0
+                          : 100.0 * (total_raw - total_study) / static_cast<double>(total_study);
+  std::printf("Raw-data methodology finds %.1f%% more outbreaks than the looking-glass\n"
+              "study (paper: +12.51%%). Each side also misses events the other reports\n"
+              "(see Table 3).\n",
+              gain);
+}
+
+void BM_LookingGlass2018(benchmark::State& state) {
+  zombie::LookingGlassDetector detector{zombie::LookingGlassConfig{}};
+  for (auto _ : state) {
+    auto result = detector.detect(g_out0.updates, g_out0.events);
+    benchmark::DoNotOptimize(result.outbreaks.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g_out0.updates.size()));
+}
+BENCHMARK(BM_LookingGlass2018)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,86 @@
+// table5_noisy_peers_beacons — reproduces Table 5: the absolute number
+// of zombie routes (and the percentage of beacon announcements that
+// led to them) at the three noisy RRC25 peer routers, 1.5 hours and
+// 3 hours after the beacons' withdrawal. The two AS211509 rows must be
+// identical — they are one router observed over two transports.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "bench/bench_common.hpp"
+#include "zombie/longlived.hpp"
+#include "zombie/noisy.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+scenarios::LongLived2024Output g_out;
+
+void print_table() {
+  bench::print_header("Table 5 — noisy RRC25 peer routers at 1.5h and 3h",
+                      "IMC'25 paper Table 5 (Appendix C) + §5 noisy-peer analysis");
+  g_out = bench::load_longlived2024();
+
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto at90 = detector.detect(g_out.updates, g_out.events, 90 * netbase::kMinute);
+  const auto at180 = detector.detect(g_out.updates, g_out.events, 180 * netbase::kMinute);
+
+  auto count_for = [](const zombie::LongLivedResult& result, const zombie::PeerKey& peer) {
+    int n = 0;
+    for (const auto& outbreak : result.outbreaks)
+      for (const auto& route : outbreak.routes)
+        if (route.peer == peer) ++n;
+    return n;
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& router : g_out.rrc25_noisy_routers) {
+    const int n90 = count_for(at90, router);
+    const int n180 = count_for(at180, router);
+    rows.push_back({zombie::to_string(router), std::to_string(n90),
+                    analysis::pct(static_cast<double>(n90) / g_out.studied_announcements),
+                    std::to_string(n180),
+                    analysis::pct(static_cast<double>(n180) / g_out.studied_announcements)});
+  }
+  rows.push_back({"paper: 176.119.234.201 (AS211509)", "163", "9.91%", "149", "9.06%"});
+  rows.push_back({"paper: 2001:678:3f4:5::1 (AS211509)", "163", "9.91%", "149", "9.06%"});
+  rows.push_back({"paper: 2a0c:9a40:1031::504 (AS211380)", "115", "7.00%", "113", "6.88%"});
+  std::fputs(analysis::render_table({"Peer router", "routes @1.5h", "%", "routes @3h", "%"},
+                                    rows)
+                 .c_str(),
+             stdout);
+
+  // The filter must find exactly these three sessions against the
+  // ~670-peer background.
+  zombie::NoisyPeerFilter filter;
+  std::vector<zombie::ZombieRoute> routes;
+  for (const auto& outbreak : at90.outbreaks)
+    for (const auto& route : outbreak.routes) routes.push_back(route);
+  const auto detected =
+      filter.noisy_peer_keys(routes, g_out.all_peers, g_out.studied_announcements);
+  std::printf("NoisyPeerFilter flags %zu sessions:\n", detected.size());
+  for (const auto& key : detected) std::printf("  %s\n", zombie::to_string(key).c_str());
+}
+
+void BM_LongLivedDetect(benchmark::State& state) {
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  for (auto _ : state) {
+    auto result = detector.detect(g_out.updates, g_out.events, 90 * netbase::kMinute);
+    benchmark::DoNotOptimize(result.outbreaks.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g_out.updates.size()));
+}
+BENCHMARK(BM_LongLivedDetect)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

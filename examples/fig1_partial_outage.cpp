@@ -1,0 +1,84 @@
+// fig1_partial_outage — reenacts Figure 1 of the paper step by step:
+// a zombie more-specific at a dominant AS pulls traffic into a
+// forwarding loop, causing a partial outage for the new owner of the
+// covering prefix.
+//
+// Build & run:  ./build/examples/fig1_partial_outage
+
+#include <cstdio>
+
+#include "netbase/rng.hpp"
+#include "simnet/dataplane.hpp"
+
+using namespace zombiescope;
+
+int main() {
+  using topology::Relationship;
+
+  // The cast of Fig. 1: AS1 originally advertises 2001:db8::/48 (it
+  // owns the covering /32); ASX is its upstream; AS3 is the dominant
+  // transit (Tier 1 / IXP); ASY is where the user sits; AS2 buys the
+  // /32 from AS1.
+  topology::Topology topo;
+  topo.add_as({3, 1, "AS3 (dominant)"});
+  topo.add_as({900, 2, "ASX"});
+  topo.add_as({901, 2, "ASY"});
+  topo.add_as({1, 3, "AS1"});
+  topo.add_as({2, 3, "AS2"});
+  topo.add_link(3, 900, Relationship::kCustomer);
+  topo.add_link(3, 901, Relationship::kCustomer);
+  topo.add_link(3, 2, Relationship::kCustomer);
+  topo.add_link(900, 1, Relationship::kCustomer);
+
+  simnet::Simulation sim(topo, simnet::SimConfig{}, netbase::Rng(1));
+  const auto slash48 = netbase::Prefix::parse("2001:db8::/48");
+  const auto slash32 = netbase::Prefix::parse("2001:db8::/32");
+  const auto victim = netbase::IpAddress::parse("2001:db8::1");
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+
+  std::printf("AS1 advertises only %s (it owns the covering %s).\n",
+              slash48.to_string().c_str(), slash32.to_string().c_str());
+  sim.announce(t0, 1, slash48);
+  sim.run_until(t0 + netbase::kHour);
+  {
+    simnet::DataPlane plane(sim);
+    std::printf("traffic ASY -> %s: %s\n\n", victim.to_string().c_str(),
+                plane.forward(901, victim).to_string().c_str());
+  }
+
+  std::printf("(1) AS1 sells the /32 and stops advertising the /48...\n");
+  std::printf("(2) ...but ASX fails to propagate the withdrawal to AS3.\n");
+  simnet::WithdrawalSuppression fault;
+  fault.from_asn = 900;
+  fault.to_asn = 3;
+  fault.prefix_filter = slash48;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+  sim.withdraw(t0 + netbase::kHour + 5 * netbase::kMinute, 1, slash48);
+
+  std::printf("(3) AS3 retains the zombie /48 route.\n");
+  std::printf("(4) AS2 starts announcing the /32...\n");
+  sim.announce(t0 + netbase::kHour + 30 * netbase::kMinute, 2, slash32);
+  std::printf("(5) ...which propagates to the rest of the ASes.\n\n");
+  sim.run_until(t0 + 3 * netbase::kHour);
+
+  std::printf("control plane now:\n");
+  std::printf("  AS3  has /48 route: %s (ZOMBIE)\n",
+              sim.router(3).best(slash48) != nullptr ? "yes" : "no");
+  std::printf("  ASX  has /48 route: %s\n",
+              sim.router(900).best(slash48) != nullptr ? "yes" : "no");
+  std::printf("  AS3  has /32 route: %s\n\n",
+              sim.router(3).best(slash32) != nullptr ? "yes" : "no");
+
+  simnet::DataPlane plane(sim);
+  std::printf("(6) a user within ASY sends traffic to %s:\n", victim.to_string().c_str());
+  const auto looped = plane.forward(901, victim);
+  std::printf("(7) %s\n", looped.to_string().c_str());
+  std::printf("    (longest-prefix match at AS3 picks the zombie /48 toward ASX;\n"
+              "     ASX only has the /32 back via AS3 — packets bounce until TTL dies)\n\n");
+
+  const auto fine = plane.forward(901, netbase::IpAddress::parse("2001:db8:ffff::1"));
+  std::printf("traffic to the rest of AS2's /32 is unaffected (partial outage):\n  %s\n",
+              fine.to_string().c_str());
+  return 0;
+}

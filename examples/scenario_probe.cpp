@@ -1,0 +1,85 @@
+// scenario_probe — development diagnostic: runs the longlived2024
+// scenario and prints the headline numbers for calibration.
+
+#include <cstdio>
+
+#include "analysis/stats.hpp"
+#include "scenarios/longlived2024.hpp"
+#include "zombie/longlived.hpp"
+#include "zombie/noisy.hpp"
+
+using namespace zombiescope;
+
+int main() {
+  const auto t0 = static_cast<double>(clock());
+  scenarios::LongLived2024Spec spec;
+  auto out = scenarios::run_longlived2024(spec);
+  std::printf("sim events=%llu delivered=%llu suppressed=%llu stalled=%llu\n",
+              (unsigned long long)out.sim_stats.events_processed,
+              (unsigned long long)out.sim_stats.messages_delivered,
+              (unsigned long long)out.sim_stats.messages_suppressed,
+              (unsigned long long)out.sim_stats.messages_stalled);
+  std::printf("updates=%zu rib_dump_records=%zu events=%zu studied=%d peers=%zu\n",
+              out.updates.size(), out.rib_dumps.size(), out.events.size(),
+              out.studied_announcements, out.all_peers.size());
+  std::printf("run time %.1fs\n", (clock() - t0) / CLOCKS_PER_SEC);
+
+  // Threshold sweep, noisy excluded and included.
+  zombie::LongLivedConfig cfg_all;
+  zombie::LongLivedConfig cfg_clean;
+  for (const auto& peer : out.noisy_peers) cfg_clean.excluded_peers.insert(peer);
+  zombie::LongLivedZombieDetector det_all{cfg_all};
+  zombie::LongLivedZombieDetector det_clean{cfg_clean};
+  std::vector<netbase::Duration> thresholds;
+  for (int m = 90; m <= 180; m += 10) thresholds.push_back(m * netbase::kMinute);
+  auto sweep_all = det_all.sweep(out.updates, out.events, thresholds);
+  auto sweep_clean = det_clean.sweep(out.updates, out.events, thresholds);
+  for (std::size_t i = 0; i < sweep_all.size(); ++i) {
+    std::printf("thr=%3lldm all: outbreaks=%3d (%5.2f%%) routes=%4d | clean: outbreaks=%3d (%5.2f%%) routes=%4d\n",
+                (long long)(sweep_all[i].threshold / 60), sweep_all[i].outbreaks,
+                sweep_all[i].announcement_fraction * 100, sweep_all[i].routes,
+                sweep_clean[i].outbreaks, sweep_clean[i].announcement_fraction * 100,
+                sweep_clean[i].routes);
+  }
+
+  // Lifespans.
+  zombie::LifespanAnalyzer lf_all{cfg_all};
+  zombie::LifespanAnalyzer lf_clean{cfg_clean};
+  for (auto* lf : {&lf_all, &lf_clean}) {
+    auto spans = lf->analyze(out.rib_dumps, out.events, out.rib_dump_interval);
+    int over_1d = 0;
+    std::printf("%s lifespans: total=%zu durations(d):", lf == &lf_all ? "ALL" : "CLEAN",
+                spans.size());
+    std::vector<double> days;
+    for (const auto& s : spans) {
+      if (s.duration() >= netbase::kDay) {
+        ++over_1d;
+        days.push_back(static_cast<double>(s.duration()) / netbase::kDay);
+      }
+    }
+    std::sort(days.begin(), days.end());
+    for (double d : days) std::printf(" %.1f", d);
+    std::printf("  (>=1d: %d)\n", over_1d);
+    int res = 0;
+    for (const auto& s : spans) res += static_cast<int>(s.resurrections.size());
+    std::printf("  resurrection events: %d\n", res);
+  }
+
+  // Noisy router stats (Table 5 calibration).
+  auto res90 = det_all.detect(out.updates, out.events, 90 * netbase::kMinute);
+  auto res180 = det_all.detect(out.updates, out.events, 180 * netbase::kMinute);
+  for (const auto& router : out.rrc25_noisy_routers) {
+    int n90 = 0, n180 = 0;
+    for (const auto& o : res90.outbreaks)
+      for (const auto& r : o.routes)
+        if (r.peer == router) ++n90;
+    for (const auto& o : res180.outbreaks)
+      for (const auto& r : o.routes)
+        if (r.peer == router) ++n180;
+    std::printf("noisy %s: 90min=%d (%.2f%%) 180min=%d (%.2f%%)\n",
+                zombie::to_string(router).c_str(), n90,
+                100.0 * n90 / out.studied_announcements, n180,
+                100.0 * n180 / out.studied_announcements);
+  }
+  return 0;
+}

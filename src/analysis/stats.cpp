@@ -1,0 +1,106 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace zombiescope::analysis {
+
+Cdf::Cdf(std::vector<double> values) : values_(std::move(values)) {
+  std::sort(values_.begin(), values_.end());
+}
+
+double Cdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+double Cdf::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values_.size())));
+  return values_[rank == 0 ? 0 : rank - 1];
+}
+
+double Cdf::min() const { return values_.empty() ? 0.0 : values_.front(); }
+double Cdf::max() const { return values_.empty() ? 0.0 : values_.back(); }
+
+double Cdf::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::points(int count) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || count <= 0) return out;
+  const double lo = min();
+  const double hi = max();
+  if (lo == hi) {
+    out.emplace_back(lo, 1.0);
+    return out;
+  }
+  for (int i = 0; i <= count; ++i) {
+    const double x = lo + (hi - lo) * i / count;
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) sep += std::string(widths[c] + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers) + sep;
+  for (const auto& row : rows) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string render_cdf(const Cdf& cdf, const std::string& x_label, int points) {
+  if (cdf.empty()) return "  (empty sample)\n";
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  n=%zu min=%.4g median=%.4g mean=%.4g max=%.4g\n",
+                cdf.size(), cdf.min(), cdf.median(), cdf.mean(), cdf.max());
+  out += buf;
+  for (const auto& [x, f] : cdf.points(points)) {
+    const int bar = static_cast<int>(f * 40);
+    std::snprintf(buf, sizeof(buf), "  %-10s %10.4g | %-40s %5.1f%%\n", x_label.c_str(), x,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(), f * 100.0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace zombiescope::analysis

@@ -1,0 +1,59 @@
+// analysis/stats.hpp — tiny statistics toolkit used by the benchmark
+// harnesses to print the paper's CDFs and tables.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace zombiescope::analysis {
+
+/// An empirical CDF over a sample.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> values);
+
+  template <typename T>
+  static Cdf of(std::span<const T> values) {
+    std::vector<double> v(values.begin(), values.end());
+    return Cdf(std::move(v));
+  }
+
+  bool empty() const { return values_.empty(); }
+  std::size_t size() const { return values_.size(); }
+
+  /// Fraction of samples <= x.
+  double at(double x) const;
+
+  /// The q-quantile (0 <= q <= 1), nearest-rank.
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double median() const { return quantile(0.5); }
+
+  /// Evenly spaced (x, F(x)) points for plotting/printing.
+  std::vector<std::pair<double, double>> points(int count = 20) const;
+
+  const std::vector<double>& sorted_values() const { return values_; }
+
+ private:
+  std::vector<double> values_;  // sorted
+};
+
+/// Renders an ASCII table: column headers + string rows, padded.
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a CDF as an ASCII series "x -> percent".
+std::string render_cdf(const Cdf& cdf, const std::string& x_label, int points = 12);
+
+/// Formats a double with fixed precision.
+std::string fmt(double value, int precision = 2);
+
+/// Formats a fraction as "12.34%".
+std::string pct(double fraction, int precision = 2);
+
+}  // namespace zombiescope::analysis

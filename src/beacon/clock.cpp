@@ -1,0 +1,42 @@
+#include "beacon/clock.hpp"
+
+namespace zombiescope::beacon {
+
+using netbase::CivilTime;
+using netbase::IpAddress;
+using netbase::TimePoint;
+
+IpAddress encode_aggregator_clock(TimePoint announced_at) {
+  const TimePoint month_start = netbase::start_of_month(announced_at);
+  const auto seconds = static_cast<std::uint32_t>(announced_at - month_start);
+  return IpAddress::v4({10, static_cast<std::uint8_t>((seconds >> 16) & 0xff),
+                        static_cast<std::uint8_t>((seconds >> 8) & 0xff),
+                        static_cast<std::uint8_t>(seconds & 0xff)});
+}
+
+std::optional<TimePoint> decode_aggregator_clock(const IpAddress& address,
+                                                 TimePoint observed_at) {
+  if (!address.is_v4() || address.bytes()[0] != 10) return std::nullopt;
+  const std::uint32_t seconds = (static_cast<std::uint32_t>(address.bytes()[1]) << 16) |
+                                (static_cast<std::uint32_t>(address.bytes()[2]) << 8) |
+                                static_cast<std::uint32_t>(address.bytes()[3]);
+  // Try the observation month first, then walk back month by month
+  // until the candidate is not in the future.
+  CivilTime civil = netbase::to_civil(observed_at);
+  for (int back = 0; back < 24; ++back) {
+    CivilTime month{civil.year, civil.month, 1, 0, 0, 0};
+    const TimePoint candidate = netbase::from_civil(month) + seconds;
+    if (candidate <= observed_at) return candidate;
+    if (--civil.month == 0) {
+      civil.month = 12;
+      --civil.year;
+    }
+  }
+  return std::nullopt;  // unreachable for sane inputs
+}
+
+bgp::Aggregator make_beacon_aggregator(bgp::Asn asn, TimePoint announced_at) {
+  return bgp::Aggregator{asn, encode_aggregator_clock(announced_at)};
+}
+
+}  // namespace zombiescope::beacon

@@ -1,0 +1,43 @@
+// beacon/clock.hpp — the two "BGP clock" encodings the paper relies on.
+//
+// 1. The RIPE RIS beacon *Aggregator clock*: every beacon announcement
+//    carries an AGGREGATOR attribute whose IP is 10.x.y.z, with x.y.z
+//    the 24-bit count of seconds between midnight UTC on the 1st of
+//    the month and the announcement. The revised methodology decodes
+//    it to tell whether an observed stuck route belongs to the current
+//    beacon interval or to an older one (double-counting elimination).
+//
+// 2. The paper's own *prefix clocks*: the announcement time is encoded
+//    in the prefix bits, "2a0d:3dc1:(HHMM)::/48" for 24-hour recycled
+//    prefixes and "2a0d:3dc1:(HH)(minute+day%15)::/48" for 15-day
+//    recycled ones (including the documented collision bug of the
+//    second format).
+
+#pragma once
+
+#include <optional>
+
+#include "bgp/attributes.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+
+namespace zombiescope::beacon {
+
+/// Encodes `announced_at` as the RIS beacon Aggregator address
+/// 10.x.y.z (seconds since midnight UTC on the 1st of the month,
+/// 24 bits). Seconds counts of a month always fit: < 2,678,400 < 2^24.
+netbase::IpAddress encode_aggregator_clock(netbase::TimePoint announced_at);
+
+/// Decodes an Aggregator clock address relative to `observed_at`: the
+/// returned instant is the latest candidate (this month or an earlier
+/// one) that is <= observed_at — the paper's "best case scenario"
+/// (footnote 1: the attribute is relative to the beginning of *each*
+/// month, so a stale route can be even older than the best case).
+/// Returns nullopt if the address is not of the 10.x.y.z form.
+std::optional<netbase::TimePoint> decode_aggregator_clock(const netbase::IpAddress& address,
+                                                          netbase::TimePoint observed_at);
+
+/// Convenience: full AGGREGATOR attribute for a beacon announcement.
+bgp::Aggregator make_beacon_aggregator(bgp::Asn asn, netbase::TimePoint announced_at);
+
+}  // namespace zombiescope::beacon

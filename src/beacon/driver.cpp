@@ -1,0 +1,17 @@
+#include "beacon/driver.hpp"
+
+namespace zombiescope::beacon {
+
+void BeaconDriver::drive(const std::vector<BeaconEvent>& events) {
+  for (const auto& event : events) {
+    bgp::PathAttributes attributes;
+    attributes.origin = bgp::Origin::kIgp;
+    if (with_aggregator_clock_)
+      attributes.aggregator = make_beacon_aggregator(origin_, event.announce_time);
+    sim_.announce(event.announce_time, origin_, event.prefix, std::move(attributes));
+    sim_.withdraw(event.withdraw_time, origin_, event.prefix);
+    events_.push_back(event);
+  }
+}
+
+}  // namespace zombiescope::beacon

@@ -1,0 +1,38 @@
+// beacon/driver.hpp — wires a beacon schedule into the simulator.
+
+#pragma once
+
+#include <vector>
+
+#include "beacon/clock.hpp"
+#include "beacon/schedule.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::beacon {
+
+/// Injects the announce/withdraw actions of a beacon schedule into a
+/// simulation, stamping RIS-style announcements with the Aggregator
+/// clock, and keeps the ground-truth event list for the analysis.
+class BeaconDriver {
+ public:
+  /// `origin` must exist in the simulation topology. When
+  /// `with_aggregator_clock` is set, each announcement carries
+  /// AGGREGATOR(origin, 10.x.y.z clock) — RIS beacon behaviour.
+  BeaconDriver(simnet::Simulation& sim, bgp::Asn origin, bool with_aggregator_clock)
+      : sim_(sim), origin_(origin), with_aggregator_clock_(with_aggregator_clock) {}
+
+  /// Schedules every event (including superseded ones — they happen on
+  /// the wire) and records the ground truth.
+  void drive(const std::vector<BeaconEvent>& events);
+
+  bgp::Asn origin() const { return origin_; }
+  const std::vector<BeaconEvent>& ground_truth() const { return events_; }
+
+ private:
+  simnet::Simulation& sim_;
+  bgp::Asn origin_;
+  bool with_aggregator_clock_;
+  std::vector<BeaconEvent> events_;
+};
+
+}  // namespace zombiescope::beacon

@@ -1,0 +1,94 @@
+#include "bgp/aspath.hpp"
+
+#include <algorithm>
+
+namespace zombiescope::bgp {
+
+AsPath::AsPath(std::initializer_list<Asn> sequence) {
+  if (sequence.size() > 0)
+    segments_.push_back({SegmentType::kAsSequence, std::vector<Asn>(sequence)});
+}
+
+AsPath AsPath::sequence(std::vector<Asn> asns) {
+  AsPath p;
+  if (!asns.empty()) p.segments_.push_back({SegmentType::kAsSequence, std::move(asns)});
+  return p;
+}
+
+int AsPath::length() const {
+  int n = 0;
+  for (const auto& seg : segments_)
+    n += seg.type == SegmentType::kAsSequence ? static_cast<int>(seg.asns.size()) : 1;
+  return n;
+}
+
+int AsPath::asn_count() const {
+  int n = 0;
+  for (const auto& seg : segments_) n += static_cast<int>(seg.asns.size());
+  return n;
+}
+
+std::optional<Asn> AsPath::origin_asn() const {
+  if (segments_.empty()) return std::nullopt;
+  const auto& last = segments_.back();
+  if (last.type != SegmentType::kAsSequence || last.asns.empty()) return std::nullopt;
+  return last.asns.back();
+}
+
+std::optional<Asn> AsPath::first_asn() const {
+  if (segments_.empty()) return std::nullopt;
+  const auto& first = segments_.front();
+  if (first.asns.empty()) return std::nullopt;
+  return first.asns.front();
+}
+
+bool AsPath::contains(Asn asn) const {
+  for (const auto& seg : segments_)
+    if (std::find(seg.asns.begin(), seg.asns.end(), asn) != seg.asns.end()) return true;
+  return false;
+}
+
+AsPath AsPath::prepend(Asn asn) const {
+  AsPath out = *this;
+  if (!out.segments_.empty() && out.segments_.front().type == SegmentType::kAsSequence) {
+    out.segments_.front().asns.insert(out.segments_.front().asns.begin(), asn);
+  } else {
+    out.segments_.insert(out.segments_.begin(), {SegmentType::kAsSequence, {asn}});
+  }
+  return out;
+}
+
+std::vector<Asn> AsPath::flatten() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments_) out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  return out;
+}
+
+bool AsPath::ends_with(const std::vector<Asn>& suffix) const {
+  const std::vector<Asn> flat = flatten();
+  if (suffix.size() > flat.size()) return false;
+  return std::equal(suffix.rbegin(), suffix.rend(), flat.rbegin());
+}
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (const auto& seg : segments_) {
+    if (!out.empty()) out += ' ';
+    if (seg.type == SegmentType::kAsSet) {
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i > 0) out += ',';
+        out += std::to_string(seg.asns[i]);
+      }
+      out += '}';
+    } else {
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += std::to_string(seg.asns[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace zombiescope::bgp

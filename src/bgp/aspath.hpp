@@ -1,0 +1,83 @@
+// bgp/aspath.hpp — the AS_PATH attribute.
+//
+// An AS_PATH is a sequence of segments; in practice almost all paths
+// are a single AS_SEQUENCE, but AS_SETs (from aggregation) occur and
+// must round-trip through the wire format, so both are modelled.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace zombiescope::bgp {
+
+enum class SegmentType : std::uint8_t {
+  kAsSet = 1,
+  kAsSequence = 2,
+};
+
+struct PathSegment {
+  SegmentType type = SegmentType::kAsSequence;
+  std::vector<Asn> asns;
+
+  friend bool operator==(const PathSegment&, const PathSegment&) = default;
+};
+
+class AsPath {
+ public:
+  AsPath() = default;
+
+  /// Builds a single-AS_SEQUENCE path: first element is the neighbor
+  /// nearest the receiver, last is the origin AS (RFC 4271).
+  AsPath(std::initializer_list<Asn> sequence);
+  static AsPath sequence(std::vector<Asn> asns);
+
+  const std::vector<PathSegment>& segments() const { return segments_; }
+  std::vector<PathSegment>& segments() { return segments_; }
+
+  bool empty() const { return segments_.empty(); }
+
+  /// Path length as used by the BGP decision process: each AS in a
+  /// sequence counts 1, each AS_SET counts 1 total (RFC 4271 §9.1.2.2).
+  int length() const;
+
+  /// Total number of ASNs mentioned (sets expanded).
+  int asn_count() const;
+
+  /// The origin AS — last ASN of the last sequence segment, if the
+  /// path ends with a sequence.
+  std::optional<Asn> origin_asn() const;
+
+  /// The first ASN (the neighbor the route was learned from).
+  std::optional<Asn> first_asn() const;
+
+  /// True if `asn` appears anywhere in the path (loop detection).
+  bool contains(Asn asn) const;
+
+  /// Returns a copy with `asn` prepended (new first hop), merging into
+  /// a leading sequence segment.
+  AsPath prepend(Asn asn) const;
+
+  /// Flattened ASN list in path order (sets expanded in stored order).
+  std::vector<Asn> flatten() const;
+
+  /// True if the path ends with the given origin-adjacent subpath,
+  /// e.g. contains_subpath({25091, 8298, 210312}) — used for the
+  /// paper's common-subpath reporting.
+  bool ends_with(const std::vector<Asn>& suffix) const;
+
+  /// "4637 1299 25091 8298 210312"; sets render as "{a,b}".
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<PathSegment> segments_;
+};
+
+}  // namespace zombiescope::bgp

@@ -1,0 +1,73 @@
+// bgp/attributes.hpp — BGP path attributes carried by UPDATE messages.
+//
+// PathAttributes is a value type holding the attributes this library
+// interprets plus a raw escape hatch for unknown optional-transitive
+// attributes, so foreign messages survive a decode/encode round trip.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/aspath.hpp"
+#include "bgp/types.hpp"
+#include "netbase/ip.hpp"
+
+namespace zombiescope::bgp {
+
+/// AGGREGATOR attribute (RFC 4271 §5.1.7). The paper's key insight:
+/// RIPE RIS beacons encode the *origination time* of each announcement
+/// in the Aggregator IP as 10.x.y.z where x.y.z is a 24-bit count of
+/// seconds since midnight UTC on the 1st of the month.
+struct Aggregator {
+  Asn asn = 0;
+  netbase::IpAddress address;  // IPv4 by construction on the wire
+
+  friend bool operator==(const Aggregator&, const Aggregator&) = default;
+};
+
+/// A standard 32-bit community value, rendered "asn:value".
+struct Community {
+  std::uint16_t high = 0;
+  std::uint16_t low = 0;
+
+  std::uint32_t value() const {
+    return (static_cast<std::uint32_t>(high) << 16) | low;
+  }
+  static Community from_value(std::uint32_t v) {
+    return {static_cast<std::uint16_t>(v >> 16), static_cast<std::uint16_t>(v & 0xffff)};
+  }
+  std::string to_string() const {
+    return std::to_string(high) + ":" + std::to_string(low);
+  }
+  friend auto operator<=>(const Community&, const Community&) = default;
+};
+
+/// An attribute this library does not interpret, preserved verbatim.
+struct RawAttribute {
+  std::uint8_t flags = 0;
+  std::uint8_t type = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const RawAttribute&, const RawAttribute&) = default;
+};
+
+struct PathAttributes {
+  Origin origin = Origin::kIgp;
+  AsPath as_path;
+  /// IPv4 NEXT_HOP (attribute 3); IPv6 next hops travel inside
+  /// MP_REACH_NLRI and are stored here as well when the NLRI is v6.
+  std::optional<netbase::IpAddress> next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<Aggregator> aggregator;
+  std::vector<Community> communities;
+  std::vector<RawAttribute> unknown;
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+};
+
+}  // namespace zombiescope::bgp

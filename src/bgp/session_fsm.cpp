@@ -1,0 +1,139 @@
+#include "bgp/session_fsm.hpp"
+
+namespace zombiescope::bgp {
+
+std::string to_string(FsmState state) {
+  switch (state) {
+    case FsmState::kIdle:
+      return "Idle";
+    case FsmState::kConnect:
+      return "Connect";
+    case FsmState::kOpenSent:
+      return "OpenSent";
+    case FsmState::kOpenConfirm:
+      return "OpenConfirm";
+    case FsmState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+void SessionFsm::start(netbase::TimePoint now) {
+  (void)now;
+  if (state_ == FsmState::kIdle) state_ = FsmState::kConnect;
+}
+
+void SessionFsm::stop(netbase::TimePoint now) {
+  if (state_ == FsmState::kEstablished) drop_session(now, "administrative stop");
+  state_ = FsmState::kIdle;
+  out_queue_.clear();
+  send_hold_expires_.reset();
+}
+
+void SessionFsm::connected(netbase::TimePoint now) {
+  if (state_ != FsmState::kConnect) return;
+  state_ = FsmState::kOpenSent;
+  enqueue(now, FsmMessage{MessageType::kOpen, std::nullopt});
+  hold_expires_ = now + (config_.hold_time > 0 ? config_.hold_time : 240);
+}
+
+void SessionFsm::receive(netbase::TimePoint now, const FsmMessage& message) {
+  // Any message from the peer proves liveness.
+  if (config_.hold_time > 0) hold_expires_ = now + config_.hold_time;
+
+  switch (state_) {
+    case FsmState::kIdle:
+    case FsmState::kConnect:
+      return;  // stray packet; transport not up from our perspective
+    case FsmState::kOpenSent:
+      if (message.type == MessageType::kOpen) {
+        state_ = FsmState::kOpenConfirm;
+        enqueue(now, FsmMessage{MessageType::kKeepalive, std::nullopt});
+      } else if (message.type == MessageType::kNotification) {
+        stop(now);
+      }
+      return;
+    case FsmState::kOpenConfirm:
+      if (message.type == MessageType::kKeepalive) {
+        state_ = FsmState::kEstablished;
+        keepalive_due_ = now + config_.keepalive_interval;
+      } else if (message.type == MessageType::kNotification) {
+        stop(now);
+      }
+      return;
+    case FsmState::kEstablished:
+      if (message.type == MessageType::kNotification) {
+        drop_session(now, "NOTIFICATION from peer");
+        state_ = FsmState::kIdle;
+      }
+      return;
+  }
+}
+
+bool SessionFsm::send_update(netbase::TimePoint now, UpdateMessage update) {
+  if (state_ != FsmState::kEstablished) return false;
+  enqueue(now, FsmMessage{MessageType::kUpdate, std::move(update)});
+  return true;
+}
+
+std::vector<FsmMessage> SessionFsm::drain(netbase::TimePoint now, std::size_t max_messages) {
+  std::vector<FsmMessage> out;
+  while (!out_queue_.empty() && out.size() < max_messages) {
+    out.push_back(std::move(out_queue_.front()));
+    out_queue_.pop_front();
+  }
+  // Send progress: the RFC 9687 timer restarts (or clears) whenever
+  // the queue drains.
+  if (!out.empty()) {
+    if (out_queue_.empty())
+      send_hold_expires_.reset();
+    else if (config_.send_hold_time > 0)
+      send_hold_expires_ = now + config_.send_hold_time;
+  }
+  return out;
+}
+
+void SessionFsm::tick(netbase::TimePoint now) {
+  if (state_ != FsmState::kEstablished && state_ != FsmState::kOpenSent &&
+      state_ != FsmState::kOpenConfirm)
+    return;
+
+  // Hold timer (RFC 4271 §8.2.2): nothing received in time.
+  if (config_.hold_time > 0 && now >= hold_expires_) {
+    drop_session(now, "hold timer expired");
+    state_ = FsmState::kIdle;
+    return;
+  }
+
+  if (state_ != FsmState::kEstablished) return;
+
+  // Send hold timer (RFC 9687): the peer has not read anything we
+  // queued for send_hold_time.
+  if (send_hold_expires_.has_value() && now >= *send_hold_expires_) {
+    drop_session(now, "send hold timer expired (RFC 9687)");
+    state_ = FsmState::kIdle;
+    return;
+  }
+
+  // KEEPALIVE schedule.
+  if (config_.keepalive_interval > 0 && now >= keepalive_due_) {
+    enqueue(now, FsmMessage{MessageType::kKeepalive, std::nullopt});
+    keepalive_due_ = now + config_.keepalive_interval;
+  }
+}
+
+void SessionFsm::enqueue(netbase::TimePoint now, FsmMessage message) {
+  out_queue_.push_back(std::move(message));
+  if (config_.send_hold_time > 0 && !send_hold_expires_.has_value())
+    send_hold_expires_ = now + config_.send_hold_time;
+}
+
+void SessionFsm::drop_session(netbase::TimePoint now, const std::string& reason) {
+  (void)now;
+  last_error_ = reason;
+  ++session_drops_;
+  out_queue_.clear();
+  send_hold_expires_.reset();
+}
+
+}  // namespace zombiescope::bgp

@@ -1,0 +1,35 @@
+#include "bgp/types.hpp"
+
+namespace zombiescope::bgp {
+
+std::string to_string(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp:
+      return "IGP";
+    case Origin::kEgp:
+      return "EGP";
+    case Origin::kIncomplete:
+      return "INCOMPLETE";
+  }
+  return "?";
+}
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "Idle";
+    case SessionState::kConnect:
+      return "Connect";
+    case SessionState::kActive:
+      return "Active";
+    case SessionState::kOpenSent:
+      return "OpenSent";
+    case SessionState::kOpenConfirm:
+      return "OpenConfirm";
+    case SessionState::kEstablished:
+      return "Established";
+  }
+  return "?";
+}
+
+}  // namespace zombiescope::bgp

@@ -1,0 +1,55 @@
+// bgp/types.hpp — elementary BGP vocabulary types.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zombiescope::bgp {
+
+/// A 4-byte Autonomous System Number (RFC 6793).
+using Asn = std::uint32_t;
+
+/// ORIGIN path attribute values (RFC 4271 §5.1.1).
+enum class Origin : std::uint8_t {
+  kIgp = 0,
+  kEgp = 1,
+  kIncomplete = 2,
+};
+
+std::string to_string(Origin origin);
+
+/// BGP session FSM states (RFC 4271 §8.2.2), as reported by MRT
+/// BGP4MP_STATE_CHANGE records.
+enum class SessionState : std::uint16_t {
+  kIdle = 1,
+  kConnect = 2,
+  kActive = 3,
+  kOpenSent = 4,
+  kOpenConfirm = 5,
+  kEstablished = 6,
+};
+
+std::string to_string(SessionState state);
+
+/// Path attribute type codes used in this library.
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMultiExitDisc = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+  kMpReachNlri = 14,
+  kMpUnreachNlri = 15,
+};
+
+/// Path attribute flag bits (RFC 4271 §4.3).
+inline constexpr std::uint8_t kAttrFlagOptional = 0x80;
+inline constexpr std::uint8_t kAttrFlagTransitive = 0x40;
+inline constexpr std::uint8_t kAttrFlagPartial = 0x20;
+inline constexpr std::uint8_t kAttrFlagExtendedLength = 0x10;
+
+}  // namespace zombiescope::bgp

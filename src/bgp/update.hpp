@@ -1,0 +1,75 @@
+// bgp/update.hpp — the BGP UPDATE message and its wire codec.
+//
+// Encoding follows RFC 4271 with two standard extensions used by every
+// modern collector feed: 4-byte AS numbers in AS_PATH/AGGREGATOR
+// (RFC 6793, as implied by MRT BGP4MP_MESSAGE_AS4 records) and
+// multiprotocol reachability for IPv6 NLRI (RFC 4760, MP_REACH_NLRI /
+// MP_UNREACH_NLRI).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.hpp"
+#include "netbase/bytes.hpp"
+#include "netbase/ip.hpp"
+
+namespace zombiescope::bgp {
+
+/// BGP message types (RFC 4271 §4.1).
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+/// A BGP UPDATE. IPv4 reachability uses the classic top-level NLRI /
+/// withdrawn fields; IPv6 reachability travels in MP_REACH/MP_UNREACH
+/// attributes. The codec picks the right container from each prefix's
+/// address family automatically.
+struct UpdateMessage {
+  std::vector<netbase::Prefix> withdrawn;   // any family
+  std::vector<netbase::Prefix> announced;   // any family
+  PathAttributes attributes;                // meaningful iff !announced.empty()
+
+  bool is_withdrawal_only() const { return announced.empty() && !withdrawn.empty(); }
+  bool is_announcement() const { return !announced.empty(); }
+
+  /// Serializes to a full BGP message (16-byte marker, length, type).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses a full BGP message. Throws netbase::DecodeError on
+  /// malformed input. Non-UPDATE messages are rejected.
+  static UpdateMessage decode(std::span<const std::uint8_t> wire);
+
+  /// Human-readable one-line summary for debugging / example output.
+  std::string summary() const;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+/// Encodes NLRI prefixes (length byte + packed address bits) into `w`.
+void encode_nlri(netbase::ByteWriter& w, std::span<const netbase::Prefix> prefixes);
+
+/// Decodes NLRI until the reader is exhausted.
+std::vector<netbase::Prefix> decode_nlri(netbase::ByteReader& r, netbase::AddressFamily family);
+
+/// Attribute-level codec shared with the MRT TABLE_DUMP_V2 encoder,
+/// which serializes per-route attribute blobs outside full UPDATEs.
+namespace wire {
+
+/// Writes one path attribute (flags/type/length/payload), setting the
+/// extended-length flag automatically.
+void write_attribute(netbase::ByteWriter& w, std::uint8_t flags, AttrType type,
+                     std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_as_path(const AsPath& path);
+AsPath decode_as_path(netbase::ByteReader r);
+
+}  // namespace wire
+
+}  // namespace zombiescope::bgp

@@ -1,0 +1,173 @@
+// collector/collector.hpp — RIS-style BGP collection infrastructure.
+//
+// A Collector maintains peering sessions with volunteer ASes. Each
+// PeerSession is a MonitorSink on the simulated router: it receives
+// the peer's best-route changes (a full feed), maintains the
+// collector-side view of that peer's table, and appends MRT records
+// (BGP4MP_MESSAGE_AS4 / BGP4MP_STATE_CHANGE_AS4) to the collector's
+// update archive. RIB dumps (TABLE_DUMP_V2) snapshot all sessions'
+// views every dump interval, like RIPE RIS's 8-hourly dumps.
+//
+// Collector-side noise is modelled here, not in the simulator: a
+// session can lose withdrawals with some probability (the paper's
+// noisy peers AS16347 / AS211509 / AS211380, with 7–43 % stuck-route
+// probability against a ~1.6 % background) and can be reset, which
+// emits STATE messages, clears the view, and re-syncs from the peer's
+// actual table — the mechanism behind Fig. 4's visibility gaps.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mrt/record.hpp"
+#include "netbase/rng.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::collector {
+
+/// Configuration of one collector peering session.
+struct SessionConfig {
+  bgp::Asn peer_asn = 0;
+  netbase::IpAddress peer_address;  // identifies the peer *router*
+  /// Probability that a withdrawal from the peer never reaches the
+  /// archive (session-level noise). 0 = clean session.
+  double withdrawal_loss_probability = 0.0;
+  /// Restrict the noise to prefixes covered by this prefix (unset =
+  /// all prefixes).
+  std::optional<netbase::Prefix> noise_prefix_filter;
+  /// Per-family overrides of withdrawal_loss_probability (< 0 = use
+  /// the common value). BGP sessions carry the two address families
+  /// with different machinery in practice; the paper's noisy peer
+  /// AS16347 is dramatically noisier for IPv6 (42.8 %) than IPv4.
+  double withdrawal_loss_probability_v4 = -1.0;
+  double withdrawal_loss_probability_v6 = -1.0;
+  /// Slow-convergence model: with this probability a withdrawal is
+  /// recorded late by a uniform delay in [min, max] — transient
+  /// zombies that clear between the 90-minute and 3-hour checks
+  /// (the declining part of the paper's Fig. 2).
+  double withdrawal_delay_probability = 0.0;
+  netbase::Duration withdrawal_delay_min = 30 * netbase::kMinute;
+  netbase::Duration withdrawal_delay_max = 200 * netbase::kMinute;
+  /// Deterministic per-prefix withdrawal delays (the §5.1 Telstra-case
+  /// peers that withdrew shortly before 150 minutes).
+  struct ForcedWithdrawalDelay {
+    netbase::Prefix prefix;
+    netbase::Duration delay = 0;
+  };
+  std::vector<ForcedWithdrawalDelay> forced_delays;
+  /// With this probability a recorded withdrawal is followed by a late
+  /// re-announcement of the just-withdrawn route after a uniform delay
+  /// in [min, max] — a churn remnant surfacing a stale path. These are
+  /// the zombies a lagged looking-glass pipeline misses (Table 3's
+  /// "Study misses" side) when they land close to the check time.
+  double phantom_reannounce_probability = 0.0;
+  netbase::Duration phantom_reannounce_min = 85 * netbase::kMinute;
+  netbase::Duration phantom_reannounce_max = 89 * netbase::kMinute;
+
+  double loss_probability_for(netbase::AddressFamily family) const {
+    const double v = family == netbase::AddressFamily::kIpv4
+                         ? withdrawal_loss_probability_v4
+                         : withdrawal_loss_probability_v6;
+    return v >= 0.0 ? v : withdrawal_loss_probability;
+  }
+};
+
+/// A route in the collector's view of one peer.
+struct ViewEntry {
+  bgp::AsPath path;  // as exported by the peer (peer ASN prepended)
+  bgp::PathAttributes attributes;
+  netbase::TimePoint learned = 0;
+};
+
+class Collector;
+
+/// One peer session; implements the simulator monitor interface.
+class PeerSession : public simnet::MonitorSink {
+ public:
+  PeerSession(Collector& owner, SessionConfig config, netbase::Rng rng);
+
+  void on_route_change(netbase::TimePoint t, const simnet::RibChange& change) override;
+
+  /// Takes the session down at time `down` and re-establishes it at
+  /// `up` (both scheduled inside the simulation). On re-establish the
+  /// peer re-sends its full table, so the collector re-learns any
+  /// zombie still stuck in the peer's RIB.
+  void schedule_reset(simnet::Simulation& sim, netbase::TimePoint down,
+                      netbase::TimePoint up);
+
+  /// Binds the session to a simulation so delayed withdrawals can be
+  /// scheduled (called by Collector::add_peer).
+  void bind(simnet::Simulation& sim) { sim_ = &sim; }
+
+  const SessionConfig& config() const { return config_; }
+  const std::map<netbase::Prefix, ViewEntry>& view() const { return view_; }
+  bool established() const { return established_; }
+
+ private:
+  void record_announce(netbase::TimePoint t, const netbase::Prefix& prefix,
+                       const ViewEntry& entry);
+  void record_withdraw(netbase::TimePoint t, const netbase::Prefix& prefix);
+  void record_state(netbase::TimePoint t, bgp::SessionState from, bgp::SessionState to);
+
+  Collector& owner_;
+  SessionConfig config_;
+  netbase::Rng rng_;
+  std::map<netbase::Prefix, ViewEntry> view_;
+  bool established_ = true;
+  simnet::Simulation* sim_ = nullptr;
+  /// Generation counter per prefix: a delayed withdrawal only fires if
+  /// no newer announcement arrived in the meantime.
+  std::map<netbase::Prefix, std::uint64_t> generation_;
+};
+
+class Collector {
+ public:
+  /// A collector has one transport address per family: BGP4MP records
+  /// carry peer and local addresses under a single AFI, so the local
+  /// address must match the session's family.
+  Collector(std::string name, bgp::Asn asn, netbase::IpAddress address_v4,
+            netbase::IpAddress address_v6 = netbase::IpAddress::parse("2001:7f8:fff::255"))
+      : name_(std::move(name)), asn_(asn), address_v4_(address_v4), address_v6_(address_v6) {}
+
+  /// Creates a session and attaches it to the simulated peer AS.
+  PeerSession& add_peer(simnet::Simulation& sim, const SessionConfig& config,
+                        netbase::Rng rng);
+
+  /// Appends a TABLE_DUMP_V2 snapshot (PEER_INDEX_TABLE + one RIB
+  /// record per visible prefix) to the RIB archive.
+  void dump_ribs(netbase::TimePoint t);
+
+  /// Schedules dump_ribs every `interval` from `start` to `end`.
+  void schedule_rib_dumps(simnet::Simulation& sim, netbase::TimePoint start,
+                          netbase::TimePoint end, netbase::Duration interval);
+
+  const std::string& name() const { return name_; }
+  bgp::Asn asn() const { return asn_; }
+  /// The collector transport address matching `family`.
+  const netbase::IpAddress& address(netbase::AddressFamily family) const {
+    return family == netbase::AddressFamily::kIpv4 ? address_v4_ : address_v6_;
+  }
+
+  /// The archived update stream (BGP4MP records, in arrival order).
+  const std::vector<mrt::MrtRecord>& updates() const { return updates_; }
+  /// The archived RIB dumps (TABLE_DUMP_V2 records, in dump order).
+  const std::vector<mrt::MrtRecord>& rib_dumps() const { return rib_dumps_; }
+  const std::vector<std::unique_ptr<PeerSession>>& sessions() const { return sessions_; }
+
+  void append_update(mrt::MrtRecord record) { updates_.push_back(std::move(record)); }
+
+ private:
+  std::string name_;
+  bgp::Asn asn_;
+  netbase::IpAddress address_v4_;
+  netbase::IpAddress address_v6_;
+  std::vector<std::unique_ptr<PeerSession>> sessions_;
+  std::vector<mrt::MrtRecord> updates_;
+  std::vector<mrt::MrtRecord> rib_dumps_;
+};
+
+}  // namespace zombiescope::collector

@@ -1,0 +1,60 @@
+// mrt/codec.hpp — binary MRT encoding/decoding (RFC 6396).
+//
+// MrtWriter serializes records into a byte stream with the standard
+// 12-byte MRT common header; MrtReader parses a stream back into
+// records. File-level helpers read/write whole archives, which is how
+// scenario runs hand their "RIS raw data" to the detectors.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mrt/record.hpp"
+#include "netbase/bytes.hpp"
+
+namespace zombiescope::mrt {
+
+class MrtWriter {
+ public:
+  void write(const MrtRecord& record);
+
+  const std::vector<std::uint8_t>& data() const { return out_.data(); }
+  std::vector<std::uint8_t> take() { return out_.take(); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  netbase::ByteWriter out_;
+};
+
+class MrtReader {
+ public:
+  explicit MrtReader(std::span<const std::uint8_t> data) : reader_(data) {}
+
+  /// True if at least one more record follows.
+  bool has_next() const { return !reader_.done(); }
+
+  /// Decodes the next record. Throws netbase::DecodeError on malformed
+  /// or unsupported input.
+  MrtRecord next();
+
+ private:
+  netbase::ByteReader reader_;
+};
+
+/// Decodes an entire buffer into records.
+std::vector<MrtRecord> decode_all(std::span<const std::uint8_t> data);
+
+/// Encodes all records into one buffer.
+std::vector<std::uint8_t> encode_all(std::span<const MrtRecord> records);
+
+/// Writes records to an MRT file on disk; throws std::runtime_error on
+/// I/O failure.
+void write_file(const std::string& path, std::span<const MrtRecord> records);
+
+/// Reads an MRT file from disk.
+std::vector<MrtRecord> read_file(const std::string& path);
+
+}  // namespace zombiescope::mrt

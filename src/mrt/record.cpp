@@ -1,0 +1,32 @@
+#include "mrt/record.hpp"
+
+namespace zombiescope::mrt {
+
+netbase::TimePoint record_timestamp(const MrtRecord& record) {
+  return std::visit([](const auto& r) { return r.timestamp; }, record);
+}
+
+std::string record_summary(const MrtRecord& record) {
+  struct Visitor {
+    std::string operator()(const Bgp4mpMessage& m) const {
+      return netbase::format_utc(m.timestamp) + "|BGP4MP|AS" + std::to_string(m.peer_asn) +
+             "|" + m.peer_address.to_string() + "|" + m.update.summary();
+    }
+    std::string operator()(const Bgp4mpStateChange& s) const {
+      return netbase::format_utc(s.timestamp) + "|STATE|AS" + std::to_string(s.peer_asn) +
+             "|" + s.peer_address.to_string() + "|" + bgp::to_string(s.old_state) + "->" +
+             bgp::to_string(s.new_state);
+    }
+    std::string operator()(const PeerIndexTable& t) const {
+      return netbase::format_utc(t.timestamp) + "|PEER_INDEX_TABLE|" + t.view_name + "|" +
+             std::to_string(t.peers.size()) + " peers";
+    }
+    std::string operator()(const RibEntryRecord& r) const {
+      return netbase::format_utc(r.timestamp) + "|RIB|" + r.prefix.to_string() + "|" +
+             std::to_string(r.entries.size()) + " entries";
+    }
+  };
+  return std::visit(Visitor{}, record);
+}
+
+}  // namespace zombiescope::mrt

@@ -1,0 +1,113 @@
+// mrt/record.hpp — MRT records (RFC 6396) as parsed value types.
+//
+// The collectors in this library archive exactly what RIPE RIS
+// archives: BGP4MP_MESSAGE_AS4 records for BGP UPDATEs exchanged with
+// peers, BGP4MP_STATE_CHANGE_AS4 records for session state changes,
+// and TABLE_DUMP_V2 RIB snapshots. The zombie detectors consume only
+// these records, mirroring the paper's "solely RIPE RIS raw data"
+// methodology.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "bgp/update.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+
+namespace zombiescope::mrt {
+
+/// MRT top-level types used here (RFC 6396 §4).
+enum class RecordType : std::uint16_t {
+  kTableDumpV2 = 13,
+  kBgp4mp = 16,
+};
+
+/// BGP4MP subtypes (RFC 6396 §4.4).
+enum class Bgp4mpSubtype : std::uint16_t {
+  kStateChange = 0,
+  kMessage = 1,
+  kMessageAs4 = 4,
+  kStateChangeAs4 = 5,
+};
+
+/// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+enum class TableDumpV2Subtype : std::uint16_t {
+  kPeerIndexTable = 1,
+  kRibIpv4Unicast = 2,
+  kRibIpv6Unicast = 4,
+};
+
+/// A BGP UPDATE received by a collector from a peer.
+struct Bgp4mpMessage {
+  netbase::TimePoint timestamp = 0;
+  bgp::Asn peer_asn = 0;
+  bgp::Asn local_asn = 0;  // the collector's ASN
+  netbase::IpAddress peer_address;
+  netbase::IpAddress local_address;
+  bgp::UpdateMessage update;
+
+  friend bool operator==(const Bgp4mpMessage&, const Bgp4mpMessage&) = default;
+};
+
+/// A session state transition between a peer and a collector.
+struct Bgp4mpStateChange {
+  netbase::TimePoint timestamp = 0;
+  bgp::Asn peer_asn = 0;
+  bgp::Asn local_asn = 0;
+  netbase::IpAddress peer_address;
+  netbase::IpAddress local_address;
+  bgp::SessionState old_state = bgp::SessionState::kIdle;
+  bgp::SessionState new_state = bgp::SessionState::kIdle;
+
+  friend bool operator==(const Bgp4mpStateChange&, const Bgp4mpStateChange&) = default;
+};
+
+/// TABLE_DUMP_V2 PEER_INDEX_TABLE: the peer directory that RIB entries
+/// reference by index.
+struct PeerIndexTable {
+  netbase::TimePoint timestamp = 0;
+  std::uint32_t collector_bgp_id = 0;
+  std::string view_name;
+  struct Peer {
+    std::uint32_t bgp_id = 0;
+    netbase::IpAddress address;
+    bgp::Asn asn = 0;
+    friend bool operator==(const Peer&, const Peer&) = default;
+  };
+  std::vector<Peer> peers;
+
+  friend bool operator==(const PeerIndexTable&, const PeerIndexTable&) = default;
+};
+
+/// One RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record: all peers' routes
+/// for a single prefix at dump time.
+struct RibEntryRecord {
+  netbase::TimePoint timestamp = 0;  // dump time
+  std::uint32_t sequence = 0;
+  netbase::Prefix prefix;
+  struct Entry {
+    std::uint16_t peer_index = 0;
+    netbase::TimePoint originated_time = 0;
+    bgp::PathAttributes attributes;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  std::vector<Entry> entries;
+
+  friend bool operator==(const RibEntryRecord&, const RibEntryRecord&) = default;
+};
+
+using MrtRecord =
+    std::variant<Bgp4mpMessage, Bgp4mpStateChange, PeerIndexTable, RibEntryRecord>;
+
+/// Timestamp of any record alternative.
+netbase::TimePoint record_timestamp(const MrtRecord& record);
+
+/// One-line textual rendering (bgpdump-style) for tooling output.
+std::string record_summary(const MrtRecord& record);
+
+}  // namespace zombiescope::mrt

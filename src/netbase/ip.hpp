@@ -1,0 +1,134 @@
+// netbase/ip.hpp — IP address and prefix value types (IPv4 + IPv6).
+//
+// These are small, regular value types used throughout the library:
+// an IpAddress is a family tag plus up to 16 bytes in network order,
+// and a Prefix is an address plus a prefix length, stored canonically
+// (host bits zeroed). Parsing and formatting follow RFC 4291/5952 for
+// IPv6 and dotted-quad for IPv4.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zombiescope::netbase {
+
+enum class AddressFamily : std::uint8_t {
+  kIpv4 = 4,
+  kIpv6 = 6,
+};
+
+/// Returns "IPv4" or "IPv6".
+std::string_view to_string(AddressFamily family);
+
+/// An IPv4 or IPv6 address. IPv4 addresses occupy the first 4 bytes of
+/// the internal array; the remaining bytes are zero.
+class IpAddress {
+ public:
+  /// Default-constructs the IPv4 unspecified address 0.0.0.0.
+  IpAddress() = default;
+
+  /// Builds an IPv4 address from 4 bytes in network order.
+  static IpAddress v4(std::array<std::uint8_t, 4> bytes);
+
+  /// Builds an IPv4 address from a host-order 32-bit value.
+  static IpAddress v4(std::uint32_t host_order);
+
+  /// Builds an IPv6 address from 16 bytes in network order.
+  static IpAddress v6(const std::array<std::uint8_t, 16>& bytes);
+
+  /// Builds an IPv6 address from 8 host-order hextets (as written).
+  static IpAddress v6(const std::array<std::uint16_t, 8>& hextets);
+
+  /// Parses "192.0.2.1" or "2001:db8::1". Returns nullopt on failure.
+  static std::optional<IpAddress> try_parse(std::string_view text);
+
+  /// Parses like try_parse but throws std::invalid_argument on failure.
+  static IpAddress parse(std::string_view text);
+
+  AddressFamily family() const { return family_; }
+  bool is_v4() const { return family_ == AddressFamily::kIpv4; }
+  bool is_v6() const { return family_ == AddressFamily::kIpv6; }
+
+  /// Number of meaningful bytes: 4 for IPv4, 16 for IPv6.
+  int byte_length() const { return is_v4() ? 4 : 16; }
+
+  /// Number of meaningful bits: 32 for IPv4, 128 for IPv6.
+  int bit_length() const { return byte_length() * 8; }
+
+  /// Raw bytes in network order (only the first byte_length() are used).
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+  /// Value of bit `index` (0 = most significant bit of the first byte).
+  /// Precondition: 0 <= index < bit_length().
+  bool bit(int index) const;
+
+  /// The host-order 32-bit value of an IPv4 address.
+  /// Precondition: is_v4().
+  std::uint32_t v4_value() const;
+
+  bool is_unspecified() const;
+
+  /// Canonical text form ("192.0.2.1", RFC 5952 for IPv6).
+  std::string to_string() const;
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  AddressFamily family_ = AddressFamily::kIpv4;
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// A CIDR prefix: address + length, canonicalized so the bits past the
+/// prefix length are always zero. The canonicalization makes Prefix a
+/// regular type usable as a map key.
+class Prefix {
+ public:
+  /// Default-constructs 0.0.0.0/0.
+  Prefix() = default;
+
+  /// Builds a prefix, zeroing host bits. Throws std::invalid_argument
+  /// if the length is out of range for the address family.
+  Prefix(const IpAddress& address, int length);
+
+  /// Parses "2001:db8::/32" or "192.0.2.0/24".
+  static std::optional<Prefix> try_parse(std::string_view text);
+  static Prefix parse(std::string_view text);
+
+  const IpAddress& address() const { return address_; }
+  int length() const { return length_; }
+  AddressFamily family() const { return address_.family(); }
+  bool is_v4() const { return address_.is_v4(); }
+  bool is_v6() const { return address_.is_v6(); }
+
+  /// True if `address` is inside this prefix (same family, first
+  /// length() bits match).
+  bool contains(const IpAddress& address) const;
+
+  /// True if `other` is equal to or more specific than this prefix.
+  bool covers(const Prefix& other) const;
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  IpAddress address_;
+  int length_ = 0;
+};
+
+}  // namespace zombiescope::netbase
+
+template <>
+struct std::hash<zombiescope::netbase::IpAddress> {
+  std::size_t operator()(const zombiescope::netbase::IpAddress& a) const noexcept;
+};
+
+template <>
+struct std::hash<zombiescope::netbase::Prefix> {
+  std::size_t operator()(const zombiescope::netbase::Prefix& p) const noexcept;
+};

@@ -1,0 +1,68 @@
+// netbase/rng.hpp — deterministic random source.
+//
+// All stochastic behaviour in the library (topology generation, fault
+// injection, propagation jitter) flows through this wrapper so that
+// every scenario is reproducible from a single seed.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace zombiescope::netbase {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli trial.
+  bool chance(double probability) { return uniform() < probability; }
+
+  /// Exponentially distributed duration with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Pareto-distributed value with scale `xm` and shape `alpha` —
+  /// used for heavy-tailed zombie lifetimes.
+  double pareto(double xm, double alpha) {
+    const double u = 1.0 - uniform();  // (0, 1]
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Picks a uniformly random element index for a container of size n.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each
+  /// subsystem its own stream so adding draws in one place does not
+  /// perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace zombiescope::netbase

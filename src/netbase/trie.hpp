@@ -1,0 +1,154 @@
+// netbase/trie.hpp — binary prefix trie with longest-prefix match.
+//
+// A per-family bit trie keyed by Prefix. Used by the simulator's FIB
+// (longest-prefix matching of traffic to routes, as in the paper's
+// Fig. 1 loop example) and by the detectors to group more-specifics
+// under covering beacons.
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/ip.hpp"
+
+namespace zombiescope::netbase {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : v4_root_(std::make_unique<Node>()), v6_root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value at `prefix`. Returns true if a new
+  /// entry was created (false if replaced).
+  bool insert(const Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    const bool created = !node->value.has_value();
+    node->value = std::move(value);
+    if (created) ++size_;
+    return created;
+  }
+
+  /// Removes the entry at `prefix` exactly. Returns true if removed.
+  bool erase(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Exact-match lookup.
+  const Value* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+
+  Value* find(const Prefix& prefix) {
+    return const_cast<Value*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix match for an address: the most specific entry
+  /// whose prefix contains `address`, or nullptr.
+  const Value* longest_match(const IpAddress& address, Prefix* matched = nullptr) const {
+    const Node* node = root_for(address.family());
+    const Value* best = nullptr;
+    int best_len = -1;
+    for (int depth = 0;; ++depth) {
+      if (node->value.has_value()) {
+        best = &*node->value;
+        best_len = depth;
+      }
+      if (depth == address.bit_length()) break;
+      const Node* next = node->child[address.bit(depth) ? 1 : 0].get();
+      if (next == nullptr) break;
+      node = next;
+    }
+    if (best != nullptr && matched != nullptr)
+      *matched = Prefix(address, best_len);
+    return best;
+  }
+
+  /// Visits every ⟨prefix, value⟩ covered by `covering` (including an
+  /// exact match), in depth-first order.
+  void visit_covered(const Prefix& covering,
+                     const std::function<void(const Prefix&, const Value&)>& fn) const {
+    const Node* node = descend(covering);
+    if (node == nullptr) return;
+    visit_subtree(node, covering, fn);
+  }
+
+  /// Visits every entry in the trie (both families).
+  void visit_all(const std::function<void(const Prefix&, const Value&)>& fn) const {
+    visit_subtree(v4_root_.get(), Prefix(IpAddress::v4(0u), 0), fn);
+    std::array<std::uint8_t, 16> zero{};
+    visit_subtree(v6_root_.get(), Prefix(IpAddress::v6(zero), 0), fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::optional<Value> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  const Node* root_for(AddressFamily family) const {
+    return family == AddressFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+  Node* root_for(AddressFamily family) {
+    return family == AddressFamily::kIpv4 ? v4_root_.get() : v6_root_.get();
+  }
+
+  const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_for(prefix.family());
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      node = node->child[prefix.address().bit(depth) ? 1 : 0].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+  Node* descend(const Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).descend(prefix));
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_for(prefix.family());
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      auto& slot = node->child[prefix.address().bit(depth) ? 1 : 0];
+      if (!slot) slot = std::make_unique<Node>();
+      node = slot.get();
+    }
+    return node;
+  }
+
+  void visit_subtree(const Node* node, const Prefix& at,
+                     const std::function<void(const Prefix&, const Value&)>& fn) const {
+    if (node->value.has_value()) fn(at, *node->value);
+    for (int b = 0; b < 2; ++b) {
+      const Node* child = node->child[b].get();
+      if (child == nullptr) continue;
+      // Extend the current prefix by one bit b.
+      auto bytes = at.address().bytes();
+      if (b == 1) {
+        const auto byte = static_cast<std::size_t>(at.length() / 8);
+        bytes[byte] = static_cast<std::uint8_t>(bytes[byte] | (1u << (7 - at.length() % 8)));
+      }
+      IpAddress addr = at.is_v4() ? IpAddress::v4({bytes[0], bytes[1], bytes[2], bytes[3]})
+                                  : IpAddress::v6(bytes);
+      visit_subtree(child, Prefix(addr, at.length() + 1), fn);
+    }
+  }
+
+  std::unique_ptr<Node> v4_root_;
+  std::unique_ptr<Node> v6_root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace zombiescope::netbase

@@ -1,0 +1,72 @@
+#include "rost/rost.hpp"
+
+#include <algorithm>
+
+#include "beacon/schedule.hpp"
+
+namespace zombiescope::rost {
+
+void TransparencyLog::publish_announce(const netbase::Prefix& prefix, bgp::Asn origin,
+                                       netbase::TimePoint at) {
+  log_[{prefix, origin}].push_back({at, true});
+  ++publications_;
+}
+
+void TransparencyLog::publish_withdraw(const netbase::Prefix& prefix, bgp::Asn origin,
+                                       netbase::TimePoint at) {
+  log_[{prefix, origin}].push_back({at, false});
+  ++publications_;
+}
+
+RouteStatus TransparencyLog::status(const netbase::Prefix& prefix, bgp::Asn origin,
+                                    netbase::TimePoint at) const {
+  auto it = log_.find({prefix, origin});
+  if (it == log_.end()) return RouteStatus::kUnknown;
+  const netbase::TimePoint visible_until = at - visibility_delay_;
+  RouteStatus status = RouteStatus::kUnknown;
+  for (const auto& entry : it->second) {
+    if (entry.at > visible_until) break;  // entries are appended in time order
+    status = entry.announced ? RouteStatus::kAnnounced : RouteStatus::kWithdrawn;
+  }
+  return status;
+}
+
+void publish_events(TransparencyLog& log, bgp::Asn origin,
+                    std::span<const beacon::BeaconEvent> events) {
+  // Publications happen at the same instants as the BGP actions; sort
+  // per key by construction (events are generated in time order per
+  // prefix).
+  std::vector<const beacon::BeaconEvent*> sorted;
+  for (const auto& event : events) sorted.push_back(&event);
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->announce_time < b->announce_time;
+  });
+  for (const auto* event : sorted) {
+    log.publish_announce(event->prefix, origin, event->announce_time);
+    log.publish_withdraw(event->prefix, origin, event->withdraw_time);
+  }
+}
+
+void RostAuditor::schedule(netbase::TimePoint start, netbase::TimePoint end) {
+  for (netbase::TimePoint t = start; t <= end; t += config_.check_interval)
+    sim_.schedule_callback(t, [this] { audit_now(); });
+}
+
+void RostAuditor::audit_now() {
+  const netbase::TimePoint now = sim_.now();
+  for (bgp::Asn asn : enrolled_) {
+    // Collect stale prefixes first: evictions mutate the table.
+    std::vector<netbase::Prefix> stale;
+    for (const auto& [prefix, route] : sim_.router(asn).full_table()) {
+      const auto origin = route.path.origin_asn();
+      if (!origin.has_value()) continue;  // self-originated or set-terminated
+      if (log_.status(prefix, *origin, now) == RouteStatus::kWithdrawn)
+        stale.push_back(prefix);
+    }
+    for (const auto& prefix : stale) {
+      if (sim_.evict_prefix(asn, prefix)) ++evictions_;
+    }
+  }
+}
+
+}  // namespace zombiescope::rost

@@ -1,0 +1,100 @@
+// rost/rost.hpp — Route Status Transparency (RoST).
+//
+// The paper's related work (Anahory et al., NSDI 2025) proposes the
+// countermeasure to BGP zombies: origins publish the status of their
+// routes to a public transparency repository, and participating ASes
+// periodically verify the routes in their RIBs against it, evicting
+// routes whose withdrawal was suppressed somewhere upstream. This
+// module implements that design over the simulator: a TransparencyLog
+// the beacon origin publishes to, and a RostAuditor that enrolls ASes
+// and audits their RIBs on a fixed cadence. The companion ablation
+// bench quantifies how deployment fraction shortens zombie lifetimes.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::rost {
+
+/// Route status as recorded in the transparency repository.
+enum class RouteStatus {
+  kUnknown,    // never published
+  kAnnounced,  // latest publication is an announcement
+  kWithdrawn,  // latest publication is a withdrawal
+};
+
+/// The public, append-only status repository. Origins publish; anyone
+/// queries. Queries see publications with a configurable distribution
+/// delay (repositories synchronize asynchronously).
+class TransparencyLog {
+ public:
+  explicit TransparencyLog(netbase::Duration visibility_delay = 0)
+      : visibility_delay_(visibility_delay) {}
+
+  void publish_announce(const netbase::Prefix& prefix, bgp::Asn origin,
+                        netbase::TimePoint at);
+  void publish_withdraw(const netbase::Prefix& prefix, bgp::Asn origin,
+                        netbase::TimePoint at);
+
+  /// The status of ⟨prefix, origin⟩ as visible at `at`.
+  RouteStatus status(const netbase::Prefix& prefix, bgp::Asn origin,
+                     netbase::TimePoint at) const;
+
+  std::size_t publication_count() const { return publications_; }
+
+ private:
+  struct Entry {
+    netbase::TimePoint at;
+    bool announced;
+  };
+  std::map<std::pair<netbase::Prefix, bgp::Asn>, std::vector<Entry>> log_;
+  netbase::Duration visibility_delay_;
+  std::size_t publications_ = 0;
+};
+
+/// Publishes a beacon schedule into the log (what a RoST-enabled
+/// origin would do alongside its BGP actions).
+void publish_events(TransparencyLog& log, bgp::Asn origin,
+                    std::span<const beacon::BeaconEvent> events);
+
+struct RostConfig {
+  /// How often enrolled ASes audit their RIBs.
+  netbase::Duration check_interval = 30 * netbase::kMinute;
+};
+
+/// The verification agent: enrolled ASes periodically compare each
+/// installed route's ⟨prefix, origin⟩ against the log and evict routes
+/// whose status is Withdrawn.
+class RostAuditor {
+ public:
+  RostAuditor(simnet::Simulation& sim, const TransparencyLog& log, RostConfig config = {})
+      : sim_(sim), log_(log), config_(config) {}
+
+  /// Enrolls an AS in RoST verification.
+  void enroll(bgp::Asn asn) { enrolled_.insert(asn); }
+  const std::set<bgp::Asn>& enrolled() const { return enrolled_; }
+
+  /// Schedules audits every check_interval in [start, end].
+  void schedule(netbase::TimePoint start, netbase::TimePoint end);
+
+  /// Runs one audit pass immediately (must be inside the event loop).
+  void audit_now();
+
+  /// Total stale routes evicted across all audits.
+  int evictions() const { return evictions_; }
+
+ private:
+  simnet::Simulation& sim_;
+  const TransparencyLog& log_;
+  RostConfig config_;
+  std::set<bgp::Asn> enrolled_;
+  int evictions_ = 0;
+};
+
+}  // namespace zombiescope::rost

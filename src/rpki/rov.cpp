@@ -1,0 +1,72 @@
+#include "rpki/rov.hpp"
+
+#include <algorithm>
+
+namespace zombiescope::rpki {
+
+std::string to_string(RovState state) {
+  switch (state) {
+    case RovState::kNotFound:
+      return "NotFound";
+    case RovState::kValid:
+      return "Valid";
+    case RovState::kInvalid:
+      return "Invalid";
+  }
+  return "?";
+}
+
+std::string to_string(RovPolicy policy) {
+  switch (policy) {
+    case RovPolicy::kNone:
+      return "none";
+    case RovPolicy::kImportOnly:
+      return "import-only";
+    case RovPolicy::kCompliant:
+      return "compliant";
+  }
+  return "?";
+}
+
+void RoaTable::add(const Roa& roa, netbase::TimePoint from) {
+  entries_.push_back({roa, from, std::nullopt});
+}
+
+int RoaTable::remove(const Roa& roa, netbase::TimePoint at,
+                     netbase::Duration visibility_delay) {
+  int ended = 0;
+  for (auto& entry : entries_) {
+    if (entry.roa == roa && !entry.valid_until.has_value() && entry.valid_from <= at) {
+      entry.valid_until = at + visibility_delay;
+      ++ended;
+    }
+  }
+  return ended;
+}
+
+RovState RoaTable::validate(const netbase::Prefix& prefix, bgp::Asn origin,
+                            netbase::TimePoint at) const {
+  bool covered = false;
+  for (const auto& entry : entries_) {
+    if (entry.valid_from > at) continue;
+    if (entry.valid_until.has_value() && *entry.valid_until <= at) continue;
+    if (!entry.roa.prefix.covers(prefix)) continue;
+    covered = true;
+    if (entry.roa.asn == origin && prefix.length() <= entry.roa.max_length)
+      return RovState::kValid;
+  }
+  return covered ? RovState::kInvalid : RovState::kNotFound;
+}
+
+std::vector<netbase::TimePoint> RoaTable::change_times() const {
+  std::vector<netbase::TimePoint> times;
+  for (const auto& entry : entries_) {
+    times.push_back(entry.valid_from);
+    if (entry.valid_until.has_value()) times.push_back(*entry.valid_until);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace zombiescope::rpki

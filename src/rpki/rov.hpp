@@ -1,0 +1,90 @@
+// rpki/rov.hpp — Route Origin Authorizations and Route Origin
+// Validation (RFC 6811).
+//
+// The paper registers a ROA for its beacon prefixes, then removes it
+// on 2024-06-22 19:49 UTC and observes that zombie routes survive in
+// ASes that do no ROV — or whose ROV implementation is flawed and
+// never re-validates installed routes. The RoaTable is time-aware so
+// both the registration and the removal are first-class events.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+#include "netbase/trie.hpp"
+
+namespace zombiescope::rpki {
+
+/// A Route Origin Authorization: `asn` may originate prefixes covered
+/// by `prefix` up to `max_length`.
+struct Roa {
+  netbase::Prefix prefix;
+  int max_length = 0;
+  bgp::Asn asn = 0;
+
+  friend bool operator==(const Roa&, const Roa&) = default;
+};
+
+/// RFC 6811 validation states.
+enum class RovState : std::uint8_t {
+  kNotFound = 0,
+  kValid = 1,
+  kInvalid = 2,
+};
+
+std::string to_string(RovState state);
+
+/// How an AS applies ROV. The paper's Fig. 3 observation — zombies
+/// surviving long after the ROA deletion — implies peers that either
+/// do not validate, or validate only once at import and never react
+/// to ROA changes ("flawed or does not comply with RPKI standards").
+enum class RovPolicy : std::uint8_t {
+  kNone = 0,        // no validation at all
+  kImportOnly = 1,  // drop Invalid at import; never re-validate afterwards
+  kCompliant = 2,   // drop Invalid at import AND evict on ROA change
+};
+
+std::string to_string(RovPolicy policy);
+
+/// A time-aware ROA registry. Each ROA has a validity window
+/// [valid_from, valid_until); an open end is modelled as +infinity.
+class RoaTable {
+ public:
+  /// Registers a ROA valid from `from` (until removed).
+  void add(const Roa& roa, netbase::TimePoint from);
+
+  /// Marks all ROAs matching `roa` as removed at time `at`. Emulates
+  /// the registry-to-router propagation delay by accepting an optional
+  /// `visibility_delay` (RPKI time-of-flight); routers see the removal
+  /// only after `at + visibility_delay`. Returns number of ROAs ended.
+  int remove(const Roa& roa, netbase::TimePoint at,
+             netbase::Duration visibility_delay = 0);
+
+  /// Validates an announcement of `prefix` by `origin` as seen at
+  /// time `at` (RFC 6811 semantics: Invalid only if at least one ROA
+  /// covers the prefix and none matches origin+length).
+  RovState validate(const netbase::Prefix& prefix, bgp::Asn origin,
+                    netbase::TimePoint at) const;
+
+  /// All times at which the set of valid ROAs changes — the simulator
+  /// uses these to schedule re-validation at compliant routers.
+  std::vector<netbase::TimePoint> change_times() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Roa roa;
+    netbase::TimePoint valid_from;
+    std::optional<netbase::TimePoint> valid_until;  // nullopt = open
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace zombiescope::rpki

@@ -1,0 +1,44 @@
+#include "scenarios/common.hpp"
+
+#include <algorithm>
+
+#include "mrt/codec.hpp"
+
+namespace zombiescope::scenarios {
+
+std::vector<mrt::MrtRecord> through_mrt_codec(const std::vector<mrt::MrtRecord>& records) {
+  return mrt::decode_all(mrt::encode_all(records));
+}
+
+std::vector<bgp::Asn> pick_monitor_asns(const topology::Topology& topo, int count,
+                                        netbase::Rng& rng,
+                                        const std::set<bgp::Asn>& exclude) {
+  std::vector<bgp::Asn> candidates;
+  for (bgp::Asn asn : topo.all_asns()) {
+    if (exclude.contains(asn)) continue;
+    const int tier = topo.info(asn).tier;
+    if (tier >= 2) candidates.push_back(asn);  // stubs + mid-tier volunteer
+  }
+  rng.shuffle(candidates);
+  if (static_cast<int>(candidates.size()) > count)
+    candidates.resize(static_cast<std::size_t>(count));
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+netbase::IpAddress peer_address_for(bgp::Asn asn, int index, bool v6) {
+  if (v6) {
+    std::array<std::uint16_t, 8> hextets{};
+    hextets[0] = 0x2001;
+    hextets[1] = 0x7f8;
+    hextets[2] = static_cast<std::uint16_t>(asn >> 16);
+    hextets[3] = static_cast<std::uint16_t>(asn & 0xffff);
+    hextets[7] = static_cast<std::uint16_t>(index + 1);
+    return netbase::IpAddress::v6(hextets);
+  }
+  return netbase::IpAddress::v4(
+      {static_cast<std::uint8_t>(185), static_cast<std::uint8_t>((asn >> 8) & 0xff),
+       static_cast<std::uint8_t>(asn & 0xff), static_cast<std::uint8_t>(index + 1)});
+}
+
+}  // namespace zombiescope::scenarios

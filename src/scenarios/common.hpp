@@ -1,0 +1,57 @@
+// scenarios/common.hpp — shared infrastructure for the calibrated
+// experiment scenarios.
+//
+// A scenario builds a topology (generated hierarchy + a grafted
+// backbone of "real" ASNs for the paper's anecdotes), wires collectors
+// and peer sessions, injects faults, drives a beacon schedule, runs
+// the simulation, and hands the resulting MRT archives to the
+// detectors — exactly the data flow of the paper, with the Internet
+// replaced by the simulator.
+
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "collector/collector.hpp"
+#include "mrt/record.hpp"
+#include "simnet/simulation.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::scenarios {
+
+/// Everything a bench/example needs after a scenario run.
+struct ScenarioOutput {
+  /// Merged, time-sorted update archives of all collectors.
+  std::vector<mrt::MrtRecord> updates;
+  /// Merged, time-sorted RIB dump archives of all collectors.
+  std::vector<mrt::MrtRecord> rib_dumps;
+  /// Ground-truth beacon events (superseded ones included but flagged).
+  std::vector<beacon::BeaconEvent> events;
+  /// Ground-truth noisy peer sessions (the ones with injected session
+  /// noise) — detectors should *discover* these, but benches compare.
+  std::set<zombie::PeerKey> noisy_peers;
+  /// Every peer session in the run.
+  std::vector<zombie::PeerKey> all_peers;
+  /// Announcements studied (superseded excluded).
+  int studied_announcements = 0;
+  simnet::SimStats sim_stats;
+};
+
+/// Round-trips archives through the binary MRT codec, guaranteeing
+/// detectors consume exactly what a file reader would produce.
+std::vector<mrt::MrtRecord> through_mrt_codec(const std::vector<mrt::MrtRecord>& records);
+
+/// Picks `count` monitored ASes from a topology: a spread over tiers
+/// (favoring stubs and mid-tier ASes, like real RIS volunteers).
+std::vector<bgp::Asn> pick_monitor_asns(const topology::Topology& topo, int count,
+                                        netbase::Rng& rng,
+                                        const std::set<bgp::Asn>& exclude = {});
+
+/// Synthesizes a deterministic peer-router address for a session.
+netbase::IpAddress peer_address_for(bgp::Asn asn, int index, bool v6);
+
+}  // namespace zombiescope::scenarios

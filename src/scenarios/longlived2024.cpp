@@ -1,0 +1,462 @@
+#include "scenarios/longlived2024.hpp"
+
+#include <algorithm>
+
+#include "beacon/driver.hpp"
+#include "zombie/state.hpp"
+
+namespace zombiescope::scenarios {
+
+namespace {
+
+using beacon::LongLivedBeaconSchedule;
+using netbase::AddressFamily;
+using netbase::IpAddress;
+using netbase::kDay;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::TimePoint;
+using netbase::utc;
+using topology::Relationship;
+
+}  // namespace
+
+LongLived2024Output run_longlived2024(const LongLived2024Spec& spec) {
+  Rng rng(spec.seed);
+  LongLived2024Output output;
+
+  // --- topology: generated hierarchy + the paper's cast ----------------
+  topology::GeneratorParams params;
+  params.tier1_count = 5;
+  params.tier2_count = 18;
+  params.tier3_count = 60;
+  params.first_asn = 50000;
+  Rng topo_rng = rng.fork();
+  topology::Topology topo = topology::generate_hierarchical(params, topo_rng);
+
+  std::vector<bgp::Asn> gen_t1, gen_t2;
+  for (bgp::Asn asn : topo.all_asns()) {
+    if (topo.info(asn).tier == 1) gen_t1.push_back(asn);
+    if (topo.info(asn).tier == 2) gen_t2.push_back(asn);
+  }
+
+  using C = Cast;
+  // Origin chain: 210312 <- 8298 <- 25091.
+  topo.add_as({C::kOrigin, 3, "beacon-origin"});
+  topo.add_as({C::kUpstream, 2, "upstream-8298"});
+  topo.add_as({C::kTransit, 2, "transit-25091"});
+  topo.add_link(C::kUpstream, C::kOrigin, Relationship::kCustomer);
+  topo.add_link(C::kTransit, C::kUpstream, Relationship::kCustomer);
+
+  // Providers of 25091: 1299 (Tier-1-like), 33891, 43100.
+  topo.add_as({C::kTier1, 1, "tier1-1299"});
+  topo.add_as({C::kCoreBackbone, 2, "core-backbone-33891"});
+  topo.add_as({C::kHgcUp1, 2, "43100"});
+  topo.add_link(C::kTier1, C::kTransit, Relationship::kCustomer);
+  topo.add_link(C::kCoreBackbone, C::kTransit, Relationship::kCustomer);
+  topo.add_link(C::kHgcUp1, C::kTransit, Relationship::kCustomer);
+  // Join the grafted core to the generated clique.
+  for (bgp::Asn t1 : gen_t1) topo.add_link(C::kTier1, t1, Relationship::kPeer);
+  topo.add_link(gen_t1[0], C::kCoreBackbone, Relationship::kCustomer);
+  topo.add_link(gen_t1[1], C::kHgcUp1, Relationship::kCustomer);
+
+  // Telstra branch: 4637 peers with 1299; monitored customers below.
+  topo.add_as({C::kTelstra, 2, "telstra-4637"});
+  topo.add_link(C::kTelstra, C::kTier1, Relationship::kPeer);
+  const std::vector<bgp::Asn> telstra_customers{64610, 64611};
+  for (std::size_t i = 0; i < telstra_customers.size(); ++i) {
+    topo.add_as({telstra_customers[i], 3, "telstra-cust"});
+    topo.add_link(C::kTelstra, telstra_customers[i], Relationship::kCustomer);
+    topo.add_link(gen_t2[i % gen_t2.size()], telstra_customers[i], Relationship::kCustomer);
+  }
+
+  // Core-Backbone cone: monitored stubs (multihomed to generated T2s).
+  const std::vector<bgp::Asn> cb_customers{64620, 64621, 64622, 64623, 64624, 64625};
+  for (std::size_t i = 0; i < cb_customers.size(); ++i) {
+    topo.add_as({cb_customers[i], 3, "cb-cust"});
+    topo.add_link(C::kCoreBackbone, cb_customers[i], Relationship::kCustomer);
+    topo.add_link(gen_t2[(i + 3) % gen_t2.size()], cb_customers[i], Relationship::kCustomer);
+  }
+
+  // HGC branch: 43100 -peer- 6939; 9304 customer of 6939; 17639 and
+  // 142271 customers of 9304.
+  topo.add_as({C::kHgcUp2, 2, "6939"});
+  topo.add_as({C::kHgc, 2, "hgc-9304"});
+  topo.add_as({C::kHgcPeer2, 3, "17639"});
+  topo.add_as({C::kHgcPeer3, 3, "142271"});
+  topo.add_link(C::kHgcUp1, C::kHgcUp2, Relationship::kPeer);
+  topo.add_link(C::kHgcUp2, C::kHgc, Relationship::kCustomer);
+  topo.add_link(C::kHgc, C::kHgcPeer2, Relationship::kCustomer);
+  topo.add_link(C::kHgc, C::kHgcPeer3, Relationship::kCustomer);
+
+  // The 1851 chain: 8298 <- 34549 <- 3356 -peer- 12956 <- 10429 <-
+  // 28598 <- 61573 (single-homed, so the chain is its only path).
+  topo.add_as({C::kResUp4, 2, "34549"});
+  topo.add_as({C::kResUp3, 1, "3356"});
+  topo.add_as({C::kResUp2, 1, "12956"});
+  topo.add_as({C::kResUp1, 2, "10429"});
+  topo.add_as({C::kResHolder, 2, "28598"});
+  topo.add_as({C::kResPeer, 3, "61573"});
+  topo.add_link(C::kResUp4, C::kUpstream, Relationship::kCustomer);
+  topo.add_link(C::kResUp3, C::kResUp4, Relationship::kCustomer);
+  topo.add_link(C::kResUp3, C::kResUp2, Relationship::kPeer);
+  topo.add_link(C::kResUp2, C::kResUp1, Relationship::kCustomer);
+  topo.add_link(C::kResUp1, C::kResHolder, Relationship::kCustomer);
+  topo.add_link(C::kResHolder, C::kResPeer, Relationship::kCustomer);
+
+  // Noisy peers and the 207301 cluster peer.
+  topo.add_as({C::kNoisy1, 3, "noisy-211509"});
+  topo.add_as({C::kNoisy2, 3, "noisy-211380"});
+  topo.add_as({C::kClusterPeer, 3, "207301"});
+  topo.add_link(C::kTier1, C::kNoisy1, Relationship::kCustomer);
+  topo.add_link(gen_t2[5], C::kNoisy1, Relationship::kCustomer);
+  topo.add_link(gen_t2[6], C::kNoisy2, Relationship::kCustomer);
+  topo.add_link(gen_t2[7], C::kNoisy2, Relationship::kCustomer);
+  topo.add_link(C::kNoisy1, C::kClusterPeer, Relationship::kCustomer);  // single-homed
+
+  // --- RPKI --------------------------------------------------------------
+  auto roas = std::make_shared<rpki::RoaTable>();
+  const Prefix covering = Prefix::parse("2a0d:3dc1::/32");
+  const rpki::Roa beacon_roa{covering, 48, C::kOrigin};
+  const rpki::Roa covering_roa{covering, 32, C::kOrigin};
+  roas->add(beacon_roa, utc(2024, 6, 1));
+  roas->add(covering_roa, utc(2024, 6, 1));
+  output.roa_removed_at = utc(2024, 6, 22, 19, 49, 0);
+  // RPKI time-of-flight: routers see the deletion about an hour later.
+  roas->remove(beacon_roa, output.roa_removed_at, kHour);
+
+  // --- simulation -----------------------------------------------------------
+  simnet::SimConfig sim_config;
+  sim_config.min_link_delay = 2;
+  sim_config.max_link_delay = 40;
+  simnet::Simulation sim(topo, sim_config, rng.fork());
+  sim.set_roa_table(roas.get());
+
+  Rng rov_rng = rng.fork();
+  for (bgp::Asn asn : topo.all_asns()) {
+    if (asn == C::kOrigin) continue;
+    const double draw = rov_rng.uniform();
+    if (draw < spec.rov_compliant_fraction)
+      sim.set_rov_policy(asn, rpki::RovPolicy::kCompliant);
+    else if (draw < spec.rov_compliant_fraction + spec.rov_import_only_fraction)
+      sim.set_rov_policy(asn, rpki::RovPolicy::kImportOnly);
+  }
+  // The anecdote holders must NOT validate, or their zombies would die
+  // with the ROA (the paper's zombies survived it).
+  for (bgp::Asn asn : {C::kResHolder, C::kResPeer, C::kHgc, C::kHgcPeer2, C::kHgcPeer3,
+                       C::kNoisy1, C::kClusterPeer, C::kTelstra, C::kCoreBackbone})
+    sim.set_rov_policy(asn, rpki::RovPolicy::kNone);
+  for (bgp::Asn asn : cb_customers) sim.set_rov_policy(asn, rpki::RovPolicy::kNone);
+  for (bgp::Asn asn : telstra_customers) sim.set_rov_policy(asn, rpki::RovPolicy::kNone);
+
+  // --- collectors & sessions ---------------------------------------------
+  collector::Collector rrc00("rrc00", 12654, IpAddress::parse("193.0.4.28"));
+  collector::Collector rrc25("rrc25", 12654, IpAddress::parse("193.0.29.28"),
+                             IpAddress::parse("2001:7f8:fff::25"));
+
+  std::set<bgp::Asn> reserved{C::kOrigin,    C::kUpstream, C::kTransit,  C::kTier1,
+                              C::kTelstra,   C::kCoreBackbone, C::kHgc,  C::kHgcPeer2,
+                              C::kHgcPeer3,  C::kHgcUp1,   C::kHgcUp2,   C::kNoisy1,
+                              C::kNoisy2,    C::kClusterPeer, C::kResPeer, C::kResHolder,
+                              C::kResUp1,    C::kResUp2,   C::kResUp3,   C::kResUp4};
+  for (bgp::Asn asn : telstra_customers) reserved.insert(asn);
+  for (bgp::Asn asn : cb_customers) reserved.insert(asn);
+  Rng pick_rng = rng.fork();
+  auto monitor_asns = pick_monitor_asns(topo, spec.monitor_sessions, pick_rng, reserved);
+  // Anecdote peers are monitored too (they are RIS peers in the paper).
+  monitor_asns.push_back(C::kResPeer);
+  monitor_asns.push_back(C::kHgc);
+  monitor_asns.push_back(C::kHgcPeer2);
+  monitor_asns.push_back(C::kHgcPeer3);
+  for (bgp::Asn asn : telstra_customers) monitor_asns.push_back(asn);
+  for (bgp::Asn asn : cb_customers) monitor_asns.push_back(asn);
+
+  int session_index = 0;
+  for (bgp::Asn asn : monitor_asns) {
+    collector::SessionConfig config;
+    config.peer_asn = asn;
+    config.peer_address = peer_address_for(asn, session_index, true);
+    config.noise_prefix_filter = covering;
+    if (session_index < spec.long_tail_sessions) {
+      config.withdrawal_delay_probability = spec.long_tail_probability;
+      config.withdrawal_delay_min = 2 * kHour;
+      config.withdrawal_delay_max = 20 * kHour;
+    } else {
+      config.withdrawal_delay_probability = spec.delayed_withdrawal_probability;
+      config.withdrawal_delay_min = 30 * kMinute;
+      config.withdrawal_delay_max = 145 * kMinute;
+    }
+    rrc00.add_peer(sim, config, rng.fork());
+    output.all_peers.push_back({asn, config.peer_address});
+    ++session_index;
+  }
+
+  // The cluster peer's session (the famous 2a0c:b641:780:7::feca).
+  collector::PeerSession* cluster_session = nullptr;
+  {
+    collector::SessionConfig config;
+    config.peer_asn = C::kClusterPeer;
+    config.peer_address = IpAddress::parse("2a0c:b641:780:7::feca");
+    rrc25.add_peer(sim, config, rng.fork());
+    cluster_session = rrc25.sessions().back().get();
+    output.all_peers.push_back({C::kClusterPeer, config.peer_address});
+  }
+
+  // Noisy RRC25 sessions. The two AS211509 routers are one box with
+  // two transports: identical noise seeds give perfectly correlated
+  // stuck sets (Table 5 shows identical counts for both).
+  std::vector<collector::PeerSession*> noisy_sessions;
+  {
+    const std::uint64_t shared_seed = rng.fork().engine()();
+    for (const char* address : {"176.119.234.201", "2001:678:3f4:5::1"}) {
+      collector::SessionConfig config;
+      config.peer_asn = C::kNoisy1;
+      config.peer_address = IpAddress::parse(address);
+      config.withdrawal_loss_probability = spec.noisy_211509_loss;
+      config.withdrawal_delay_probability = spec.noisy_211509_delay_probability;
+      config.withdrawal_delay_min = 100 * kMinute;
+      config.withdrawal_delay_max = 170 * kMinute;
+      config.noise_prefix_filter = covering;
+      rrc25.add_peer(sim, config, Rng(shared_seed));
+      noisy_sessions.push_back(rrc25.sessions().back().get());
+      const zombie::PeerKey key{C::kNoisy1, config.peer_address};
+      output.all_peers.push_back(key);
+      output.noisy_peers.insert(key);
+      output.rrc25_noisy_routers.push_back(key);
+    }
+  }
+  {
+    collector::SessionConfig config;
+    config.peer_asn = C::kNoisy2;
+    config.peer_address = IpAddress::parse("2a0c:9a40:1031::504");
+    config.withdrawal_loss_probability = spec.noisy_211380_loss;
+    config.withdrawal_delay_probability = spec.noisy_211380_delay_probability;
+    config.withdrawal_delay_min = 100 * kMinute;
+    config.withdrawal_delay_max = 170 * kMinute;
+    config.noise_prefix_filter = covering;
+    rrc25.add_peer(sim, config, rng.fork());
+    noisy_sessions.push_back(rrc25.sessions().back().get());
+    const zombie::PeerKey key{C::kNoisy2, config.peer_address};
+    output.all_peers.push_back(key);
+    output.noisy_peers.insert(key);
+    output.rrc25_noisy_routers.push_back(key);
+  }
+
+  // --- beacon schedule ------------------------------------------------------
+  const auto daily =
+      LongLivedBeaconSchedule::paper_deployment(LongLivedBeaconSchedule::Approach::kDaily);
+  const auto fifteen = LongLivedBeaconSchedule::paper_deployment(
+      LongLivedBeaconSchedule::Approach::kFifteenDay);
+  std::vector<beacon::BeaconEvent> events =
+      daily.events(utc(2024, 6, 4, 11, 45, 0), utc(2024, 6, 10, 9, 30, 0) + 1);
+  {
+    auto second = fifteen.events(utc(2024, 6, 10, 11, 30, 0), utc(2024, 6, 22, 17, 30, 0) + 1);
+    events.insert(events.end(), second.begin(), second.end());
+  }
+  beacon::BeaconDriver driver(sim, C::kOrigin, /*with_aggregator_clock=*/false);
+  driver.drive(events);
+  output.events = driver.ground_truth();
+  output.studied_announcements = 0;
+  for (const auto& event : output.events)
+    if (!event.superseded) ++output.studied_announcements;
+
+  // --- anecdote fault injection ----------------------------------------------
+  // (a) Telstra resurrection uptick (Fig. 2, §5.1): for three slots,
+  // AS4637 misses the withdrawal; its customers' sessions drop at
+  // +145 min (they withdraw) and re-establish at +165 min (they are
+  // re-infected ~170 min after the withdrawal).
+  {
+    const std::vector<TimePoint> slots{
+        utc(2024, 6, 12, 9, 15, 0), utc(2024, 6, 14, 21, 45, 0), utc(2024, 6, 16, 6, 30, 0),
+        utc(2024, 6, 17, 14, 0, 0)};
+    for (TimePoint slot : slots) {
+      const Prefix prefix = fifteen.prefix_for(slot);
+      const TimePoint withdrawn = slot + LongLivedBeaconSchedule::kUpTime;
+      simnet::WithdrawalSuppression fault;
+      fault.from_asn = C::kTier1;
+      fault.to_asn = C::kTelstra;
+      fault.prefix_filter = prefix;
+      fault.window = {withdrawn - kMinute, withdrawn + kHour};
+      sim.add_withdrawal_suppression(fault);
+      for (bgp::Asn customer : telstra_customers) {
+        sim.schedule_session_outage(withdrawn + 145 * kMinute, withdrawn + 165 * kMinute,
+                                    C::kTelstra, customer);
+      }
+      // Cleanup well before the prefix could recycle: flush 4637.
+      sim.schedule_session_reset(withdrawn + 20 * kHour, C::kTier1, C::kTelstra);
+    }
+  }
+
+  // (b) Impactful outbreak 2a0d:3dc1:2233::/48 (§5.2): Core-Backbone
+  // suppresses the withdrawal toward its whole customer cone; gone
+  // after 4 days.
+  {
+    const TimePoint slot = utc(2024, 6, 18, 22, 30, 0);
+    output.impactful_prefix = fifteen.prefix_for(slot);
+    const TimePoint withdrawn = slot + LongLivedBeaconSchedule::kUpTime;
+    simnet::WithdrawalSuppression fault;
+    fault.from_asn = C::kCoreBackbone;
+    fault.to_asn = 0;  // all neighbors
+    fault.prefix_filter = output.impactful_prefix;
+    fault.window = {withdrawn - kMinute, withdrawn + kHour};
+    sim.add_withdrawal_suppression(fault);
+    // The stale route also leaks upward: gen_t1[0] prefers its
+    // customer 33891's (stale) route and re-exports it across the
+    // topology — that is how the paper's outbreak reaches 24 peer
+    // routers in 21 peer ASes. The 4-day cleanup must therefore flush
+    // the Tier-1 side too.
+    int stagger = 0;
+    for (bgp::Asn neighbor : cb_customers) {
+      sim.schedule_session_reset(withdrawn + 4 * kDay + stagger * 10 * kMinute,
+                                 C::kCoreBackbone, neighbor);
+      ++stagger;
+    }
+    sim.schedule_session_reset(withdrawn + 4 * kDay, gen_t1[0], C::kCoreBackbone);
+  }
+
+  // (c) Extremely long-lived outbreak 2a0d:3dc1:163::/48 (§5.2): HGC
+  // misses the withdrawal; stuck in AS9304/AS17639 until 11-03 and in
+  // AS142271 (re-infected on 06-23 through a session re-establish)
+  // until 10-25.
+  {
+    const TimePoint slot = utc(2024, 6, 18, 16, 0, 0);
+    output.longest_prefix = fifteen.prefix_for(slot);
+    const TimePoint withdrawn = slot + LongLivedBeaconSchedule::kUpTime;
+    simnet::WithdrawalSuppression fault;
+    fault.from_asn = C::kHgcUp2;
+    fault.to_asn = C::kHgc;
+    fault.prefix_filter = output.longest_prefix;
+    fault.window = {withdrawn - kMinute, withdrawn + kHour};
+    sim.add_withdrawal_suppression(fault);
+    // A second prefix stuck in the same box a few days later; both are
+    // flushed by the 11-03 cleanup — Fig. 3's paired 133/138-day knees.
+    {
+      const TimePoint slot2 = utc(2024, 6, 22, 6, 15, 0);
+      simnet::WithdrawalSuppression fault2 = fault;
+      fault2.prefix_filter = fifteen.prefix_for(slot2);
+      const TimePoint withdrawn2 = slot2 + LongLivedBeaconSchedule::kUpTime;
+      fault2.window = {withdrawn2 - kMinute, withdrawn2 + kHour};
+      sim.add_withdrawal_suppression(fault2);
+    }
+    // 142271 is offline across the withdrawal; infected on re-establish.
+    sim.schedule_session_outage(utc(2024, 6, 17), utc(2024, 6, 23), C::kHgc, C::kHgcPeer3);
+    // 142271 goes dark again on 10-25 and only returns after the
+    // cleanup, so it is never re-infected.
+    sim.schedule_session_outage(utc(2024, 10, 25), utc(2024, 11, 4), C::kHgc, C::kHgcPeer3);
+    // Cleanup on 11-03: flushing 9304 withdraws the zombie everywhere.
+    sim.schedule_session_reset(utc(2024, 11, 3), C::kHgcUp2, C::kHgc);
+  }
+
+  // (d) The 8.5-month resurrected prefix 2a0d:3dc1:1851::/48 (Fig. 4):
+  // stuck in AS28598; the AS61573 session is down across the
+  // withdrawal, re-establishes 06-29 (first resurrection), drops
+  // 10-04, re-establishes 11-29 (second resurrection), and the chain
+  // is finally flushed 2025-03-11.
+  {
+    const TimePoint slot = utc(2024, 6, 21, 18, 45, 0);
+    output.resurrected_prefix = fifteen.prefix_for(slot);
+    const TimePoint withdrawn = slot + LongLivedBeaconSchedule::kUpTime;
+    simnet::WithdrawalSuppression fault;
+    fault.from_asn = C::kResUp1;
+    fault.to_asn = C::kResHolder;
+    fault.prefix_filter = output.resurrected_prefix;
+    fault.window = {withdrawn - kMinute, withdrawn + kHour};
+    sim.add_withdrawal_suppression(fault);
+    sim.schedule_session_outage(withdrawn - 10 * kMinute, utc(2024, 6, 29), C::kResHolder,
+                                C::kResPeer);
+    sim.schedule_session_outage(utc(2024, 10, 4, 12, 0, 0), utc(2024, 11, 29), C::kResHolder,
+                                C::kResPeer);
+    sim.schedule_session_reset(utc(2025, 3, 11), C::kResUp1, C::kResHolder);
+  }
+
+  // (e) The ~35–37-day cluster (Fig. 3): five prefixes stuck in noisy
+  // AS211509's router; the AS207301 session is down through June and
+  // re-establishes on 07-22, exposing them from the single peer
+  // 2a0c:b641:780:7::feca; the router is flushed on 07-25.
+  {
+    const std::vector<TimePoint> slots{
+        utc(2024, 6, 18, 7, 15, 0), utc(2024, 6, 18, 13, 45, 0), utc(2024, 6, 19, 4, 30, 0),
+        utc(2024, 6, 19, 17, 0, 0), utc(2024, 6, 20, 10, 15, 0)};
+    for (TimePoint slot : slots) {
+      const Prefix prefix = fifteen.prefix_for(slot);
+      const TimePoint withdrawn = slot + LongLivedBeaconSchedule::kUpTime;
+      simnet::WithdrawalSuppression fault;
+      fault.from_asn = C::kTier1;
+      fault.to_asn = C::kNoisy1;
+      fault.prefix_filter = prefix;
+      fault.window = {withdrawn - kMinute, withdrawn + kHour};
+      sim.add_withdrawal_suppression(fault);
+      // 211509's other provider must also fail toward it, or the
+      // second withdrawal would clean the box.
+      simnet::WithdrawalSuppression fault2 = fault;
+      fault2.from_asn = gen_t2[5];
+      sim.add_withdrawal_suppression(fault2);
+    }
+    sim.schedule_session_outage(utc(2024, 6, 10), utc(2024, 7, 22), C::kNoisy1,
+                                C::kClusterPeer);
+    sim.schedule_session_reset(utc(2024, 7, 25), C::kTier1, C::kNoisy1);
+    sim.schedule_session_reset(utc(2024, 7, 25, 0, 30, 0), gen_t2[5], C::kNoisy1);
+  }
+
+  // Noisy collector sessions flap occasionally during the year,
+  // clearing their accumulated garbage (the ~85-day knee of Fig. 3's
+  // all-peers line).
+  for (collector::PeerSession* session : noisy_sessions) {
+    session->schedule_reset(sim, utc(2024, 9, 15), utc(2024, 9, 15, 0, 30, 0));
+    session->schedule_reset(sim, utc(2025, 2, 1), utc(2025, 2, 1, 0, 30, 0));
+  }
+  (void)cluster_session;
+
+  // --- optional RouteViews-style collector ---------------------------------
+  // Added strictly last so the paper-faithful base run (0 sessions) is
+  // bit-identical regardless of this knob: all earlier RNG streams are
+  // already forked.
+  collector::Collector route_views("route-views2", 6447,
+                                   IpAddress::parse("128.223.51.102"),
+                                   IpAddress::parse("2001:468:d01:33::2"));
+  if (spec.routeviews_sessions > 0) {
+    std::set<bgp::Asn> taken(monitor_asns.begin(), monitor_asns.end());
+    for (const auto& key : output.all_peers) taken.insert(key.asn);
+    Rng rv_rng = rng.fork();
+    auto rv_asns = pick_monitor_asns(topo, spec.routeviews_sessions, rv_rng, taken);
+    int rv_index = 100;
+    for (bgp::Asn asn : rv_asns) {
+      collector::SessionConfig config;
+      config.peer_asn = asn;
+      config.peer_address = peer_address_for(asn, rv_index++, true);
+      // RouteViews peers exhibit the same session realities as RIS
+      // peers: occasional slow-converging withdrawals are stuck-route
+      // observations unique to this vantage point.
+      config.withdrawal_delay_probability = spec.delayed_withdrawal_probability;
+      config.withdrawal_delay_min = 30 * kMinute;
+      config.withdrawal_delay_max = 200 * kMinute;
+      config.noise_prefix_filter = covering;
+      route_views.add_peer(sim, config, rng.fork());
+      const zombie::PeerKey key{asn, config.peer_address};
+      output.all_peers.push_back(key);
+      output.routeviews_peers.push_back(key);
+    }
+  }
+
+  // --- RIB dumps ----------------------------------------------------------
+  rrc00.schedule_rib_dumps(sim, utc(2024, 6, 4), spec.monitor_until,
+                           output.rib_dump_interval);
+  rrc25.schedule_rib_dumps(sim, utc(2024, 6, 4), spec.monitor_until,
+                           output.rib_dump_interval);
+
+  // --- run ------------------------------------------------------------------
+  sim.run_until(spec.monitor_until + kDay);
+  output.sim_stats = sim.stats();
+
+  const std::vector<const std::vector<mrt::MrtRecord>*> update_archives{
+      &rrc00.updates(), &rrc25.updates(), &route_views.updates()};
+  output.updates = through_mrt_codec(zombie::merge_archives(update_archives));
+  const std::vector<const std::vector<mrt::MrtRecord>*> dump_archives{&rrc00.rib_dumps(),
+                                                                      &rrc25.rib_dumps()};
+  output.rib_dumps = zombie::merge_archives(dump_archives);
+  return output;
+}
+
+}  // namespace zombiescope::scenarios

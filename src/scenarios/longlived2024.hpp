@@ -1,0 +1,114 @@
+// scenarios/longlived2024.hpp — the paper's own experiment (§4–§5):
+// the AS210312 beacon deployment of June 2024 plus ~11 months of RIB
+// monitoring, with every documented anecdote injected through the
+// mechanism the paper attributes it to:
+//
+//  * three noisy RRC25 peer routers — two sessions of AS211509 (one
+//    v4-transport, one v6) with perfectly correlated noise, and one of
+//    AS211380 (Table 5, Fig. 2 "all peers" vs "noisy excluded");
+//  * background slow-convergence withdrawals (the declining Fig. 2
+//    curve between 90 and 180 minutes);
+//  * the Telstra-style resurrection at ~170 minutes: peers withdraw at
+//    ~145 min when their session to the infected AS4637 drops, and are
+//    re-infected when it re-establishes (the Fig. 2 uptick, common
+//    subpath "4637 1299 25091 8298 210312");
+//  * the impactful outbreak 2a0d:3dc1:2233::/48 — AS33891
+//    (Core-Backbone analogue) suppresses withdrawals to its customer
+//    cone; cleaned up 4 days later (§5.2);
+//  * the extremely long-lived outbreak 2a0d:3dc1:163::/48 via AS9304
+//    (HGC analogue), stuck in AS9304/AS17639 for ~4.5 months and in
+//    AS142271 (infected 5 days late through a session re-establish)
+//    for ~4 months (§5.2);
+//  * the 8.5-month resurrected prefix 2a0d:3dc1:1851::/48 stuck in
+//    AS28598, appearing at peer AS61573 on 06-29, vanishing 10-04,
+//    reappearing 11-29 and surviving until 2025-03-11 (Fig. 4);
+//  * a cluster of ~35–37-day outbreaks visible only from the AS207301
+//    peer behind noisy AS211509 (Fig. 3's 35/37 knee);
+//  * the ROA registration and its removal on 2024-06-22 19:49 UTC —
+//    compliant-ROV ASes evict the now-Invalid zombies, import-only
+//    and no-ROV ASes keep them (Fig. 3's RPKI observation).
+
+#pragma once
+
+#include "rpki/rov.hpp"
+#include "scenarios/common.hpp"
+
+namespace zombiescope::scenarios {
+
+struct LongLived2024Spec {
+  int monitor_sessions = 30;
+
+  /// Background slow convergence on normal sessions: most delayed
+  /// withdrawals clear within 30–160 minutes (the declining part of
+  /// Fig. 2)...
+  double delayed_withdrawal_probability = 0.0026;
+  /// ...while a few sessions exhibit hours-long convergence tails
+  /// (zombies still present at the 3-hour mark but gone within a day —
+  /// the paper's 31.4 % survival at 3 h with few day-scale outbreaks).
+  int long_tail_sessions = 6;
+  double long_tail_probability = 0.0027;
+
+  /// Noisy RRC25 peers (calibrated against Table 5).
+  double noisy_211509_loss = 0.0887;
+  double noisy_211509_delay_probability = 0.0161;
+  double noisy_211380_loss = 0.0685;
+  double noisy_211380_delay_probability = 0.0023;
+
+  /// Share of generated ASes per ROV policy.
+  double rov_compliant_fraction = 0.20;
+  double rov_import_only_fraction = 0.10;
+
+  /// End of the RIB monitoring window (paper: 2025-05-09).
+  netbase::TimePoint monitor_until = netbase::utc(2025, 5, 9);
+
+  /// Extra peer sessions on a RouteViews-style collector. The paper
+  /// uses RIS only and acknowledges "the potential omission of zombie
+  /// routes" (§5); setting this nonzero quantifies that omission
+  /// (bench/ablation_routeviews). Zero reproduces the paper setup.
+  int routeviews_sessions = 0;
+
+  std::uint64_t seed = 20240604;
+};
+
+/// The grafted "real" ASNs (the paper's anecdotes).
+struct Cast {
+  static constexpr bgp::Asn kOrigin = 210312;
+  static constexpr bgp::Asn kUpstream = 8298;
+  static constexpr bgp::Asn kTransit = 25091;
+  static constexpr bgp::Asn kTier1 = 1299;
+  static constexpr bgp::Asn kTelstra = 4637;
+  static constexpr bgp::Asn kCoreBackbone = 33891;
+  static constexpr bgp::Asn kHgc = 9304;
+  static constexpr bgp::Asn kHgcPeer2 = 17639;
+  static constexpr bgp::Asn kHgcPeer3 = 142271;
+  static constexpr bgp::Asn kHgcUp1 = 43100;
+  static constexpr bgp::Asn kHgcUp2 = 6939;
+  static constexpr bgp::Asn kNoisy1 = 211509;
+  static constexpr bgp::Asn kNoisy2 = 211380;
+  static constexpr bgp::Asn kClusterPeer = 207301;
+  // The 1851 chain: 61573 28598 10429 12956 3356 34549 8298 210312.
+  static constexpr bgp::Asn kResPeer = 61573;
+  static constexpr bgp::Asn kResHolder = 28598;
+  static constexpr bgp::Asn kResUp1 = 10429;
+  static constexpr bgp::Asn kResUp2 = 12956;
+  static constexpr bgp::Asn kResUp3 = 3356;
+  static constexpr bgp::Asn kResUp4 = 34549;
+};
+
+struct LongLived2024Output : ScenarioOutput {
+  /// Anecdote prefixes (derived from the beacon schedule).
+  netbase::Prefix resurrected_prefix;  // 2a0d:3dc1:1851::/48
+  netbase::Prefix impactful_prefix;    // 2a0d:3dc1:2233::/48
+  netbase::Prefix longest_prefix;      // 2a0d:3dc1:163::/48
+  netbase::TimePoint roa_removed_at = 0;
+  netbase::Duration rib_dump_interval = 8 * netbase::kHour;
+  /// Peers of the documented noisy routers (Table 5 rows).
+  std::vector<zombie::PeerKey> rrc25_noisy_routers;
+  /// Peers attached to the RouteViews-style collector (empty unless
+  /// spec.routeviews_sessions > 0).
+  std::vector<zombie::PeerKey> routeviews_peers;
+};
+
+LongLived2024Output run_longlived2024(const LongLived2024Spec& spec);
+
+}  // namespace zombiescope::scenarios

@@ -1,0 +1,226 @@
+#include "scenarios/ris_replication.hpp"
+
+#include <algorithm>
+
+#include "beacon/driver.hpp"
+#include "zombie/state.hpp"
+
+namespace zombiescope::scenarios {
+
+namespace {
+
+using beacon::RisBeaconSchedule;
+using netbase::AddressFamily;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Rng;
+using netbase::TimePoint;
+using netbase::utc;
+using topology::Relationship;
+
+constexpr bgp::Asn kBeaconOrigin = 12654;  // the RIS routing beacon AS
+
+}  // namespace
+
+RisPeriodSpec period_2018jul() {
+  RisPeriodSpec spec;
+  spec.label = "2018-07-19 - 2018-08-31";
+  spec.start = utc(2018, 7, 19);
+  spec.end = utc(2018, 9, 1);
+  spec.longlived_v4 = 5;
+  spec.longlived_v6 = 2;
+  spec.span_min_intervals = 9;
+  spec.span_max_intervals = 16;
+  spec.sessionwide_v4 = 4;
+  spec.sessionwide_v6 = 5;
+  spec.single_loss_v4 = 0.0030;
+  spec.single_loss_v6 = 0.0080;
+  spec.seed = 20180719;
+  return spec;
+}
+
+RisPeriodSpec period_2017oct() {
+  RisPeriodSpec spec;
+  spec.label = "2017-10-01 - 2017-12-28";
+  spec.start = utc(2017, 10, 1);
+  spec.end = utc(2017, 12, 29);
+  spec.longlived_v4 = 10;
+  spec.longlived_v6 = 0;
+  spec.span_min_intervals = 8;
+  spec.span_max_intervals = 14;
+  spec.sessionwide_v4 = 6;
+  spec.sessionwide_v6 = 8;
+  spec.single_loss_v4 = 0.0012;
+  spec.single_loss_v6 = 0.0115;
+  spec.seed = 20171001;
+  return spec;
+}
+
+RisPeriodSpec period_2017mar() {
+  RisPeriodSpec spec;
+  spec.label = "2017-03-01 - 2017-04-28";
+  spec.start = utc(2017, 3, 1);
+  spec.end = utc(2017, 4, 29);
+  spec.longlived_v4 = 9;
+  spec.longlived_v6 = 0;
+  spec.span_min_intervals = 10;
+  spec.span_max_intervals = 15;
+  spec.sessionwide_v4 = 4;
+  spec.sessionwide_v6 = 3;
+  spec.single_loss_v4 = 0.0205;
+  spec.single_loss_v6 = 0.0085;
+  spec.seed = 20170301;
+  return spec;
+}
+
+ScenarioOutput run_ris_period(const RisPeriodSpec& spec) {
+  Rng rng(spec.seed);
+
+  // --- topology ------------------------------------------------------
+  topology::GeneratorParams params;
+  params.tier1_count = 5;
+  params.tier2_count = 20;
+  params.tier3_count = 70;
+  params.first_asn = 50000;
+  Rng topo_rng = rng.fork();
+  topology::Topology topo = topology::generate_hierarchical(params, topo_rng);
+
+  // Beacon origin: a stub multihomed to two mid-tier providers.
+  std::vector<bgp::Asn> tier2;
+  for (bgp::Asn asn : topo.all_asns())
+    if (topo.info(asn).tier == 2) tier2.push_back(asn);
+  topo.add_as({kBeaconOrigin, 3, "RIS-beacons"});
+  topo.add_link(tier2[0], kBeaconOrigin, Relationship::kCustomer);
+  topo.add_link(tier2[1], kBeaconOrigin, Relationship::kCustomer);
+
+  // The noisy peer AS16347 (Inherenet-style): an ordinary stub; its
+  // *collector session* is what misbehaves.
+  topo.add_as({kNoisyRisPeerAsn, 3, "noisy-rrc21-peer"});
+  topo.add_link(tier2[2], kNoisyRisPeerAsn, Relationship::kCustomer);
+  topo.add_link(tier2[3], kNoisyRisPeerAsn, Relationship::kCustomer);
+
+  // --- simulation ------------------------------------------------------
+  simnet::SimConfig sim_config;
+  sim_config.min_link_delay = 2;
+  sim_config.max_link_delay = 40;
+  simnet::Simulation sim(topo, sim_config, rng.fork());
+
+  // --- collectors & sessions -------------------------------------------
+  collector::Collector rrc00("rrc00", 12654, netbase::IpAddress::parse("193.0.4.28"));
+  collector::Collector rrc21("rrc21", 12654, netbase::IpAddress::parse("193.0.19.28"),
+                             netbase::IpAddress::parse("2001:7f8:fff::21"));
+
+  Rng pick_rng = rng.fork();
+  const auto monitor_asns =
+      pick_monitor_asns(topo, spec.monitor_sessions, pick_rng,
+                        {kBeaconOrigin, kNoisyRisPeerAsn});
+
+  ScenarioOutput output;
+  int session_index = 0;
+  for (bgp::Asn asn : monitor_asns) {
+    collector::SessionConfig config;
+    config.peer_asn = asn;
+    config.peer_address = peer_address_for(asn, session_index, session_index % 2 == 0);
+    config.withdrawal_loss_probability_v4 = spec.single_loss_v4;
+    config.withdrawal_loss_probability_v6 = spec.single_loss_v6;
+    // Boundary-timed artifacts that make the raw and looking-glass
+    // pipelines disagree (Tables 2/3): withdrawals that land within
+    // the service lag of the 90-minute check, and phantom late
+    // re-announcements the lagged service never sees.
+    config.withdrawal_delay_probability = spec.boundary_delay_probability;
+    config.withdrawal_delay_min = 75 * kMinute;
+    config.withdrawal_delay_max = 90 * kMinute;
+    config.phantom_reannounce_probability = spec.phantom_reannounce_probability;
+    rrc00.add_peer(sim, config, rng.fork());
+    output.all_peers.push_back({asn, config.peer_address});
+    ++session_index;
+  }
+  {
+    collector::SessionConfig config;
+    config.peer_asn = kNoisyRisPeerAsn;
+    config.peer_address = peer_address_for(kNoisyRisPeerAsn, 0, true);
+    config.withdrawal_loss_probability_v4 = spec.noisy_loss_v4;
+    config.withdrawal_loss_probability_v6 = spec.noisy_loss_v6;
+    rrc21.add_peer(sim, config, rng.fork());
+    const zombie::PeerKey key{kNoisyRisPeerAsn, config.peer_address};
+    output.all_peers.push_back(key);
+    output.noisy_peers.insert(key);
+  }
+
+  // --- fault injection ---------------------------------------------------
+  const auto schedule = RisBeaconSchedule::classic();
+  const auto interval_count =
+      static_cast<int>((spec.end - spec.start) / RisBeaconSchedule::kPeriod);
+
+  Rng fault_rng = rng.fork();
+  auto inject_longlived = [&](AddressFamily family, int count) {
+    for (int i = 0; i < count; ++i) {
+      // Pick a monitored stub with >= 2 providers; stall one provider.
+      // The first IPv4 stall sits upstream of the noisy peer: its v4
+      // zombies are then mostly *duplicates*, reproducing Table 4's
+      // dc/nd asymmetry (0.044 vs 0.0018).
+      bgp::Asn victim = 0, stalled = 0;
+      if (family == AddressFamily::kIpv4 && i == 0) stalled = tier2[2];
+      for (int attempt = 0; attempt < 200 && stalled == 0; ++attempt) {
+        const bgp::Asn candidate = monitor_asns[fault_rng.index(monitor_asns.size())];
+        std::vector<bgp::Asn> providers;
+        for (const auto& [neighbor, rel] : topo.neighbors(candidate))
+          if (rel == Relationship::kProvider) providers.push_back(neighbor);
+        if (providers.size() < 2) continue;
+        victim = candidate;
+        stalled = providers[fault_rng.index(providers.size())];
+      }
+      if (stalled == 0) continue;
+      (void)victim;
+      const int start_interval =
+          static_cast<int>(fault_rng.uniform_int(1, std::max(1, interval_count * 3 / 5)));
+      const int span = static_cast<int>(
+          fault_rng.uniform_int(spec.span_min_intervals, spec.span_max_intervals));
+      simnet::ReceiveStall stall;
+      stall.asn = stalled;
+      stall.family = family;
+      stall.window.start =
+          spec.start + start_interval * RisBeaconSchedule::kPeriod + 30 * kMinute;
+      stall.window.end = spec.start + (start_interval + span) * RisBeaconSchedule::kPeriod +
+                         30 * kMinute;
+      sim.add_receive_stall(stall);
+    }
+  };
+  inject_longlived(AddressFamily::kIpv4, spec.longlived_v4);
+  inject_longlived(AddressFamily::kIpv6, spec.longlived_v6);
+
+  auto inject_sessionwide = [&](AddressFamily family, int count) {
+    for (int i = 0; i < count; ++i) {
+      const bgp::Asn victim = monitor_asns[fault_rng.index(monitor_asns.size())];
+      const int interval =
+          static_cast<int>(fault_rng.uniform_int(1, std::max(1, interval_count - 2)));
+      simnet::ReceiveStall stall;
+      stall.asn = victim;
+      stall.family = family;
+      stall.window.start = spec.start + interval * RisBeaconSchedule::kPeriod + 30 * kMinute;
+      stall.window.end = spec.start + (interval + 1) * RisBeaconSchedule::kPeriod;
+      sim.add_receive_stall(stall);
+    }
+  };
+  inject_sessionwide(AddressFamily::kIpv4, spec.sessionwide_v4);
+  inject_sessionwide(AddressFamily::kIpv6, spec.sessionwide_v6);
+
+  // --- beacons -------------------------------------------------------------
+  beacon::BeaconDriver driver(sim, kBeaconOrigin, /*with_aggregator_clock=*/true);
+  driver.drive(schedule.events(spec.start, spec.end));
+  output.events = driver.ground_truth();
+  output.studied_announcements = static_cast<int>(output.events.size());
+
+  // --- run ------------------------------------------------------------------
+  sim.run_until(spec.end + 6 * kHour);
+  output.sim_stats = sim.stats();
+
+  // Merge archives, then round-trip through the binary codec so the
+  // detectors read exactly what the MRT files would contain.
+  const std::vector<const std::vector<mrt::MrtRecord>*> archives{&rrc00.updates(),
+                                                                 &rrc21.updates()};
+  output.updates = through_mrt_codec(zombie::merge_archives(archives));
+  return output;
+}
+
+}  // namespace zombiescope::scenarios

@@ -1,0 +1,67 @@
+// scenarios/ris_replication.hpp — the §3 replication scenarios: the
+// three measurement periods of Fontugne et al. re-created on the
+// simulator with the fault mix that produces the paper's Table 1/2/3
+// phenomenology:
+//
+//  * long receive stalls at transit ASes spanning many 4-hour beacon
+//    intervals — downstream peers re-surface the stale route (with its
+//    ORIGINAL Aggregator clock) every interval, which is exactly what
+//    the revised methodology deduplicates;
+//  * session-wide one-interval stalls at monitored ASes — outbreaks
+//    that hit every beacon of a family simultaneously (Fig. 7's
+//    concurrency mass);
+//  * low-probability per-withdrawal session losses — the background
+//    of single-interval zombies;
+//  * one pathologically noisy peer (AS16347 @ rrc21, IPv6-heavy) —
+//    Table 4.
+
+#pragma once
+
+#include <string>
+
+#include "scenarios/common.hpp"
+
+namespace zombiescope::scenarios {
+
+struct RisPeriodSpec {
+  std::string label;
+  netbase::TimePoint start = 0;
+  netbase::TimePoint end = 0;
+  int monitor_sessions = 15;
+
+  // Calibration knobs (defaults set per period).
+  int longlived_v4 = 2;        // stalls spanning many intervals
+  int longlived_v6 = 2;
+  int span_min_intervals = 8;
+  int span_max_intervals = 15;
+  int sessionwide_v4 = 4;      // one-interval whole-family stalls
+  int sessionwide_v6 = 5;
+  double single_loss_v4 = 0.003;  // per-session withdrawal loss
+  double single_loss_v6 = 0.008;
+  /// Withdrawals that land just inside the looking-glass lag before
+  /// the 90-minute check (Table 3's "our results miss" side).
+  double boundary_delay_probability = 0.0006;
+  /// Late re-announcements of just-withdrawn routes near the check
+  /// (Table 3's "Study misses" side).
+  double phantom_reannounce_probability = 0.0015;
+
+  // The noisy peer (Table 4).
+  double noisy_loss_v4 = 0.002;
+  double noisy_loss_v6 = 0.43;
+
+  std::uint64_t seed = 1;
+};
+
+/// The three periods of the paper, §3.2 / Appendix B.
+RisPeriodSpec period_2018jul();
+RisPeriodSpec period_2017oct();
+RisPeriodSpec period_2017mar();
+
+/// AS number of the injected noisy RIS peer.
+inline constexpr bgp::Asn kNoisyRisPeerAsn = 16347;
+
+/// Runs the scenario: builds topology + collectors, drives the classic
+/// RIS beacon schedule across the period, and returns the archives.
+ScenarioOutput run_ris_period(const RisPeriodSpec& spec);
+
+}  // namespace zombiescope::scenarios

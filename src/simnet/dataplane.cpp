@@ -1,0 +1,73 @@
+#include "simnet/dataplane.hpp"
+
+#include <set>
+
+namespace zombiescope::simnet {
+
+std::string ForwardingResult::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += "AS" + std::to_string(hops[i]);
+  }
+  switch (outcome) {
+    case Outcome::kDelivered:
+      out += " [delivered]";
+      break;
+    case Outcome::kLoop:
+      out += " [LOOP at AS" + std::to_string(loop_at) + ", packets dropped]";
+      break;
+    case Outcome::kBlackhole:
+      out += " [blackhole]";
+      break;
+  }
+  return out;
+}
+
+DataPlane::DataPlane(const Simulation& sim) {
+  for (bgp::Asn asn : sim.topo().all_asns()) {
+    auto& fib = fibs_[asn];
+    for (const auto& [prefix, neighbor] : sim.router(asn).fib_entries())
+      fib.insert(prefix, FibEntry{neighbor});
+  }
+}
+
+bgp::Asn DataPlane::next_hop(bgp::Asn asn, const netbase::IpAddress& destination) const {
+  auto it = fibs_.find(asn);
+  if (it == fibs_.end()) return 0;
+  const FibEntry* entry = it->second.longest_match(destination);
+  if (entry == nullptr) return 0;
+  return entry->next_hop == 0 ? asn : entry->next_hop;
+}
+
+ForwardingResult DataPlane::forward(bgp::Asn source,
+                                    const netbase::IpAddress& destination) const {
+  ForwardingResult result;
+  std::set<bgp::Asn> visited;
+  bgp::Asn current = source;
+  // An AS-path longer than any sane Internet path means trouble anyway;
+  // the visited-set catches loops well before this bound.
+  for (int ttl = 0; ttl < 64; ++ttl) {
+    result.hops.push_back(current);
+    if (!visited.insert(current).second) {
+      result.outcome = ForwardingResult::Outcome::kLoop;
+      result.loop_at = current;
+      return result;
+    }
+    const bgp::Asn next = next_hop(current, destination);
+    if (next == 0) {
+      result.outcome = ForwardingResult::Outcome::kBlackhole;
+      return result;
+    }
+    if (next == current) {
+      result.outcome = ForwardingResult::Outcome::kDelivered;
+      return result;
+    }
+    current = next;
+  }
+  result.outcome = ForwardingResult::Outcome::kLoop;
+  result.loop_at = current;
+  return result;
+}
+
+}  // namespace zombiescope::simnet

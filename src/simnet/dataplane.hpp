@@ -1,0 +1,62 @@
+// simnet/dataplane.hpp — data-plane forwarding over the simulated
+// control plane.
+//
+// The paper's Fig. 1 shows how a zombie route breaks actual traffic: a
+// stale more-specific at a dominant AS pulls packets toward a router
+// that no longer has the route, which bounces them back — a forwarding
+// loop that drops traffic when TTL expires. The prior work this paper
+// revises (Fontugne et al.) validated zombies with traceroutes; this
+// module provides the equivalent instrument: hop-by-hop forwarding
+// with longest-prefix match over each router's Loc-RIB, classifying
+// the journey as delivered, looped, or blackholed.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netbase/trie.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::simnet {
+
+/// One simulated traceroute/forwarding outcome.
+struct ForwardingResult {
+  enum class Outcome {
+    kDelivered,  // reached an AS that originates a covering prefix
+    kLoop,       // revisited an AS (TTL would expire)
+    kBlackhole,  // an AS had no route toward the destination
+  };
+  Outcome outcome = Outcome::kBlackhole;
+  /// ASes traversed, starting with the source.
+  std::vector<bgp::Asn> hops;
+  /// For loops: the AS where the loop closed.
+  bgp::Asn loop_at = 0;
+
+  std::string to_string() const;
+};
+
+/// An immutable forwarding snapshot of the whole simulation: per-AS
+/// FIBs (longest-prefix-match tries over the Loc-RIB best routes).
+/// Build it after run_until(); forwarding queries are then O(prefix
+/// bits) per hop.
+class DataPlane {
+ public:
+  explicit DataPlane(const Simulation& sim);
+
+  /// Forwards a packet from `source` toward `destination` hop by hop.
+  ForwardingResult forward(bgp::Asn source, const netbase::IpAddress& destination) const;
+
+  /// The next hop AS `asn` would use for `destination` (0 = no route;
+  /// == asn means locally originated / delivered).
+  bgp::Asn next_hop(bgp::Asn asn, const netbase::IpAddress& destination) const;
+
+ private:
+  struct FibEntry {
+    bgp::Asn next_hop = 0;  // 0 = local origination
+  };
+  std::map<bgp::Asn, netbase::PrefixTrie<FibEntry>> fibs_;
+};
+
+}  // namespace zombiescope::simnet

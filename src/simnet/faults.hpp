@@ -1,0 +1,66 @@
+// simnet/faults.hpp — fault-injection models.
+//
+// BGP zombies are born when a withdrawal fails to take effect
+// somewhere. The literature the paper cites offers several concrete
+// mechanisms; each is modelled here:
+//
+//  * WithdrawalSuppression — a router "fails to propagate the
+//    withdrawal further" (paper Fig. 1 step 2/3): the withdrawal that
+//    router X would send to neighbor Y is lost. Downstream keeps the
+//    stale route.
+//  * ReceiveStall — the zero-sized TCP window bug (Cartwright-Cox
+//    2021, RFC 9687 motivation): a router stops reading from a
+//    session for a while; every update sent during the stall is
+//    never processed.
+//  * Session resets — scheduled on links; both ends flush and then
+//    re-advertise. A reset downstream of an infected router
+//    re-announces stuck prefixes — the paper's *resurrection*
+//    mechanism ("if a downstream session of an infected router is
+//    reset, new announcements are generated for these stuck
+//    prefixes").
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bgp/types.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+
+namespace zombiescope::simnet {
+
+/// Time window helper; an unset end means "forever".
+struct TimeWindow {
+  netbase::TimePoint start = 0;
+  std::optional<netbase::TimePoint> end;
+
+  bool contains(netbase::TimePoint t) const {
+    return t >= start && (!end.has_value() || t < *end);
+  }
+};
+
+/// Drops withdrawals sent by `from_asn` to `to_asn`.
+struct WithdrawalSuppression {
+  bgp::Asn from_asn = 0;
+  /// 0 = all neighbors of from_asn.
+  bgp::Asn to_asn = 0;
+  /// Restrict to prefixes covered by this prefix; unset = all.
+  std::optional<netbase::Prefix> prefix_filter;
+  TimeWindow window;
+  /// Probability that each matching withdrawal is dropped.
+  double probability = 1.0;
+};
+
+/// `asn` stops processing messages arriving from `from_asn`
+/// (0 = everyone) during the window. BGP sessions are per address
+/// family in practice (v4-transport and v6-transport sessions), so a
+/// stall may be restricted to one family.
+struct ReceiveStall {
+  bgp::Asn asn = 0;
+  bgp::Asn from_asn = 0;
+  TimeWindow window;
+  std::optional<netbase::AddressFamily> family;
+};
+
+}  // namespace zombiescope::simnet

@@ -1,0 +1,43 @@
+// simnet/route.hpp — per-router route state and RIB-change records.
+
+#pragma once
+
+#include <optional>
+
+#include "bgp/attributes.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+#include "topology/topology.hpp"
+
+namespace zombiescope::simnet {
+
+/// A route as held in a router's Adj-RIB-In or Loc-RIB. The AS path
+/// is as received (the sender has already prepended itself).
+struct RouteEntry {
+  bgp::AsPath path;
+  bgp::PathAttributes attributes;  // aggregator/communities travel here
+  netbase::TimePoint learned = 0;
+
+  friend bool operator==(const RouteEntry&, const RouteEntry&) = default;
+};
+
+/// LOCAL_PREF assigned by relationship (standard Gao–Rexford values).
+std::uint32_t local_pref_for(topology::Relationship rel);
+
+/// A change of a router's best route for one prefix.
+struct RibChange {
+  netbase::Prefix prefix;
+  std::optional<RouteEntry> old_best;
+  std::optional<RouteEntry> new_best;
+  /// Relationship of the neighbor the new best was learned from
+  /// (kCustomer for self-originated routes, which export everywhere).
+  topology::Relationship new_best_source = topology::Relationship::kCustomer;
+  /// ASN of the neighbor the new best was learned from (0 = self);
+  /// used for split-horizon on export.
+  bgp::Asn new_best_neighbor = 0;
+
+  bool is_withdrawal() const { return old_best.has_value() && !new_best.has_value(); }
+  bool is_announcement() const { return new_best.has_value(); }
+};
+
+}  // namespace zombiescope::simnet

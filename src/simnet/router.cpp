@@ -1,0 +1,240 @@
+#include "simnet/router.hpp"
+
+#include <stdexcept>
+
+namespace zombiescope::simnet {
+
+std::uint32_t local_pref_for(topology::Relationship rel) {
+  switch (rel) {
+    case topology::Relationship::kCustomer:
+      return 300;
+    case topology::Relationship::kPeer:
+      return 200;
+    case topology::Relationship::kProvider:
+      return 100;
+  }
+  return 0;
+}
+
+bool Router::may_export(topology::Relationship source, topology::Relationship to) {
+  // Valley-free: routes from customers (and self) go everywhere;
+  // routes from peers/providers go only to customers.
+  if (source == topology::Relationship::kCustomer) return true;
+  return to == topology::Relationship::kCustomer;
+}
+
+topology::Relationship Router::source_relationship(bgp::Asn neighbor) const {
+  if (neighbor == kSelf) return topology::Relationship::kCustomer;  // self exports everywhere
+  auto it = neighbors_.find(neighbor);
+  if (it == neighbors_.end())
+    throw std::invalid_argument("AS" + std::to_string(asn_) + ": unknown neighbor " +
+                                std::to_string(neighbor));
+  return it->second;
+}
+
+const RouteEntry* Router::entry_for(const PrefixState& state, bgp::Asn neighbor) const {
+  if (neighbor == kSelf)
+    return state.originated.has_value() ? &*state.originated : nullptr;
+  auto it = state.adj_in.find(neighbor);
+  return it == state.adj_in.end() ? nullptr : &it->second;
+}
+
+bool Router::better(const PrefixState& state, bgp::Asn a, bgp::Asn b) const {
+  // Returns true if candidate a is preferred over candidate b.
+  const RouteEntry* ea = entry_for(state, a);
+  const RouteEntry* eb = entry_for(state, b);
+  if (eb == nullptr) return ea != nullptr;
+  if (ea == nullptr) return false;
+  const std::uint32_t pa = local_pref_for(source_relationship(a));
+  const std::uint32_t pb = local_pref_for(source_relationship(b));
+  if (pa != pb) return pa > pb;
+  const int la = ea->path.length();
+  const int lb = eb->path.length();
+  if (la != lb) return la < lb;
+  return a < b;  // deterministic tiebreak: lowest neighbor ASN (kSelf wins)
+}
+
+// Runs the decision process after the caller mutated `state`.
+// `old_best` is the best-route value the caller captured *before* the
+// mutation; a change is reported whenever the new best differs from it.
+std::optional<RibChange> Router::decide(const netbase::Prefix& prefix, PrefixState& state,
+                                        const std::optional<RouteEntry>& old_best) {
+  std::optional<bgp::Asn> winner;
+  if (state.originated.has_value()) winner = kSelf;
+  for (const auto& [neighbor, entry] : state.adj_in) {
+    (void)entry;
+    if (!winner.has_value() || better(state, neighbor, *winner)) winner = neighbor;
+  }
+  state.best_neighbor = winner;
+
+  const RouteEntry* new_entry = winner.has_value() ? entry_for(state, *winner) : nullptr;
+  const bool had = old_best.has_value();
+  const bool has = new_entry != nullptr;
+  if (!had && !has) return std::nullopt;
+  if (had && has && *old_best == *new_entry) return std::nullopt;
+
+  RibChange change;
+  change.prefix = prefix;
+  change.old_best = old_best;
+  if (has) {
+    change.new_best = *new_entry;
+    change.new_best_source = source_relationship(*winner);
+    change.new_best_neighbor = *winner;
+  }
+  return change;
+}
+
+std::optional<RouteEntry> Router::capture_best(const PrefixState& state) const {
+  if (!state.best_neighbor.has_value()) return std::nullopt;
+  const RouteEntry* entry = entry_for(state, *state.best_neighbor);
+  return entry == nullptr ? std::nullopt : std::make_optional(*entry);
+}
+
+std::optional<RibChange> Router::originate(const netbase::Prefix& prefix,
+                                           bgp::PathAttributes attributes,
+                                           netbase::TimePoint now) {
+  PrefixState& state = prefixes_[prefix];
+  const auto old_best = capture_best(state);
+  RouteEntry entry;
+  entry.path = bgp::AsPath{};  // empty at origin; prepended on export
+  entry.attributes = std::move(attributes);
+  entry.learned = now;
+  state.originated = std::move(entry);
+  return decide(prefix, state, old_best);
+}
+
+std::optional<RibChange> Router::withdraw_origin(const netbase::Prefix& prefix) {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || !it->second.originated.has_value()) return std::nullopt;
+  const auto old_best = capture_best(it->second);
+  it->second.originated.reset();
+  return decide(prefix, it->second, old_best);
+}
+
+std::optional<RibChange> Router::learn(bgp::Asn neighbor, const netbase::Prefix& prefix,
+                                       RouteEntry route, const ImportContext& ctx) {
+  // Import policy 1: AS-path loop rejection.
+  if (route.path.contains(asn_)) return std::nullopt;
+  // Import policy 2: ROV at import (both import-only and compliant).
+  if (rov_policy_ != rpki::RovPolicy::kNone && ctx.roas != nullptr) {
+    const auto origin = route.path.origin_asn();
+    if (origin.has_value() &&
+        ctx.roas->validate(prefix, *origin, ctx.now) == rpki::RovState::kInvalid)
+      return std::nullopt;
+  }
+  PrefixState& state = prefixes_[prefix];
+  const auto old_best = capture_best(state);
+  state.adj_in[neighbor] = std::move(route);
+  return decide(prefix, state, old_best);
+}
+
+std::optional<RibChange> Router::unlearn(bgp::Asn neighbor, const netbase::Prefix& prefix) {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return std::nullopt;
+  const auto old_best = capture_best(it->second);
+  if (it->second.adj_in.erase(neighbor) == 0) return std::nullopt;
+  return decide(prefix, it->second, old_best);
+}
+
+std::vector<RibChange> Router::flush_neighbor(bgp::Asn neighbor) {
+  std::vector<RibChange> changes;
+  for (auto& [prefix, state] : prefixes_) {
+    const auto old_best = capture_best(state);
+    if (state.adj_in.erase(neighbor) == 0) continue;
+    if (auto change = decide(prefix, state, old_best); change.has_value())
+      changes.push_back(std::move(*change));
+  }
+  return changes;
+}
+
+std::optional<RibChange> Router::drop_learned_routes(const netbase::Prefix& prefix) {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || it->second.adj_in.empty()) return std::nullopt;
+  const auto old_best = capture_best(it->second);
+  it->second.adj_in.clear();
+  return decide(prefix, it->second, old_best);
+}
+
+std::vector<RibChange> Router::revalidate(const ImportContext& ctx) {
+  std::vector<RibChange> changes;
+  if (rov_policy_ != rpki::RovPolicy::kCompliant || ctx.roas == nullptr) return changes;
+  for (auto& [prefix, state] : prefixes_) {
+    const auto old_best = capture_best(state);
+    bool removed = false;
+    for (auto it = state.adj_in.begin(); it != state.adj_in.end();) {
+      const auto origin = it->second.path.origin_asn();
+      if (origin.has_value() &&
+          ctx.roas->validate(prefix, *origin, ctx.now) == rpki::RovState::kInvalid) {
+        it = state.adj_in.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+    if (removed) {
+      if (auto change = decide(prefix, state, old_best); change.has_value())
+        changes.push_back(std::move(*change));
+    }
+  }
+  return changes;
+}
+
+const RouteEntry* Router::best(const netbase::Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || !it->second.best_neighbor.has_value()) return nullptr;
+  return entry_for(it->second, *it->second.best_neighbor);
+}
+
+std::optional<topology::Relationship> Router::best_source(const netbase::Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || !it->second.best_neighbor.has_value()) return std::nullopt;
+  return source_relationship(*it->second.best_neighbor);
+}
+
+std::optional<bgp::Asn> Router::best_neighbor(const netbase::Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end() || !it->second.best_neighbor.has_value()) return std::nullopt;
+  if (entry_for(it->second, *it->second.best_neighbor) == nullptr) return std::nullopt;
+  return it->second.best_neighbor;
+}
+
+std::vector<std::pair<netbase::Prefix, bgp::Asn>> Router::fib_entries() const {
+  std::vector<std::pair<netbase::Prefix, bgp::Asn>> out;
+  for (const auto& [prefix, state] : prefixes_) {
+    if (!state.best_neighbor.has_value()) continue;
+    if (entry_for(state, *state.best_neighbor) == nullptr) continue;
+    out.emplace_back(prefix, *state.best_neighbor);
+  }
+  return out;
+}
+
+std::vector<std::pair<netbase::Prefix, RouteEntry>> Router::full_table() const {
+  std::vector<std::pair<netbase::Prefix, RouteEntry>> out;
+  for (const auto& [prefix, state] : prefixes_) {
+    if (!state.best_neighbor.has_value()) continue;
+    const RouteEntry* entry = entry_for(state, *state.best_neighbor);
+    if (entry != nullptr) out.emplace_back(prefix, *entry);
+  }
+  return out;
+}
+
+const RouteEntry* Router::adj_in(bgp::Asn neighbor, const netbase::Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return nullptr;
+  auto jt = it->second.adj_in.find(neighbor);
+  return jt == it->second.adj_in.end() ? nullptr : &jt->second;
+}
+
+bool Router::advertised_to(bgp::Asn neighbor, const netbase::Prefix& prefix) const {
+  auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return false;
+  auto jt = it->second.advertised.find(neighbor);
+  return jt != it->second.advertised.end() && jt->second;
+}
+
+void Router::mark_advertised(bgp::Asn neighbor, const netbase::Prefix& prefix,
+                             bool advertised) {
+  prefixes_[prefix].advertised[neighbor] = advertised;
+}
+
+}  // namespace zombiescope::simnet

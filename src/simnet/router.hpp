@@ -1,0 +1,132 @@
+// simnet/router.hpp — a BGP speaker: Adj-RIB-In, Loc-RIB decision
+// process, Adj-RIB-Out bookkeeping, and import policy (loop rejection
+// and ROV).
+//
+// The Router is deliberately a passive state machine: the Simulation
+// owns time, message delivery, delays and faults, and calls into the
+// Router, collecting RibChange results to turn into exports. This
+// keeps the zombie mechanics observable: a zombie is nothing more
+// than an entry in one of these maps that should have been deleted.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+#include "rpki/rov.hpp"
+#include "simnet/route.hpp"
+#include "topology/topology.hpp"
+
+namespace zombiescope::simnet {
+
+/// Everything import needs to know about "now".
+struct ImportContext {
+  netbase::TimePoint now = 0;
+  const rpki::RoaTable* roas = nullptr;  // may be null (no RPKI in play)
+};
+
+class Router {
+ public:
+  Router(bgp::Asn asn, std::map<bgp::Asn, topology::Relationship> neighbors,
+         rpki::RovPolicy rov_policy)
+      : asn_(asn), neighbors_(std::move(neighbors)), rov_policy_(rov_policy) {}
+
+  bgp::Asn asn() const { return asn_; }
+  rpki::RovPolicy rov_policy() const { return rov_policy_; }
+  const std::map<bgp::Asn, topology::Relationship>& neighbors() const { return neighbors_; }
+
+  /// Starts originating `prefix` with the given attributes.
+  std::optional<RibChange> originate(const netbase::Prefix& prefix,
+                                     bgp::PathAttributes attributes,
+                                     netbase::TimePoint now);
+
+  /// Stops originating `prefix`.
+  std::optional<RibChange> withdraw_origin(const netbase::Prefix& prefix);
+
+  /// Processes an announcement received from `neighbor`. The path in
+  /// `route.path` already includes the neighbor's prepend. Returns a
+  /// change if the best route moved. Routes rejected by import policy
+  /// (AS-path loop, ROV Invalid) are not stored.
+  std::optional<RibChange> learn(bgp::Asn neighbor, const netbase::Prefix& prefix,
+                                 RouteEntry route, const ImportContext& ctx);
+
+  /// Processes a withdrawal received from `neighbor`.
+  std::optional<RibChange> unlearn(bgp::Asn neighbor, const netbase::Prefix& prefix);
+
+  /// Session to `neighbor` went down: drop everything learned from it.
+  std::vector<RibChange> flush_neighbor(bgp::Asn neighbor);
+
+  /// Drops every *learned* route for `prefix` (keeps a self-originated
+  /// one). Used by route-status auditors (RoST) that discover the
+  /// prefix was withdrawn at the origin: all copies are stale.
+  std::optional<RibChange> drop_learned_routes(const netbase::Prefix& prefix);
+
+  /// Re-runs ROV over installed routes (compliant policy only):
+  /// evicts routes that are now Invalid. Returns resulting changes.
+  std::vector<RibChange> revalidate(const ImportContext& ctx);
+
+  /// Current best route for `prefix`, if any.
+  const RouteEntry* best(const netbase::Prefix& prefix) const;
+
+  /// Relationship of the neighbor that supplied the current best
+  /// (kCustomer for self-originated).
+  std::optional<topology::Relationship> best_source(const netbase::Prefix& prefix) const;
+
+  /// The neighbor the current best route was learned from (0 = the
+  /// route is self-originated). nullopt if no route.
+  std::optional<bgp::Asn> best_neighbor(const netbase::Prefix& prefix) const;
+
+  /// All prefixes with a best route, with their source neighbor.
+  std::vector<std::pair<netbase::Prefix, bgp::Asn>> fib_entries() const;
+
+  /// All ⟨prefix, best route⟩ pairs (used for session re-advertisement
+  /// and monitor full-table syncs).
+  std::vector<std::pair<netbase::Prefix, RouteEntry>> full_table() const;
+
+  /// The stale-route inspection API used by tests: the route (if any)
+  /// held in the Adj-RIB-In for `prefix` from `neighbor`.
+  const RouteEntry* adj_in(bgp::Asn neighbor, const netbase::Prefix& prefix) const;
+
+  /// Adj-RIB-Out check: was `prefix` last advertised to `neighbor`?
+  bool advertised_to(bgp::Asn neighbor, const netbase::Prefix& prefix) const;
+  void mark_advertised(bgp::Asn neighbor, const netbase::Prefix& prefix, bool advertised);
+
+  /// Valley-free export rule: may a route learned from `source` be
+  /// exported to a neighbor we have relationship `to` with?
+  static bool may_export(topology::Relationship source, topology::Relationship to);
+
+ private:
+  struct PrefixState {
+    std::map<bgp::Asn, RouteEntry> adj_in;
+    std::optional<RouteEntry> originated;
+    /// Neighbor of the current best route; kSelf when originated wins.
+    std::optional<bgp::Asn> best_neighbor;
+    /// Neighbors the current route has been advertised to.
+    std::map<bgp::Asn, bool> advertised;
+  };
+  static constexpr bgp::Asn kSelf = 0;
+
+  /// Runs the decision process for one prefix after a mutation;
+  /// `old_best` is the pre-mutation best-route value.
+  std::optional<RibChange> decide(const netbase::Prefix& prefix, PrefixState& state,
+                                  const std::optional<RouteEntry>& old_best);
+
+  /// Snapshot of the current best route value.
+  std::optional<RouteEntry> capture_best(const PrefixState& state) const;
+
+  const RouteEntry* entry_for(const PrefixState& state, bgp::Asn neighbor) const;
+  bool better(const PrefixState& state, bgp::Asn a, bgp::Asn b) const;
+  topology::Relationship source_relationship(bgp::Asn neighbor) const;
+
+  bgp::Asn asn_;
+  std::map<bgp::Asn, topology::Relationship> neighbors_;
+  rpki::RovPolicy rov_policy_;
+  std::unordered_map<netbase::Prefix, PrefixState> prefixes_;
+};
+
+}  // namespace zombiescope::simnet

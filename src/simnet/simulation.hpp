@@ -1,0 +1,197 @@
+// simnet/simulation.hpp — the discrete-event inter-domain BGP
+// simulator.
+//
+// The Simulation owns a router per AS, a priority event queue, and
+// per-link propagation delays. Beacon drivers inject originate /
+// withdraw actions; faults are applied at message send (withdrawal
+// suppression) and receive (stalls) time; scheduled session resets
+// flush and re-advertise, which is the mechanism behind the paper's
+// zombie *resurrection* phenomenon. Collectors observe routers
+// through MonitorSink hooks and turn what they see into MRT — the
+// detectors never touch simulator state directly.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "netbase/rng.hpp"
+#include "rpki/rov.hpp"
+#include "simnet/faults.hpp"
+#include "simnet/router.hpp"
+#include "topology/topology.hpp"
+
+namespace zombiescope::simnet {
+
+struct SimConfig {
+  /// Per-link one-way propagation + processing delay bounds (seconds);
+  /// drawn once per link, deterministic under the seed.
+  netbase::Duration min_link_delay = 2;
+  netbase::Duration max_link_delay = 45;
+  /// How long a reset session stays down before re-establishing.
+  netbase::Duration session_reset_downtime = 60;
+};
+
+/// Observer interface for collector peering sessions. `on_route_change`
+/// fires whenever the monitored AS's best route for a prefix changes —
+/// this is the update stream a RIS collector would receive from a
+/// full-feed peer.
+class MonitorSink {
+ public:
+  virtual ~MonitorSink() = default;
+  virtual void on_route_change(netbase::TimePoint t, const RibChange& change) = 0;
+};
+
+/// Counters for benchmarks and sanity checks.
+struct SimStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_suppressed = 0;  // withdrawal-suppression hits
+  std::uint64_t messages_stalled = 0;     // receive-stall drops
+  std::uint64_t rib_changes = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const topology::Topology& topo, const SimConfig& config, netbase::Rng rng);
+
+  // --- RPKI wiring (optional) -------------------------------------
+  /// Attaches the ROA table. Routers with kCompliant policy re-validate
+  /// at every ROA change time that falls inside a run.
+  void set_roa_table(const rpki::RoaTable* roas);
+  void set_rov_policy(bgp::Asn asn, rpki::RovPolicy policy);
+
+  // --- fault injection ---------------------------------------------
+  void add_withdrawal_suppression(const WithdrawalSuppression& fault);
+  void add_receive_stall(const ReceiveStall& fault);
+  /// Schedules a reset of the (a, b) session at `at`; the session
+  /// re-establishes after config.session_reset_downtime.
+  void schedule_session_reset(netbase::TimePoint at, bgp::Asn a, bgp::Asn b);
+
+  /// Schedules an outage with explicit down/up instants. An outage
+  /// spanning a withdrawal makes the downed neighbor miss it; on
+  /// re-establishment the infected side re-advertises its stale table
+  /// — the *resurrection* mechanism.
+  void schedule_session_outage(netbase::TimePoint down_at, netbase::TimePoint up_at,
+                               bgp::Asn a, bgp::Asn b);
+
+  // --- origination --------------------------------------------------
+  /// Schedules AS `origin` to start announcing `prefix` at `at`.
+  void announce(netbase::TimePoint at, bgp::Asn origin, const netbase::Prefix& prefix,
+                bgp::PathAttributes attributes = {});
+  /// Schedules AS `origin` to withdraw `prefix` at `at`.
+  void withdraw(netbase::TimePoint at, bgp::Asn origin, const netbase::Prefix& prefix);
+
+  // --- observation ---------------------------------------------------
+  /// Attaches a monitor to an AS; every best-route change of that AS is
+  /// reported. Multiple monitors per AS are allowed (multiple router
+  /// sessions of the same peer AS, as with the paper's AS211509).
+  void attach_monitor(bgp::Asn asn, MonitorSink* sink);
+
+  /// Runs an arbitrary callback inside the event loop at `at` (used by
+  /// collectors for RIB dumps and monitor-session resets).
+  void schedule_callback(netbase::TimePoint at, std::function<void()> fn);
+
+  /// Drops every learned route for `prefix` at `asn` and propagates
+  /// the resulting withdrawals — the hook used by route-status
+  /// auditors (RoST) to eliminate a zombie. Returns true if a route
+  /// was actually removed. Must only be called from inside the event
+  /// loop (a scheduled callback).
+  bool evict_prefix(bgp::Asn asn, const netbase::Prefix& prefix);
+
+  // --- execution ------------------------------------------------------
+  /// Processes all events with time <= until.
+  void run_until(netbase::TimePoint until);
+  /// Processes everything outstanding.
+  void run_all();
+
+  netbase::TimePoint now() const { return now_; }
+  const SimStats& stats() const { return stats_; }
+  const Router& router(bgp::Asn asn) const;
+  Router& router(bgp::Asn asn);
+  const topology::Topology& topo() const { return topo_; }
+
+  /// One-way delay of the (a, b) link.
+  netbase::Duration link_delay(bgp::Asn a, bgp::Asn b) const;
+
+ private:
+  struct AnnounceDelivery {
+    bgp::Asn from, to;
+    netbase::Prefix prefix;
+    RouteEntry route;  // path already includes `from`'s prepend
+  };
+  struct WithdrawDelivery {
+    bgp::Asn from, to;
+    netbase::Prefix prefix;
+  };
+  struct OriginateAction {
+    bgp::Asn origin;
+    netbase::Prefix prefix;
+    bgp::PathAttributes attributes;
+    bool announce = true;
+  };
+  struct SessionDown {
+    bgp::Asn a, b;
+  };
+  struct SessionUp {
+    bgp::Asn a, b;
+  };
+  struct Callback {
+    std::function<void()> fn;
+  };
+  struct RovChange {};
+
+  using Payload = std::variant<AnnounceDelivery, WithdrawDelivery, OriginateAction,
+                               SessionDown, SessionUp, Callback, RovChange>;
+
+  struct Event {
+    netbase::TimePoint time;
+    std::uint64_t seq;
+    Payload payload;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  void push(netbase::TimePoint at, Payload payload);
+  void process(Event& event);
+
+  /// Turns a RibChange at `router_asn` into per-neighbor export
+  /// messages + monitor notifications.
+  void apply_change(netbase::TimePoint t, bgp::Asn router_asn, const RibChange& change);
+
+  bool link_down(bgp::Asn a, bgp::Asn b) const;
+  bool suppression_matches(netbase::TimePoint t, bgp::Asn from, bgp::Asn to,
+                           const netbase::Prefix& prefix);
+  bool stall_matches(netbase::TimePoint t, bgp::Asn to, bgp::Asn from,
+                     netbase::AddressFamily family) const;
+  void readvertise_full_table(netbase::TimePoint t, bgp::Asn from, bgp::Asn to);
+
+  const topology::Topology& topo_;
+  SimConfig config_;
+  netbase::Rng rng_;
+  std::map<bgp::Asn, Router> routers_;
+  std::map<std::pair<bgp::Asn, bgp::Asn>, netbase::Duration> delays_;
+  std::set<std::pair<bgp::Asn, bgp::Asn>> down_links_;  // normalized (min, max)
+  std::vector<WithdrawalSuppression> suppressions_;
+  std::vector<ReceiveStall> stalls_;
+  std::multimap<bgp::Asn, MonitorSink*> monitors_;
+  const rpki::RoaTable* roas_ = nullptr;
+  std::set<netbase::TimePoint> scheduled_rov_times_;
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  netbase::TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  SimStats stats_;
+};
+
+}  // namespace zombiescope::simnet

@@ -1,0 +1,148 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zombiescope::topology {
+
+std::string to_string(Relationship rel) {
+  switch (rel) {
+    case Relationship::kProvider:
+      return "provider";
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kPeer:
+      return "peer";
+  }
+  return "?";
+}
+
+Relationship reverse(Relationship rel) {
+  switch (rel) {
+    case Relationship::kProvider:
+      return Relationship::kCustomer;
+    case Relationship::kCustomer:
+      return Relationship::kProvider;
+    case Relationship::kPeer:
+      return Relationship::kPeer;
+  }
+  return Relationship::kPeer;
+}
+
+void Topology::add_as(const AsInfo& info) {
+  if (as_index_.contains(info.asn))
+    throw std::invalid_argument("duplicate AS " + std::to_string(info.asn));
+  as_index_[info.asn] = infos_.size();
+  infos_.push_back(info);
+  adjacency_.emplace_back();
+}
+
+void Topology::add_link(bgp::Asn from, bgp::Asn to, Relationship rel) {
+  if (from == to) throw std::invalid_argument("self-link on AS " + std::to_string(from));
+  auto from_it = as_index_.find(from);
+  auto to_it = as_index_.find(to);
+  if (from_it == as_index_.end() || to_it == as_index_.end())
+    throw std::invalid_argument("link references unknown AS");
+  if (relationship(from, to).has_value())
+    throw std::invalid_argument("duplicate link " + std::to_string(from) + "-" +
+                                std::to_string(to));
+  adjacency_[from_it->second].emplace_back(to, rel);
+  adjacency_[to_it->second].emplace_back(from, reverse(rel));
+  ++link_count_;
+}
+
+const AsInfo& Topology::info(bgp::Asn asn) const {
+  auto it = as_index_.find(asn);
+  if (it == as_index_.end()) throw std::invalid_argument("unknown AS " + std::to_string(asn));
+  return infos_[it->second];
+}
+
+const std::vector<std::pair<bgp::Asn, Relationship>>& Topology::neighbors(bgp::Asn asn) const {
+  auto it = as_index_.find(asn);
+  if (it == as_index_.end()) throw std::invalid_argument("unknown AS " + std::to_string(asn));
+  return adjacency_[it->second];
+}
+
+std::optional<Relationship> Topology::relationship(bgp::Asn from, bgp::Asn to) const {
+  for (const auto& [neighbor, rel] : neighbors(from))
+    if (neighbor == to) return rel;
+  return std::nullopt;
+}
+
+std::vector<bgp::Asn> Topology::all_asns() const {
+  std::vector<bgp::Asn> out;
+  out.reserve(infos_.size());
+  for (const auto& info : infos_) out.push_back(info.asn);
+  return out;
+}
+
+std::set<bgp::Asn> Topology::customer_cone(bgp::Asn asn) const {
+  std::set<bgp::Asn> cone;
+  std::vector<bgp::Asn> frontier{asn};
+  while (!frontier.empty()) {
+    const bgp::Asn current = frontier.back();
+    frontier.pop_back();
+    for (const auto& [neighbor, rel] : neighbors(current)) {
+      if (rel != Relationship::kCustomer) continue;
+      if (cone.insert(neighbor).second) frontier.push_back(neighbor);
+    }
+  }
+  cone.erase(asn);
+  return cone;
+}
+
+Topology generate_hierarchical(const GeneratorParams& params, netbase::Rng& rng) {
+  Topology topo;
+  std::vector<bgp::Asn> tier1, tier2, tier3;
+  bgp::Asn next_asn = params.first_asn;
+
+  for (int i = 0; i < params.tier1_count; ++i) {
+    tier1.push_back(next_asn);
+    topo.add_as({next_asn++, 1, "T1-" + std::to_string(i)});
+  }
+  for (int i = 0; i < params.tier2_count; ++i) {
+    tier2.push_back(next_asn);
+    topo.add_as({next_asn++, 2, "T2-" + std::to_string(i)});
+  }
+  for (int i = 0; i < params.tier3_count; ++i) {
+    tier3.push_back(next_asn);
+    topo.add_as({next_asn++, 3, "T3-" + std::to_string(i)});
+  }
+
+  // Tier-1 clique: mutual settlement-free peering.
+  for (std::size_t i = 0; i < tier1.size(); ++i)
+    for (std::size_t j = i + 1; j < tier1.size(); ++j)
+      topo.add_link(tier1[i], tier1[j], Relationship::kPeer);
+
+  // Tier-2s buy transit from 1..k Tier-1s.
+  for (bgp::Asn asn : tier2) {
+    const int uplinks = static_cast<int>(
+        rng.uniform_int(params.tier2_providers_min, params.tier2_providers_max));
+    std::vector<bgp::Asn> candidates = tier1;
+    rng.shuffle(candidates);
+    for (int u = 0; u < uplinks && u < static_cast<int>(candidates.size()); ++u)
+      topo.add_link(candidates[static_cast<std::size_t>(u)], asn, Relationship::kCustomer);
+  }
+
+  // Lateral Tier-2 peering.
+  for (std::size_t i = 0; i < tier2.size(); ++i)
+    for (std::size_t j = i + 1; j < tier2.size(); ++j)
+      if (rng.chance(params.tier2_peering_probability))
+        topo.add_link(tier2[i], tier2[j], Relationship::kPeer);
+
+  // Stubs buy transit from 1..k Tier-2s (occasionally a Tier-1).
+  for (bgp::Asn asn : tier3) {
+    const int uplinks = static_cast<int>(
+        rng.uniform_int(params.tier3_providers_min, params.tier3_providers_max));
+    std::vector<bgp::Asn> candidates = tier2;
+    rng.shuffle(candidates);
+    for (int u = 0; u < uplinks && u < static_cast<int>(candidates.size()); ++u)
+      topo.add_link(candidates[static_cast<std::size_t>(u)], asn, Relationship::kCustomer);
+    if (!tier1.empty() && rng.chance(params.tier3_multihome_tier1_probability))
+      topo.add_link(tier1[rng.index(tier1.size())], asn, Relationship::kCustomer);
+  }
+
+  return topo;
+}
+
+}  // namespace zombiescope::topology

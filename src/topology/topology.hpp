@@ -1,0 +1,100 @@
+// topology/topology.hpp — AS-level Internet topology with business
+// relationships.
+//
+// The simulator routes over a Gao–Rexford topology: each inter-AS link
+// is either customer→provider or peer↔peer, and export policy is
+// valley-free. The generator produces a three-tier hierarchy (Tier-1
+// clique, mid-tier providers, stubs) so that concepts the paper leans
+// on — customer cones ("AS4637 ... ~6000 ASes in its customer cone"),
+// dominant transit ASes, path hunting through backup routes — have
+// faithful analogues.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "netbase/rng.hpp"
+
+namespace zombiescope::topology {
+
+/// Relationship of a link from the perspective of the first AS.
+enum class Relationship : std::uint8_t {
+  kProvider = 0,  // the other AS is my provider (I am its customer)
+  kCustomer = 1,  // the other AS is my customer
+  kPeer = 2,      // settlement-free peer
+};
+
+std::string to_string(Relationship rel);
+
+/// Flips perspective: my provider is their customer.
+Relationship reverse(Relationship rel);
+
+struct AsInfo {
+  bgp::Asn asn = 0;
+  int tier = 3;       // 1 = Tier-1 clique, 2 = transit, 3 = stub/edge
+  std::string name;   // optional human-readable label
+};
+
+class Topology {
+ public:
+  /// Adds an AS. Throws std::invalid_argument on duplicates.
+  void add_as(const AsInfo& info);
+
+  /// Adds a link; `rel` is from `from`'s perspective (kCustomer means
+  /// `to` is `from`'s customer). Both ASes must exist; duplicate links
+  /// and self-links are rejected.
+  void add_link(bgp::Asn from, bgp::Asn to, Relationship rel);
+
+  bool has_as(bgp::Asn asn) const { return as_index_.contains(asn); }
+  const AsInfo& info(bgp::Asn asn) const;
+
+  /// Neighbors of `asn` with the relationship from `asn`'s perspective.
+  const std::vector<std::pair<bgp::Asn, Relationship>>& neighbors(bgp::Asn asn) const;
+
+  /// Relationship of `to` from `from`'s perspective, if linked.
+  std::optional<Relationship> relationship(bgp::Asn from, bgp::Asn to) const;
+
+  std::vector<bgp::Asn> all_asns() const;
+  std::size_t as_count() const { return infos_.size(); }
+  std::size_t link_count() const { return link_count_; }
+
+  /// The customer cone of `asn`: all ASes reachable by repeatedly
+  /// following provider→customer edges, excluding `asn` itself.
+  std::set<bgp::Asn> customer_cone(bgp::Asn asn) const;
+
+  /// Directly connected networks (the paper's beacons were announced
+  /// "to more than 1,700 directly connected networks").
+  std::size_t degree(bgp::Asn asn) const { return neighbors(asn).size(); }
+
+ private:
+  std::map<bgp::Asn, std::size_t> as_index_;
+  std::vector<AsInfo> infos_;
+  std::vector<std::vector<std::pair<bgp::Asn, Relationship>>> adjacency_;
+  std::size_t link_count_ = 0;
+};
+
+/// Parameters for the hierarchical generator.
+struct GeneratorParams {
+  int tier1_count = 8;          // fully meshed clique of Tier-1s
+  int tier2_count = 60;         // regional transit providers
+  int tier3_count = 400;        // stubs / edge networks
+  int tier2_providers_min = 1;  // Tier-1 uplinks per Tier-2
+  int tier2_providers_max = 3;
+  int tier3_providers_min = 1;  // Tier-2 uplinks per stub
+  int tier3_providers_max = 2;
+  double tier2_peering_probability = 0.08;  // lateral Tier-2 peering
+  double tier3_multihome_tier1_probability = 0.02;
+  bgp::Asn first_asn = 1000;
+};
+
+/// Generates a deterministic hierarchical topology. The same seed
+/// always yields the same graph.
+Topology generate_hierarchical(const GeneratorParams& params, netbase::Rng& rng);
+
+}  // namespace zombiescope::topology

@@ -1,0 +1,54 @@
+// zombie/analyzer.hpp — outbreak statistics behind the paper's
+// figures: zombie emergence rates per ⟨beacon, peerAS⟩ (Fig. 5),
+// AS-path length populations (Fig. 6), and concurrent outbreak counts
+// (Fig. 7), plus the path-difference percentages quoted in App. B.2.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "zombie/interval_detector.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::zombie {
+
+/// Zombie emergence rate of one ⟨beacon, peerAS⟩ pair: the fraction of
+/// the beacon's announcements (intervals where the peer AS saw the
+/// beacon) that left a zombie route at that peer AS.
+struct EmergenceRate {
+  netbase::Prefix beacon;
+  bgp::Asn peer_asn = 0;
+  int zombies = 0;
+  int announcements = 0;
+  double rate() const {
+    return announcements == 0 ? 0.0 : static_cast<double>(zombies) / announcements;
+  }
+};
+
+/// Fig. 5 input. `deduplicated` selects which route population counts
+/// (with vs without the Aggregator filter).
+std::vector<EmergenceRate> emergence_rates(const IntervalDetectionResult& result,
+                                           netbase::AddressFamily family,
+                                           bool deduplicated);
+
+/// Fig. 6 populations of AS-path lengths.
+struct PathLengthPopulations {
+  std::vector<int> normal_at_normal_peers;  // withdrew in time
+  std::vector<int> normal_at_zombie_peers;  // became zombies
+  std::vector<int> zombie_paths;            // the stuck paths
+  /// Share of zombie routes whose stuck path differs from the path the
+  /// peer held before the withdrawal (App. B.2: 96.1 % for IPv4...).
+  double changed_path_fraction = 0.0;
+};
+
+PathLengthPopulations path_length_populations(const IntervalDetectionResult& result,
+                                              netbase::AddressFamily family,
+                                              bool deduplicated);
+
+/// Fig. 7: for each outbreak, the number of outbreaks that share its
+/// interval (concurrency), per address family.
+std::vector<int> concurrent_outbreaks(std::span<const ZombieOutbreak> outbreaks,
+                                      netbase::AddressFamily family);
+
+}  // namespace zombiescope::zombie

@@ -1,0 +1,230 @@
+#include "zombie/longlived.hpp"
+
+#include <algorithm>
+
+namespace zombiescope::zombie {
+
+namespace {
+
+using netbase::Duration;
+using netbase::Prefix;
+using netbase::TimePoint;
+
+struct LastUpdate {
+  bool announced = false;
+  bgp::AsPath path;
+  TimePoint at = 0;
+};
+
+}  // namespace
+
+LongLivedResult LongLivedZombieDetector::detect(
+    std::span<const mrt::MrtRecord> records, std::span<const beacon::BeaconEvent> events,
+    Duration threshold) const {
+  LongLivedResult result;
+
+  // Studied events per prefix, sorted by announce time. Beacon prefixes
+  // recycle no faster than daily, and threshold windows are a few
+  // hours, so windows of the same prefix never overlap.
+  std::map<Prefix, std::vector<const beacon::BeaconEvent*>> by_prefix;
+  std::vector<const beacon::BeaconEvent*> studied;
+  for (const auto& event : events) {
+    if (config_.skip_superseded && event.superseded) continue;
+    by_prefix[event.prefix].push_back(&event);
+    studied.push_back(&event);
+  }
+  for (auto& [prefix, list] : by_prefix) {
+    (void)prefix;
+    std::sort(list.begin(), list.end(), [](const auto* a, const auto* b) {
+      return a->announce_time < b->announce_time;
+    });
+  }
+  result.total_announcements = static_cast<int>(studied.size());
+
+  // Find the event whose check window [announce, withdraw+threshold]
+  // contains t.
+  auto active_event = [&](const Prefix& prefix, TimePoint t) -> const beacon::BeaconEvent* {
+    auto it = by_prefix.find(prefix);
+    if (it == by_prefix.end()) return nullptr;
+    const auto& list = it->second;
+    auto jt = std::upper_bound(list.begin(), list.end(), t,
+                               [](TimePoint value, const beacon::BeaconEvent* e) {
+                                 return value < e->announce_time;
+                               });
+    if (jt == list.begin()) return nullptr;
+    const beacon::BeaconEvent* event = *(jt - 1);
+    return t <= event->withdraw_time + threshold ? event : nullptr;
+  };
+
+  // Fold the stream.
+  std::map<const beacon::BeaconEvent*, std::map<PeerKey, LastUpdate>> table;
+  for (const auto& record : records) {
+    if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record)) {
+      const PeerKey peer{msg->peer_asn, msg->peer_address};
+      if (peer_excluded(peer)) continue;
+      const TimePoint t = msg->timestamp;
+      for (const auto& prefix : msg->update.withdrawn) {
+        const auto* event = active_event(prefix, t);
+        if (event == nullptr) continue;
+        LastUpdate& last = table[event][peer];
+        last.announced = false;
+        last.at = t;
+      }
+      for (const auto& prefix : msg->update.announced) {
+        const auto* event = active_event(prefix, t);
+        if (event == nullptr) continue;
+        LastUpdate& last = table[event][peer];
+        last.announced = true;
+        last.path = msg->update.attributes.as_path;
+        last.at = t;
+      }
+    } else if (const auto* state = std::get_if<mrt::Bgp4mpStateChange>(&record)) {
+      if (state->old_state == bgp::SessionState::kEstablished &&
+          state->new_state != bgp::SessionState::kEstablished) {
+        const PeerKey peer{state->peer_asn, state->peer_address};
+        const TimePoint t = state->timestamp;
+        // Clear the peer from every window that is active at t.
+        for (auto& [event, peers] : table) {
+          if (t < event->announce_time || t > event->withdraw_time + threshold) continue;
+          auto it = peers.find(peer);
+          if (it != peers.end() && it->second.announced) {
+            it->second.announced = false;
+            it->second.at = t;
+          }
+        }
+      }
+    }
+  }
+
+  // Assemble outbreaks.
+  for (const beacon::BeaconEvent* event : studied) {
+    auto it = table.find(event);
+    if (it == table.end()) continue;
+    ZombieOutbreak outbreak;
+    outbreak.prefix = event->prefix;
+    outbreak.interval_start = event->announce_time;
+    outbreak.withdraw_time = event->withdraw_time;
+    for (const auto& [peer, last] : it->second) {
+      if (!last.announced) continue;
+      ZombieRoute route;
+      route.peer = peer;
+      route.prefix = event->prefix;
+      route.interval_start = event->announce_time;
+      route.withdraw_time = event->withdraw_time;
+      route.path = last.path;
+      outbreak.routes.push_back(std::move(route));
+    }
+    if (!outbreak.routes.empty()) result.outbreaks.push_back(std::move(outbreak));
+  }
+  return result;
+}
+
+std::vector<SweepPoint> LongLivedZombieDetector::sweep(
+    std::span<const mrt::MrtRecord> records, std::span<const beacon::BeaconEvent> events,
+    std::span<const Duration> thresholds) const {
+  std::vector<SweepPoint> out;
+  for (Duration threshold : thresholds) {
+    const LongLivedResult result = detect(records, events, threshold);
+    SweepPoint point;
+    point.threshold = threshold;
+    point.outbreaks = static_cast<int>(result.outbreaks.size());
+    point.routes = result.route_count();
+    point.announcement_fraction = result.outbreak_fraction();
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<OutbreakLifespan> LifespanAnalyzer::analyze(
+    std::span<const mrt::MrtRecord> rib_dumps, std::span<const beacon::BeaconEvent> events,
+    Duration dump_interval) const {
+  // Final withdrawal time per studied prefix.
+  std::map<Prefix, TimePoint> final_withdrawal;
+  for (const auto& event : events) {
+    if (config_.skip_superseded && event.superseded) continue;
+    auto [it, inserted] = final_withdrawal.try_emplace(event.prefix, event.withdraw_time);
+    if (!inserted) it->second = std::max(it->second, event.withdraw_time);
+  }
+
+  // Sightings per (prefix, peer): sorted dump timestamps + path.
+  struct Sighting {
+    TimePoint at;
+    bgp::AsPath path;
+  };
+  std::map<Prefix, std::map<PeerKey, std::vector<Sighting>>> sightings;
+
+  mrt::PeerIndexTable current_index;
+  for (const auto& record : rib_dumps) {
+    if (const auto* index = std::get_if<mrt::PeerIndexTable>(&record)) {
+      current_index = *index;
+      continue;
+    }
+    const auto* rib = std::get_if<mrt::RibEntryRecord>(&record);
+    if (rib == nullptr) continue;
+    auto fw = final_withdrawal.find(rib->prefix);
+    if (fw == final_withdrawal.end()) continue;
+    if (rib->timestamp <= fw->second) continue;  // before the final withdrawal
+    for (const auto& entry : rib->entries) {
+      if (entry.peer_index >= current_index.peers.size()) continue;
+      const auto& dir = current_index.peers[entry.peer_index];
+      const PeerKey peer{dir.asn, dir.address};
+      if (peer_excluded(peer)) continue;
+      sightings[rib->prefix][peer].push_back({rib->timestamp, entry.attributes.as_path});
+    }
+  }
+
+  std::vector<OutbreakLifespan> out;
+  for (auto& [prefix, peers] : sightings) {
+    OutbreakLifespan lifespan;
+    lifespan.prefix = prefix;
+    lifespan.withdraw_time = final_withdrawal.at(prefix);
+
+    // Per-peer presence intervals: consecutive dumps (gap <= dump
+    // interval) merge into one interval.
+    for (auto& [peer, list] : peers) {
+      std::sort(list.begin(), list.end(),
+                [](const Sighting& a, const Sighting& b) { return a.at < b.at; });
+      PresenceInterval interval;
+      interval.peer = peer;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i == 0 || list[i].at - list[i - 1].at > dump_interval) {
+          if (i != 0) lifespan.intervals.push_back(interval);
+          interval.first_seen = list[i].at;
+        }
+        interval.last_seen = list[i].at;
+        interval.path = list[i].path;
+      }
+      lifespan.intervals.push_back(interval);
+      lifespan.last_seen = std::max(lifespan.last_seen, interval.last_seen);
+    }
+
+    // Resurrections at the prefix level: the union of presence across
+    // peers goes dark for more than one dump period, then a peer sees
+    // the route again (with no beacon announcement possible — all
+    // sightings are past the final withdrawal).
+    // Coverage starts at the withdrawal: a first appearance more than
+    // one dump period later is already a resurrection (the Fig. 4
+    // prefix was withdrawn on 06-21 and first re-appeared on 06-29).
+    TimePoint covered_until = lifespan.withdraw_time;
+    std::vector<const PresenceInterval*> sorted;
+    for (const auto& interval : lifespan.intervals) sorted.push_back(&interval);
+    std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+      return a->first_seen < b->first_seen;
+    });
+    for (const auto* interval : sorted) {
+      if (interval->first_seen > covered_until + dump_interval) {
+        OutbreakLifespan::Resurrection res;
+        res.vanished_at = covered_until;
+        res.reappeared_at = interval->first_seen;
+        res.peer = interval->peer;
+        lifespan.resurrections.push_back(res);
+      }
+      covered_until = std::max(covered_until, interval->last_seen);
+    }
+
+    out.push_back(std::move(lifespan));
+  }
+  return out;
+}
+
+}  // namespace zombiescope::zombie

@@ -1,0 +1,76 @@
+// zombie/lookingglass.hpp — an emulation of the previous study's
+// pipeline (Fontugne et al., PAM'19) for the Table 2/3 comparisons.
+//
+// The previous study identified stale prefixes in *real time* via the
+// RIPEstat looking-glass service — a black box whose internal update
+// delay is unknown and which went through several revisions during
+// the measurement period (§3.1 of the paper). This detector models
+// that class of pipeline: the visible state at the 90-minute check is
+// the state as of `check - lag`, and with probability
+// `stale_snapshot_probability` a peer's snapshot is even older
+// (service refresh glitch). Both directions of disagreement with the
+// raw-data methodology emerge from the lag:
+//  * a withdrawal inside the lag window => looking-glass-only zombie
+//    (false positive the raw method does not report);
+//  * a late re-announcement inside the lag window => raw-only zombie
+//    (the looking glass missed it).
+// It also never applies the Aggregator dedup — the previous study did
+// not have it.
+
+#pragma once
+
+#include <set>
+#include <span>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "mrt/record.hpp"
+#include "netbase/rng.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::zombie {
+
+struct LookingGlassConfig {
+  /// Stuck threshold, as in the raw methodology (90 minutes).
+  netbase::Duration threshold = 90 * netbase::kMinute;
+  /// Ordinary looking-glass state delay.
+  netbase::Duration lag = 8 * netbase::kMinute;
+  /// Probability that a peer's snapshot missed a whole refresh cycle.
+  double stale_snapshot_probability = 0.02;
+  /// The glitched snapshot age.
+  netbase::Duration stale_lag = 45 * netbase::kMinute;
+  /// Deterministic seed for glitch draws.
+  std::uint64_t seed = 20180719;
+};
+
+struct LookingGlassResult {
+  std::vector<ZombieRoute> routes;          // no duplicate flagging
+  std::vector<ZombieOutbreak> outbreaks;    // per (beacon, interval)
+};
+
+class LookingGlassDetector {
+ public:
+  explicit LookingGlassDetector(LookingGlassConfig config) : config_(config) {}
+
+  LookingGlassResult detect(std::span<const mrt::MrtRecord> records,
+                            std::span<const beacon::BeaconEvent> events) const;
+
+ private:
+  LookingGlassConfig config_;
+};
+
+/// Set-difference bookkeeping for Table 3: how many zombie routes /
+/// outbreaks appear in `ours` but not `theirs`, per address family.
+struct MissingCounts {
+  int routes_v4 = 0;
+  int routes_v6 = 0;
+  int outbreaks_v4 = 0;
+  int outbreaks_v6 = 0;
+};
+
+MissingCounts count_missing(std::span<const ZombieRoute> ours,
+                            std::span<const ZombieOutbreak> our_outbreaks,
+                            std::span<const ZombieRoute> theirs,
+                            std::span<const ZombieOutbreak> their_outbreaks);
+
+}  // namespace zombiescope::zombie

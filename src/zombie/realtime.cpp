@@ -1,0 +1,124 @@
+#include "zombie/realtime.hpp"
+
+namespace zombiescope::zombie {
+
+void RealTimeZombieDetector::expect(const beacon::BeaconEvent& event) {
+  if (event.superseded) return;
+  // A recycled prefix supersedes the previous watch: its zombies (if
+  // any) are wiped by the new announcement, as with real beacons.
+  Watch watch;
+  watch.event = event;
+  watches_[event.prefix] = std::move(watch);
+}
+
+void RealTimeZombieDetector::resolve(Watch& watch, const PeerKey& peer,
+                                     netbase::TimePoint at) {
+  auto it = watch.peers.find(peer);
+  if (it == watch.peers.end()) return;
+  if (it->second.alerted && resolution_fn_) {
+    ZombieResolution resolution;
+    resolution.prefix = watch.event.prefix;
+    resolution.peer = peer;
+    resolution.withdrawn_at = watch.event.withdraw_time;
+    resolution.resolved_at = at;
+    resolution_fn_(resolution);
+  }
+  if (it->second.alerted) ++resolutions_;
+  it->second.announced = false;
+  it->second.alerted = false;
+}
+
+void RealTimeZombieDetector::fire_deadline(Watch& watch) {
+  if (watch.deadline_fired) return;
+  watch.deadline_fired = true;
+  for (auto& [peer, state] : watch.peers) {
+    if (!state.announced || state.alerted) continue;
+    state.alerted = true;
+    ++alerts_raised_;
+    if (alert_fn_) {
+      ZombieAlert alert;
+      alert.prefix = watch.event.prefix;
+      alert.peer = peer;
+      alert.withdrawn_at = watch.event.withdraw_time;
+      alert.raised_at = watch.event.withdraw_time + config_.threshold;
+      alert.stuck_path = state.path;
+      alert_fn_(alert);
+    }
+  }
+}
+
+void RealTimeZombieDetector::advance(netbase::TimePoint now) {
+  now_ = std::max(now_, now);
+  for (auto& [prefix, watch] : watches_) {
+    (void)prefix;
+    if (!watch.deadline_fired && now_ >= watch.event.withdraw_time + config_.threshold)
+      fire_deadline(watch);
+  }
+}
+
+void RealTimeZombieDetector::ingest(const mrt::MrtRecord& record) {
+  advance(mrt::record_timestamp(record));
+
+  if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record)) {
+    const PeerKey peer{msg->peer_asn, msg->peer_address};
+    if (excluded(peer)) return;
+    const netbase::TimePoint t = msg->timestamp;
+    for (const auto& prefix : msg->update.withdrawn) {
+      auto it = watches_.find(prefix);
+      if (it == watches_.end() || t < it->second.event.announce_time) continue;
+      resolve(it->second, peer, t);
+    }
+    for (const auto& prefix : msg->update.announced) {
+      auto it = watches_.find(prefix);
+      if (it == watches_.end() || t < it->second.event.announce_time) continue;
+      Watch& watch = it->second;
+      auto& state = watch.peers[peer];
+      state.announced = true;
+      state.path = msg->update.attributes.as_path;
+      // A (re)announcement after the deadline: the route is stuck or
+      // resurrected — alert immediately.
+      if (watch.deadline_fired && !state.alerted) {
+        state.alerted = true;
+        ++alerts_raised_;
+        if (alert_fn_) {
+          ZombieAlert alert;
+          alert.prefix = prefix;
+          alert.peer = peer;
+          alert.withdrawn_at = watch.event.withdraw_time;
+          alert.raised_at = t;
+          alert.stuck_path = state.path;
+          alert_fn_(alert);
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* state_msg = std::get_if<mrt::Bgp4mpStateChange>(&record)) {
+    if (state_msg->old_state == bgp::SessionState::kEstablished &&
+        state_msg->new_state != bgp::SessionState::kEstablished) {
+      const PeerKey peer{state_msg->peer_asn, state_msg->peer_address};
+      for (auto& [prefix, watch] : watches_) {
+        (void)prefix;
+        resolve(watch, peer, state_msg->timestamp);
+      }
+    }
+  }
+}
+
+std::vector<ZombieAlert> RealTimeZombieDetector::active_zombies() const {
+  std::vector<ZombieAlert> out;
+  for (const auto& [prefix, watch] : watches_) {
+    for (const auto& [peer, state] : watch.peers) {
+      if (!state.alerted) continue;
+      ZombieAlert alert;
+      alert.prefix = prefix;
+      alert.peer = peer;
+      alert.withdrawn_at = watch.event.withdraw_time;
+      alert.stuck_path = state.path;
+      out.push_back(std::move(alert));
+    }
+  }
+  return out;
+}
+
+}  // namespace zombiescope::zombie

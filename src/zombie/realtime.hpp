@@ -1,0 +1,114 @@
+// zombie/realtime.hpp — streaming (online) zombie detection.
+//
+// §6 of the paper: "Real-time detection of a zombie outbreak and
+// identification of the AS causing it will notify the network
+// operators of the infected ASes to examine and resolve the issue
+// more quickly." This detector consumes MRT records incrementally,
+// knows the beacon schedule, and raises an alert the moment a peer's
+// route survives `threshold` past its withdrawal — plus a resolution
+// event when the stuck route finally clears, which yields live zombie
+// lifetimes.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "mrt/record.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::zombie {
+
+/// Raised when a route outlives the threshold after its withdrawal.
+struct ZombieAlert {
+  netbase::Prefix prefix;
+  PeerKey peer;
+  netbase::TimePoint withdrawn_at = 0;
+  netbase::TimePoint raised_at = 0;
+  bgp::AsPath stuck_path;
+};
+
+/// Raised when a previously alerted route clears (withdrawal, session
+/// flush, or a new beacon announcement superseding it).
+struct ZombieResolution {
+  netbase::Prefix prefix;
+  PeerKey peer;
+  netbase::TimePoint withdrawn_at = 0;
+  netbase::TimePoint resolved_at = 0;
+  netbase::Duration stuck_for() const { return resolved_at - withdrawn_at; }
+};
+
+struct RealTimeConfig {
+  netbase::Duration threshold = 90 * netbase::kMinute;
+  std::set<PeerKey> excluded_peers;
+  std::set<bgp::Asn> excluded_peer_asns;
+};
+
+/// Online detector. Usage:
+///   RealTimeZombieDetector det(config);
+///   det.on_alert([](const ZombieAlert& a) { ... });
+///   det.expect(event);              // register beacon schedule
+///   for (record : stream) det.ingest(record);
+///   det.advance(now);               // heartbeat fires due alerts
+class RealTimeZombieDetector {
+ public:
+  explicit RealTimeZombieDetector(RealTimeConfig config) : config_(std::move(config)) {}
+
+  void on_alert(std::function<void(const ZombieAlert&)> fn) { alert_fn_ = std::move(fn); }
+  void on_resolution(std::function<void(const ZombieResolution&)> fn) {
+    resolution_fn_ = std::move(fn);
+  }
+
+  /// Registers an upcoming beacon announce/withdraw pair. Superseded
+  /// events are ignored per the paper's collision rule.
+  void expect(const beacon::BeaconEvent& event);
+
+  /// Feeds one record; implies advance(record timestamp).
+  void ingest(const mrt::MrtRecord& record);
+
+  /// Moves the clock forward, firing alerts whose deadline passed.
+  void advance(netbase::TimePoint now);
+
+  /// Currently stuck (alerted, unresolved) routes.
+  std::vector<ZombieAlert> active_zombies() const;
+
+  int alerts_raised() const { return alerts_raised_; }
+  int resolutions() const { return resolutions_; }
+
+ private:
+  struct Watch {
+    beacon::BeaconEvent event;
+    /// Last known state per peer inside this watch.
+    struct PeerState {
+      bool announced = false;
+      bgp::AsPath path;
+      bool alerted = false;
+    };
+    std::map<PeerKey, PeerState> peers;
+    bool deadline_fired = false;
+  };
+
+  bool excluded(const PeerKey& peer) const {
+    return config_.excluded_peers.contains(peer) ||
+           config_.excluded_peer_asns.contains(peer.asn);
+  }
+  void fire_deadline(Watch& watch);
+  void resolve(Watch& watch, const PeerKey& peer, netbase::TimePoint at);
+
+  RealTimeConfig config_;
+  std::function<void(const ZombieAlert&)> alert_fn_;
+  std::function<void(const ZombieResolution&)> resolution_fn_;
+  /// Watches keyed by prefix; a new expect() for the same prefix
+  /// supersedes the old watch (prefix recycled).
+  std::map<netbase::Prefix, Watch> watches_;
+  netbase::TimePoint now_ = 0;
+  int alerts_raised_ = 0;
+  int resolutions_ = 0;
+};
+
+}  // namespace zombiescope::zombie

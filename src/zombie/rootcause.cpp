@@ -1,0 +1,68 @@
+#include "zombie/rootcause.hpp"
+
+#include <algorithm>
+
+namespace zombiescope::zombie {
+
+std::string RootCauseResult::common_subpath() const {
+  std::string out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(*it);
+  }
+  return out;
+}
+
+RootCauseResult infer_root_cause(const std::vector<bgp::AsPath>& paths) {
+  RootCauseResult result;
+  if (paths.empty()) return result;
+
+  // Reverse each path: origin first. Drop duplicate consecutive ASNs
+  // (prepending) so path-prepend padding does not break agreement.
+  std::vector<std::vector<bgp::Asn>> reversed;
+  for (const auto& path : paths) {
+    std::vector<bgp::Asn> flat = path.flatten();
+    std::reverse(flat.begin(), flat.end());
+    flat.erase(std::unique(flat.begin(), flat.end()), flat.end());
+    if (!flat.empty()) reversed.push_back(std::move(flat));
+  }
+  if (reversed.empty()) return result;
+
+  result.single_route = reversed.size() == 1;
+
+  // Walk the agreed chain from the origin.
+  for (std::size_t depth = 0;; ++depth) {
+    if (depth >= reversed.front().size()) break;
+    const bgp::Asn candidate = reversed.front()[depth];
+    bool all_agree = true;
+    for (const auto& path : reversed) {
+      if (depth >= path.size() || path[depth] != candidate) {
+        all_agree = false;
+        break;
+      }
+    }
+    if (!all_agree) break;
+    result.chain.push_back(candidate);
+  }
+
+  if (result.chain.empty()) {
+    result.ambiguous = true;  // paths disagree on the origin itself
+    return result;
+  }
+  if (result.chain.size() == 1 && reversed.size() > 1) {
+    // Branches directly at the origin: every neighbor kept the route,
+    // pointing at the origin's own withdrawal not propagating at all.
+    result.ambiguous = true;
+  }
+  result.suspect = result.chain.back();
+  return result;
+}
+
+RootCauseResult infer_root_cause(const ZombieOutbreak& outbreak) {
+  std::vector<bgp::AsPath> paths;
+  paths.reserve(outbreak.routes.size());
+  for (const auto& route : outbreak.routes) paths.push_back(route.path);
+  return infer_root_cause(paths);
+}
+
+}  // namespace zombiescope::zombie

@@ -1,0 +1,44 @@
+// zombie/rootcause.hpp — the "palm tree" root-cause inference of §5.2.
+//
+// The AS graph of an outbreak's zombie routes typically has a single
+// chain from the origin that eventually branches into subtrees; the
+// last AS of that chain is the suspected zombie propagator. The
+// inference is heuristic — the paper is explicit that the previous AS
+// could have failed to propagate the withdrawal, or invisible IXP
+// route servers may hide the real culprit — so the result carries the
+// full chain and a confidence note rather than a bare verdict.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zombie/types.hpp"
+
+namespace zombiescope::zombie {
+
+struct RootCauseResult {
+  /// The chain from the origin AS up to the first branch point
+  /// (origin first). Empty if the outbreak has no routes.
+  std::vector<bgp::Asn> chain;
+  /// The last AS of the chain — the suspect.
+  std::optional<bgp::Asn> suspect;
+  /// True if the paths diverge right at the origin (no usable chain).
+  bool ambiguous = false;
+  /// True if only one zombie route exists: the whole path is a chain
+  /// and the "branch point" is unobservable.
+  bool single_route = false;
+
+  /// "33891 25091 8298 210312"-style rendering of the common subpath
+  /// (from the chain's end back to the origin, as the paper prints it).
+  std::string common_subpath() const;
+};
+
+/// Infers the root cause from the zombie routes' AS paths.
+RootCauseResult infer_root_cause(const ZombieOutbreak& outbreak);
+
+/// Same, from raw paths (peer-first order, origin last).
+RootCauseResult infer_root_cause(const std::vector<bgp::AsPath>& paths);
+
+}  // namespace zombiescope::zombie

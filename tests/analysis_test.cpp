@@ -1,0 +1,74 @@
+// Tests for the statistics/rendering toolkit.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+
+namespace zombiescope::analysis {
+namespace {
+
+TEST(Cdf, BasicQuantiles) {
+  Cdf cdf({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(cdf.min(), 1.0);
+  EXPECT_EQ(cdf.max(), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+}
+
+TEST(Cdf, AtIsRightContinuousFraction) {
+  Cdf cdf({1.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+}
+
+TEST(Cdf, EmptySampleIsSafe) {
+  Cdf cdf({});
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(1.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(Cdf, PointsSpanRange) {
+  Cdf cdf({0.0, 10.0});
+  auto points = cdf.points(10);
+  ASSERT_EQ(points.size(), 11u);
+  EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(points.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Cdf, OfSpanOfInts) {
+  std::vector<int> values{1, 2, 3};
+  auto cdf = Cdf::of(std::span<const int>(values));
+  EXPECT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+}
+
+TEST(Render, TablePadsColumns) {
+  const std::string table =
+      render_table({"Period", "IPv4", "IPv6"}, {{"2018-07", "536", "745"},
+                                                {"2017-10", "705", "1378"}});
+  EXPECT_NE(table.find("| Period  | IPv4 | IPv6 |"), std::string::npos);
+  EXPECT_NE(table.find("| 2018-07 | 536  | 745  |"), std::string::npos);
+}
+
+TEST(Render, CdfShowsSummary) {
+  Cdf cdf({1.0, 2.0, 3.0});
+  const std::string text = render_cdf(cdf, "days");
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("days"), std::string::npos);
+}
+
+TEST(Render, Formatters) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(pct(0.0658, 1), "6.6%");
+  EXPECT_EQ(pct(0.314), "31.40%");
+}
+
+}  // namespace
+}  // namespace zombiescope::analysis

@@ -1,0 +1,173 @@
+// Tests for the collector session fault knobs: per-family withdrawal
+// loss, probabilistic and forced withdrawal delays, and phantom
+// re-announcements — the mechanisms behind Tables 3/5 and Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include "collector/collector.hpp"
+#include "netbase/rng.hpp"
+
+namespace zombiescope::collector {
+namespace {
+
+using netbase::IpAddress;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::utc;
+using topology::Relationship;
+using topology::Topology;
+
+const Prefix kV6 = Prefix::parse("2a0d:3dc1:1145::/48");
+const Prefix kV4 = Prefix::parse("84.205.64.0/24");
+
+Topology chain() {
+  Topology topo;
+  topo.add_as({10, 2, "transit"});
+  topo.add_as({20, 2, "peerAS"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(10, 100, Relationship::kCustomer);
+  topo.add_link(10, 20, Relationship::kCustomer);
+  return topo;
+}
+
+struct Harness {
+  Topology topo = chain();
+  simnet::Simulation sim;
+  Collector collector;
+
+  Harness() : sim(topo, simnet::SimConfig{2, 8, 60}, Rng(1)),
+              collector("rrc25", 12654, IpAddress::parse("193.0.29.28")) {}
+};
+
+SessionConfig base_session() {
+  SessionConfig config;
+  config.peer_asn = 20;
+  config.peer_address = IpAddress::parse("2001:678:3f4:5::1");
+  return config;
+}
+
+TEST(CollectorFaults, PerFamilyLossOverride) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.withdrawal_loss_probability_v4 = 0.0;
+  config.withdrawal_loss_probability_v6 = 1.0;
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.announce(t0, 100, kV4);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV4);
+  h.sim.run_until(t0 + kHour);
+  EXPECT_TRUE(session.view().contains(kV6));    // v6 withdrawal lost
+  EXPECT_FALSE(session.view().contains(kV4));   // v4 withdrawn cleanly
+}
+
+TEST(CollectorFaults, LossProbabilityForHelper) {
+  SessionConfig config;
+  config.withdrawal_loss_probability = 0.25;
+  EXPECT_EQ(config.loss_probability_for(netbase::AddressFamily::kIpv4), 0.25);
+  config.withdrawal_loss_probability_v4 = 0.5;
+  EXPECT_EQ(config.loss_probability_for(netbase::AddressFamily::kIpv4), 0.5);
+  EXPECT_EQ(config.loss_probability_for(netbase::AddressFamily::kIpv6), 0.25);
+}
+
+TEST(CollectorFaults, DelayedWithdrawalRecordsLate) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.withdrawal_delay_probability = 1.0;
+  config.withdrawal_delay_min = 100 * kMinute;
+  config.withdrawal_delay_max = 100 * kMinute;
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  h.sim.run_until(t0 + 15 * kMinute + 99 * kMinute);
+  EXPECT_TRUE(session.view().contains(kV6)) << "cleared before the delay elapsed";
+  h.sim.run_until(t0 + 15 * kMinute + 102 * kMinute);
+  EXPECT_FALSE(session.view().contains(kV6));
+  // The withdrawal record carries the late timestamp.
+  const auto* last = std::get_if<mrt::Bgp4mpMessage>(&h.collector.updates().back());
+  ASSERT_NE(last, nullptr);
+  EXPECT_TRUE(last->update.is_withdrawal_only());
+  EXPECT_GE(last->timestamp, t0 + 15 * kMinute + 100 * kMinute);
+}
+
+TEST(CollectorFaults, DelayedWithdrawalCancelledByNewAnnouncement) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.withdrawal_delay_probability = 1.0;
+  config.withdrawal_delay_min = 100 * kMinute;
+  config.withdrawal_delay_max = 100 * kMinute;
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  // Re-announced before the delayed clear fires: the route must stay.
+  h.sim.announce(t0 + kHour, 100, kV6);
+  h.sim.run_until(t0 + 4 * kHour);
+  EXPECT_TRUE(session.view().contains(kV6));
+}
+
+TEST(CollectorFaults, ForcedDelayAppliesToSpecificPrefix) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.forced_delays.push_back({kV6, 145 * kMinute});
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.announce(t0, 100, kV4);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV4);
+  h.sim.run_until(t0 + 15 * kMinute + 60 * kMinute);
+  EXPECT_TRUE(session.view().contains(kV6));   // forced delay pending
+  EXPECT_FALSE(session.view().contains(kV4));  // other prefix unaffected
+  h.sim.run_until(t0 + 15 * kMinute + 150 * kMinute);
+  EXPECT_FALSE(session.view().contains(kV6));
+}
+
+TEST(CollectorFaults, PhantomReannounceRestoresStaleRoute) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.phantom_reannounce_probability = 1.0;
+  config.phantom_reannounce_min = 85 * kMinute;
+  config.phantom_reannounce_max = 85 * kMinute;
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  h.sim.run_until(t0 + 15 * kMinute + 60 * kMinute);
+  EXPECT_FALSE(session.view().contains(kV6)) << "withdrawal must be recorded on time";
+  h.sim.run_until(t0 + 15 * kMinute + 95 * kMinute);
+  EXPECT_TRUE(session.view().contains(kV6)) << "phantom re-announcement missing";
+  // The archive ends with an announcement of the stale path.
+  const auto* last = std::get_if<mrt::Bgp4mpMessage>(&h.collector.updates().back());
+  ASSERT_NE(last, nullptr);
+  EXPECT_TRUE(last->update.is_announcement());
+  EXPECT_EQ(last->update.attributes.as_path.origin_asn(), 100u);
+}
+
+TEST(CollectorFaults, PhantomCancelledByRealAnnouncement) {
+  Harness h;
+  SessionConfig config = base_session();
+  config.phantom_reannounce_probability = 1.0;
+  config.phantom_reannounce_min = 85 * kMinute;
+  config.phantom_reannounce_max = 85 * kMinute;
+  auto& session = h.collector.add_peer(h.sim, config, Rng(7));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.sim.announce(t0, 100, kV6);
+  h.sim.withdraw(t0 + 15 * kMinute, 100, kV6);
+  // A real announcement (and its own withdrawal) happen before the
+  // phantom fires; the phantom must not clobber the real state.
+  h.sim.announce(t0 + 30 * kMinute, 100, kV6);
+  h.sim.withdraw(t0 + 45 * kMinute, 100, kV6);
+  h.sim.run_until(t0 + 15 * kMinute + 90 * kMinute);
+  // The second withdrawal's own phantom is still pending (85 min after
+  // ~46 min); only the *first* phantom was cancelled.
+  h.sim.run_until(t0 + 46 * kMinute + 90 * kMinute);
+  EXPECT_TRUE(session.view().contains(kV6));
+}
+
+}  // namespace
+}  // namespace zombiescope::collector

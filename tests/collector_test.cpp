@@ -1,0 +1,251 @@
+// Tests for the collector: MRT archiving of peer sessions, session
+// noise, session resets with STATE messages, and RIB dumps.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collector/collector.hpp"
+#include "mrt/codec.hpp"
+#include "netbase/rng.hpp"
+
+namespace zombiescope::collector {
+namespace {
+
+using netbase::IpAddress;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::utc;
+using topology::Relationship;
+using topology::Topology;
+
+const Prefix kBeacon = Prefix::parse("2a0d:3dc1:1145::/48");
+
+Topology chain() {
+  // origin(100) -> transit(10) -> peerAS(20)
+  Topology topo;
+  topo.add_as({10, 2, "transit"});
+  topo.add_as({20, 2, "peerAS"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(10, 100, Relationship::kCustomer);
+  topo.add_link(10, 20, Relationship::kCustomer);
+  return topo;
+}
+
+struct Harness {
+  Topology topo = chain();
+  simnet::Simulation sim;
+  Collector collector;
+
+  explicit Harness(std::uint64_t seed = 1)
+      : sim(topo, simnet::SimConfig{2, 8, 60}, Rng(seed)),
+        collector("rrc25", 12654, IpAddress::parse("193.0.4.28")) {}
+};
+
+SessionConfig clean_session() {
+  SessionConfig config;
+  config.peer_asn = 20;
+  config.peer_address = IpAddress::parse("2001:678:3f4:5::1");
+  return config;
+}
+
+TEST(Collector, ArchivesAnnounceAndWithdraw) {
+  Harness s;
+  s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  s.sim.run_until(t0 + kHour);
+
+  const auto& updates = s.collector.updates();
+  ASSERT_GE(updates.size(), 2u);
+  const auto& first = std::get<mrt::Bgp4mpMessage>(updates.front());
+  EXPECT_TRUE(first.update.is_announcement());
+  EXPECT_EQ(first.peer_asn, 20u);
+  EXPECT_EQ(first.update.announced.at(0), kBeacon);
+  // The archived path starts with the peer's own ASN (full feed).
+  EXPECT_EQ(first.update.attributes.as_path.first_asn(), 20u);
+  EXPECT_EQ(first.update.attributes.as_path.origin_asn(), 100u);
+  const auto& last = std::get<mrt::Bgp4mpMessage>(updates.back());
+  EXPECT_TRUE(last.update.is_withdrawal_only());
+}
+
+TEST(Collector, ArchiveSurvivesMrtRoundTrip) {
+  Harness s;
+  s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  s.sim.run_until(t0 + kHour);
+
+  const auto bytes = mrt::encode_all(s.collector.updates());
+  const auto decoded = mrt::decode_all(bytes);
+  ASSERT_EQ(decoded.size(), s.collector.updates().size());
+  for (std::size_t i = 0; i < decoded.size(); ++i)
+    EXPECT_EQ(mrt::record_timestamp(decoded[i]),
+              mrt::record_timestamp(s.collector.updates()[i]));
+}
+
+TEST(Collector, NoisySessionKeepsStaleRoute) {
+  Harness s;
+  SessionConfig config = clean_session();
+  config.withdrawal_loss_probability = 1.0;  // always loses withdrawals
+  s.collector.add_peer(s.sim, config, Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  s.sim.run_until(t0 + 3 * kHour);
+
+  // The peer's actual RIB is clean...
+  EXPECT_EQ(s.sim.router(20).best(kBeacon), nullptr);
+  // ...but the collector still sees the route: a collector-side zombie.
+  const auto& session = *s.collector.sessions().front();
+  EXPECT_TRUE(session.view().contains(kBeacon));
+  // And no withdrawal record was archived.
+  for (const auto& record : s.collector.updates()) {
+    const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record);
+    if (msg != nullptr) {
+      EXPECT_FALSE(msg->update.is_withdrawal_only());
+    }
+  }
+}
+
+TEST(Collector, NoiseFilterRestrictsPrefixes) {
+  Harness s;
+  SessionConfig config = clean_session();
+  config.withdrawal_loss_probability = 1.0;
+  config.noise_prefix_filter = Prefix::parse("2a0d:3dc1::/32");
+  s.collector.add_peer(s.sim, config, Rng(2));
+  const Prefix outside = Prefix::parse("2001:db8:42::/48");
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.sim.announce(t0, 100, outside);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, outside);
+  s.sim.run_until(t0 + kHour);
+  const auto& session = *s.collector.sessions().front();
+  EXPECT_TRUE(session.view().contains(kBeacon));     // noise applied
+  EXPECT_FALSE(session.view().contains(outside));    // withdrawn cleanly
+}
+
+TEST(Collector, SessionResetEmitsStateMessagesAndResyncs) {
+  Harness s;
+  auto& session = s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  // Session flaps while the route is up.
+  session.schedule_reset(s.sim, t0 + 30 * kMinute, t0 + 40 * kMinute);
+  s.sim.run_until(t0 + kHour);
+
+  int state_changes = 0;
+  bool saw_down = false, saw_up = false;
+  for (const auto& record : s.collector.updates()) {
+    if (const auto* state = std::get_if<mrt::Bgp4mpStateChange>(&record)) {
+      ++state_changes;
+      if (state->new_state == bgp::SessionState::kIdle) saw_down = true;
+      if (state->new_state == bgp::SessionState::kEstablished) saw_up = true;
+    }
+  }
+  EXPECT_EQ(state_changes, 2);
+  EXPECT_TRUE(saw_down);
+  EXPECT_TRUE(saw_up);
+  // After re-establishment the view is re-synced from the peer's RIB.
+  EXPECT_TRUE(session.view().contains(kBeacon));
+}
+
+TEST(Collector, ResetWhileDownLosesWithdrawal) {
+  // The withdrawal happens while the session is down; the re-sync
+  // after re-establishment reflects the peer's clean table, so the
+  // collector ends up consistent (no phantom route).
+  Harness s;
+  auto& session = s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  session.schedule_reset(s.sim, t0 + 10 * kMinute, t0 + 40 * kMinute);
+  s.sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);  // lands in the gap
+  s.sim.run_until(t0 + kHour);
+  EXPECT_FALSE(session.view().contains(kBeacon));
+}
+
+TEST(Collector, RibDumpContainsPeerIndexAndEntries) {
+  Harness s;
+  s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.collector.schedule_rib_dumps(s.sim, t0 + kHour, t0 + kHour, 8 * kHour);
+  s.sim.run_until(t0 + 2 * kHour);
+
+  const auto& dumps = s.collector.rib_dumps();
+  ASSERT_EQ(dumps.size(), 2u);  // PEER_INDEX_TABLE + 1 prefix record
+  const auto& index = std::get<mrt::PeerIndexTable>(dumps[0]);
+  EXPECT_EQ(index.view_name, "rrc25");
+  ASSERT_EQ(index.peers.size(), 1u);
+  EXPECT_EQ(index.peers[0].asn, 20u);
+  const auto& rib = std::get<mrt::RibEntryRecord>(dumps[1]);
+  EXPECT_EQ(rib.prefix, kBeacon);
+  ASSERT_EQ(rib.entries.size(), 1u);
+  EXPECT_EQ(rib.entries[0].peer_index, 0);
+  EXPECT_EQ(rib.entries[0].attributes.as_path.origin_asn(), 100u);
+}
+
+TEST(Collector, RibDumpsEveryEightHoursSkipWithdrawnPrefixes) {
+  Harness s;
+  s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 0, 0, 0);
+  s.sim.announce(t0 + kHour, 100, kBeacon);
+  s.sim.withdraw(t0 + 10 * kHour, 100, kBeacon);
+  s.collector.schedule_rib_dumps(s.sim, t0, t0 + 24 * kHour, 8 * kHour);
+  s.sim.run_until(t0 + 25 * kHour);
+
+  // Dumps at 00:00 (no route), 08:00 (route), 16:00 (gone), 24:00.
+  int with_entries = 0, tables = 0;
+  for (const auto& record : s.collector.rib_dumps()) {
+    if (std::holds_alternative<mrt::PeerIndexTable>(record))
+      ++tables;
+    else
+      ++with_entries;
+  }
+  EXPECT_EQ(tables, 4);
+  EXPECT_EQ(with_entries, 1);
+}
+
+TEST(Collector, RibDumpRoundTripsThroughMrt) {
+  Harness s;
+  s.collector.add_peer(s.sim, clean_session(), Rng(2));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.collector.schedule_rib_dumps(s.sim, t0 + kHour, t0 + kHour, 8 * kHour);
+  s.sim.run_until(t0 + 2 * kHour);
+  const auto bytes = mrt::encode_all(s.collector.rib_dumps());
+  const auto decoded = mrt::decode_all(bytes);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(std::get<mrt::RibEntryRecord>(decoded[1]),
+            std::get<mrt::RibEntryRecord>(s.collector.rib_dumps()[1]));
+}
+
+TEST(Collector, MultipleSessionsSamePeerAs) {
+  // AS211509-style: one peer AS, two router sessions (v4 + v6
+  // transport). Both sessions observe the same router.
+  Harness s;
+  SessionConfig a = clean_session();
+  SessionConfig b = clean_session();
+  b.peer_address = IpAddress::parse("176.119.234.201");  // v4-transport session
+  s.collector.add_peer(s.sim, a, Rng(3));
+  s.collector.add_peer(s.sim, b, Rng(4));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  s.sim.announce(t0, 100, kBeacon);
+  s.sim.run_until(t0 + kHour);
+  EXPECT_TRUE(s.collector.sessions()[0]->view().contains(kBeacon));
+  EXPECT_TRUE(s.collector.sessions()[1]->view().contains(kBeacon));
+  // RIB dump lists both router addresses under the same ASN.
+  s.collector.dump_ribs(s.sim.now());
+  const auto& index = std::get<mrt::PeerIndexTable>(s.collector.rib_dumps()[0]);
+  ASSERT_EQ(index.peers.size(), 2u);
+  EXPECT_EQ(index.peers[0].asn, index.peers[1].asn);
+  EXPECT_NE(index.peers[0].address, index.peers[1].address);
+}
+
+}  // namespace
+}  // namespace zombiescope::collector

@@ -1,0 +1,142 @@
+// Tests for the data plane: longest-prefix-match forwarding over the
+// simulated Loc-RIBs, including the paper's Fig. 1 partial-outage
+// loop caused by a zombie more-specific.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "simnet/dataplane.hpp"
+
+namespace zombiescope::simnet {
+namespace {
+
+using netbase::IpAddress;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::utc;
+using topology::Relationship;
+using topology::Topology;
+
+// The Fig. 1 cast: AS1 announces a /48 inside a /32 owned by AS2.
+//
+//   ASY -- AS3 -- ASX -- AS1     (AS3 "dominant", e.g. Tier 1)
+//          |
+//          AS2                   (announces the /32)
+Topology fig1_topology() {
+  Topology topo;
+  topo.add_as({3, 1, "AS3-dominant"});
+  topo.add_as({900, 2, "ASX"});
+  topo.add_as({901, 2, "ASY"});
+  topo.add_as({1, 3, "AS1"});
+  topo.add_as({2, 3, "AS2"});
+  topo.add_link(3, 900, Relationship::kCustomer);
+  topo.add_link(3, 901, Relationship::kCustomer);
+  topo.add_link(3, 2, Relationship::kCustomer);
+  topo.add_link(900, 1, Relationship::kCustomer);
+  return topo;
+}
+
+const Prefix kSlash48 = Prefix::parse("2001:db8::/48");
+const Prefix kSlash32 = Prefix::parse("2001:db8::/32");
+const IpAddress kVictim = IpAddress::parse("2001:db8::1");  // inside the /48
+
+TEST(DataPlane, DeliversAlongBestPath) {
+  Topology topo = fig1_topology();
+  Simulation sim(topo, SimConfig{2, 8, 60}, Rng(1));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 1, kSlash48);
+  sim.run_until(t0 + kHour);
+  DataPlane plane(sim);
+  const auto result = plane.forward(901, kVictim);
+  EXPECT_EQ(result.outcome, ForwardingResult::Outcome::kDelivered);
+  ASSERT_EQ(result.hops.size(), 4u);  // ASY -> AS3 -> ASX -> AS1
+  EXPECT_EQ(result.hops.back(), 1u);
+}
+
+TEST(DataPlane, BlackholeWithoutAnyRoute) {
+  Topology topo = fig1_topology();
+  Simulation sim(topo, SimConfig{2, 8, 60}, Rng(1));
+  sim.run_until(utc(2024, 6, 4, 13, 0, 0));
+  DataPlane plane(sim);
+  EXPECT_EQ(plane.forward(901, kVictim).outcome, ForwardingResult::Outcome::kBlackhole);
+}
+
+TEST(DataPlane, LongestPrefixMatchPrefersMoreSpecific) {
+  Topology topo = fig1_topology();
+  Simulation sim(topo, SimConfig{2, 8, 60}, Rng(1));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 1, kSlash48);
+  sim.announce(t0, 2, kSlash32);
+  sim.run_until(t0 + kHour);
+  DataPlane plane(sim);
+  // Traffic to the /48 goes to AS1; traffic to the rest of the /32 to AS2.
+  EXPECT_EQ(plane.forward(901, kVictim).hops.back(), 1u);
+  EXPECT_EQ(plane.forward(901, IpAddress::parse("2001:db8:ffff::1")).hops.back(), 2u);
+}
+
+TEST(DataPlane, Fig1ZombieCausesForwardingLoop) {
+  // The paper's Fig. 1 partial outage, step by step:
+  //  1. AS1 stops advertising the /48, but ASX fails to propagate the
+  //     withdrawal to AS3, which keeps the zombie /48 via ASX.
+  //  2. AS2 starts announcing the covering /32.
+  //  3. A user in ASY sends traffic to 2001:db8::1: longest-prefix
+  //     match at AS3 picks the zombie /48 toward ASX; ASX only has the
+  //     /32 (via AS3) and bounces the packet back — a loop.
+  Topology topo = fig1_topology();
+  Simulation sim(topo, SimConfig{2, 8, 60}, Rng(1));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 1, kSlash48);
+  sim.run_until(t0 + kHour);
+
+  WithdrawalSuppression fault;  // ASX fails to tell AS3
+  fault.from_asn = 900;
+  fault.to_asn = 3;
+  fault.prefix_filter = kSlash48;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+
+  sim.withdraw(t0 + kHour + 5 * kMinute, 1, kSlash48);   // AS1 sells the /32
+  sim.announce(t0 + kHour + 30 * kMinute, 2, kSlash32);  // AS2 announces it
+  sim.run_until(t0 + 3 * kHour);
+
+  // Control plane state matches the figure: AS3 keeps the zombie /48,
+  // ASX does not have it.
+  EXPECT_NE(sim.router(3).best(kSlash48), nullptr);
+  EXPECT_EQ(sim.router(900).best(kSlash48), nullptr);
+
+  DataPlane plane(sim);
+  const auto result = plane.forward(901, kVictim);
+  EXPECT_EQ(result.outcome, ForwardingResult::Outcome::kLoop);
+  // The loop closes between AS3 and ASX.
+  EXPECT_TRUE(result.loop_at == 3 || result.loop_at == 900) << result.to_string();
+  // Traffic to the rest of the /32 is fine (partial outage).
+  EXPECT_EQ(plane.forward(901, IpAddress::parse("2001:db8:ffff::1")).outcome,
+            ForwardingResult::Outcome::kDelivered);
+}
+
+TEST(DataPlane, NextHopQueries) {
+  Topology topo = fig1_topology();
+  Simulation sim(topo, SimConfig{2, 8, 60}, Rng(1));
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 1, kSlash48);
+  sim.run_until(t0 + kHour);
+  DataPlane plane(sim);
+  EXPECT_EQ(plane.next_hop(901, kVictim), 3u);
+  EXPECT_EQ(plane.next_hop(3, kVictim), 900u);
+  EXPECT_EQ(plane.next_hop(900, kVictim), 1u);
+  EXPECT_EQ(plane.next_hop(1, kVictim), 1u);  // delivered locally
+  EXPECT_EQ(plane.next_hop(2, IpAddress::parse("10.0.0.1")), 0u);  // no route
+}
+
+TEST(DataPlane, ToStringRendersHops) {
+  ForwardingResult result;
+  result.hops = {901, 3, 900};
+  result.outcome = ForwardingResult::Outcome::kLoop;
+  result.loop_at = 3;
+  EXPECT_EQ(result.to_string(), "AS901 -> AS3 -> AS900 [LOOP at AS3, packets dropped]");
+}
+
+}  // namespace
+}  // namespace zombiescope::simnet

@@ -1,0 +1,188 @@
+// Tests for the streaming (real-time) zombie detector.
+
+#include <gtest/gtest.h>
+
+#include "zombie/realtime.hpp"
+
+namespace zombiescope::zombie {
+namespace {
+
+using beacon::BeaconEvent;
+using netbase::IpAddress;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::utc;
+
+const Prefix kBeacon = Prefix::parse("2a0d:3dc1:1200::/48");
+
+PeerKey peer_a() { return {64500, IpAddress::parse("192.0.2.1")}; }
+PeerKey peer_b() { return {64501, IpAddress::parse("192.0.2.2")}; }
+
+mrt::Bgp4mpMessage announce(netbase::TimePoint t, const PeerKey& peer, const Prefix& prefix) {
+  mrt::Bgp4mpMessage m;
+  m.timestamp = t;
+  m.peer_asn = peer.asn;
+  m.peer_address = peer.address;
+  m.local_asn = 12654;
+  m.local_address = IpAddress::parse("193.0.4.28");
+  m.update.announced.push_back(prefix);
+  m.update.attributes.as_path = bgp::AsPath{peer.asn, 25091, 8298, 210312};
+  m.update.attributes.next_hop = peer.address;
+  return m;
+}
+
+mrt::Bgp4mpMessage withdraw(netbase::TimePoint t, const PeerKey& peer, const Prefix& prefix) {
+  mrt::Bgp4mpMessage m;
+  m.timestamp = t;
+  m.peer_asn = peer.asn;
+  m.peer_address = peer.address;
+  m.local_asn = 12654;
+  m.local_address = IpAddress::parse("193.0.4.28");
+  m.update.withdrawn.push_back(prefix);
+  return m;
+}
+
+BeaconEvent event_at(netbase::TimePoint t) {
+  return {kBeacon, t, t + 15 * kMinute, false};
+}
+
+struct Harness {
+  RealTimeZombieDetector detector;
+  std::vector<ZombieAlert> alerts;
+  std::vector<ZombieResolution> resolutions;
+
+  explicit Harness(RealTimeConfig config = {}) : detector(std::move(config)) {
+    detector.on_alert([this](const ZombieAlert& a) { alerts.push_back(a); });
+    detector.on_resolution([this](const ZombieResolution& r) { resolutions.push_back(r); });
+  }
+};
+
+TEST(RealTime, AlertsAtDeadlineForStuckRoute) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.ingest(announce(t0 + 12, peer_b(), kBeacon));
+  h.detector.ingest(withdraw(t0 + 16 * kMinute, peer_b(), kBeacon));
+  EXPECT_TRUE(h.alerts.empty());
+
+  h.detector.advance(t0 + 15 * kMinute + 89 * kMinute);
+  EXPECT_TRUE(h.alerts.empty()) << "fired before the threshold";
+  h.detector.advance(t0 + 15 * kMinute + 90 * kMinute);
+  ASSERT_EQ(h.alerts.size(), 1u);
+  EXPECT_EQ(h.alerts[0].peer, peer_a());
+  EXPECT_EQ(h.alerts[0].prefix, kBeacon);
+  EXPECT_EQ(h.alerts[0].withdrawn_at, t0 + 15 * kMinute);
+  EXPECT_EQ(h.detector.active_zombies().size(), 1u);
+}
+
+TEST(RealTime, ResolutionReportsStuckDuration) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  const auto w = t0 + 15 * kMinute;
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.advance(w + 90 * kMinute);
+  ASSERT_EQ(h.alerts.size(), 1u);
+  // The stuck route finally clears 4 hours after the withdrawal.
+  h.detector.ingest(withdraw(w + 4 * kHour, peer_a(), kBeacon));
+  ASSERT_EQ(h.resolutions.size(), 1u);
+  EXPECT_EQ(h.resolutions[0].stuck_for(), 4 * kHour);
+  EXPECT_TRUE(h.detector.active_zombies().empty());
+}
+
+TEST(RealTime, SessionFlushResolves) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.advance(t0 + 15 * kMinute + 90 * kMinute);
+  ASSERT_EQ(h.alerts.size(), 1u);
+
+  mrt::Bgp4mpStateChange drop;
+  drop.timestamp = t0 + 3 * kHour;
+  drop.peer_asn = peer_a().asn;
+  drop.peer_address = peer_a().address;
+  drop.old_state = bgp::SessionState::kEstablished;
+  drop.new_state = bgp::SessionState::kIdle;
+  h.detector.ingest(drop);
+  EXPECT_EQ(h.resolutions.size(), 1u);
+}
+
+TEST(RealTime, LateAnnouncementAfterDeadlineAlertsImmediately) {
+  // The resurrection case: the route was withdrawn in time, but a new
+  // announcement arrives long after the deadline.
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  const auto w = t0 + 15 * kMinute;
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.ingest(withdraw(w + 5 * kMinute, peer_a(), kBeacon));
+  h.detector.advance(w + 90 * kMinute);
+  EXPECT_TRUE(h.alerts.empty());
+  // 170 minutes after the withdrawal: a new announcement (paper §5.1).
+  h.detector.ingest(announce(w + 170 * kMinute, peer_a(), kBeacon));
+  ASSERT_EQ(h.alerts.size(), 1u);
+  EXPECT_EQ(h.alerts[0].raised_at, w + 170 * kMinute);
+}
+
+TEST(RealTime, RecycledPrefixSupersedesWatch) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  // The prefix recycles a day later before the stuck route cleared.
+  h.detector.expect(event_at(t0 + 24 * kHour));
+  h.detector.advance(t0 + 24 * kHour);
+  // The old watch is gone: no alert for the old interval.
+  EXPECT_TRUE(h.alerts.empty());
+}
+
+TEST(RealTime, ExcludedPeersNeverAlert) {
+  RealTimeConfig config;
+  config.excluded_peer_asns.insert(peer_a().asn);
+  Harness h(config);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.advance(t0 + 15 * kMinute + 2 * kHour);
+  EXPECT_TRUE(h.alerts.empty());
+}
+
+TEST(RealTime, SupersededEventsIgnored) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  BeaconEvent event = event_at(t0);
+  event.superseded = true;
+  h.detector.expect(event);
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.advance(t0 + 6 * kHour);
+  EXPECT_TRUE(h.alerts.empty());
+}
+
+TEST(RealTime, MessagesBeforeAnnounceTimeIgnored) {
+  // Stale messages from a previous life of the prefix must not arm the
+  // watch.
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 - kHour, peer_a(), kBeacon));
+  h.detector.advance(t0 + 15 * kMinute + 2 * kHour);
+  EXPECT_TRUE(h.alerts.empty());
+}
+
+TEST(RealTime, CountersTrackTotals) {
+  Harness h;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  h.detector.expect(event_at(t0));
+  h.detector.ingest(announce(t0 + 10, peer_a(), kBeacon));
+  h.detector.ingest(announce(t0 + 11, peer_b(), kBeacon));
+  h.detector.advance(t0 + 15 * kMinute + 90 * kMinute);
+  EXPECT_EQ(h.detector.alerts_raised(), 2);
+  h.detector.ingest(withdraw(t0 + 5 * kHour, peer_a(), kBeacon));
+  EXPECT_EQ(h.detector.resolutions(), 1);
+}
+
+}  // namespace
+}  // namespace zombiescope::zombie

@@ -1,0 +1,157 @@
+// Tests for Route Status Transparency: the log semantics and the
+// auditor's ability to eliminate zombies (and nothing else).
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "rost/rost.hpp"
+
+namespace zombiescope::rost {
+namespace {
+
+using netbase::IpAddress;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::utc;
+using topology::Relationship;
+using topology::Topology;
+
+const Prefix kBeacon = Prefix::parse("2a0d:3dc1:1200::/48");
+
+TEST(TransparencyLog, StatusFollowsPublications) {
+  TransparencyLog log;
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0), RouteStatus::kUnknown);
+  log.publish_announce(kBeacon, 210312, t0);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0), RouteStatus::kAnnounced);
+  log.publish_withdraw(kBeacon, 210312, t0 + 15 * kMinute);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0 + 10 * kMinute), RouteStatus::kAnnounced);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0 + 20 * kMinute), RouteStatus::kWithdrawn);
+  // A different origin is a different key.
+  EXPECT_EQ(log.status(kBeacon, 4601, t0 + 20 * kMinute), RouteStatus::kUnknown);
+}
+
+TEST(TransparencyLog, VisibilityDelayHidesFreshEntries) {
+  TransparencyLog log(10 * kMinute);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  log.publish_announce(kBeacon, 210312, t0);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0 + 5 * kMinute), RouteStatus::kUnknown);
+  EXPECT_EQ(log.status(kBeacon, 210312, t0 + 11 * kMinute), RouteStatus::kAnnounced);
+}
+
+TEST(TransparencyLog, PublishEventsCoversSchedule) {
+  TransparencyLog log;
+  const auto schedule = beacon::LongLivedBeaconSchedule::paper_deployment(
+      beacon::LongLivedBeaconSchedule::Approach::kDaily);
+  const auto day = utc(2024, 6, 5);
+  const auto events = schedule.events(day, day + netbase::kDay);
+  publish_events(log, 210312, events);
+  EXPECT_EQ(log.publication_count(), events.size() * 2);
+  EXPECT_EQ(log.status(schedule.prefix_for(day), 210312, day + 5 * kMinute),
+            RouteStatus::kAnnounced);
+  EXPECT_EQ(log.status(schedule.prefix_for(day), 210312, day + kHour),
+            RouteStatus::kWithdrawn);
+}
+
+// The quickstart diamond with a withdrawal suppression toward T1b.
+Topology diamond() {
+  Topology topo;
+  topo.add_as({1, 1, "T1a"});
+  topo.add_as({2, 1, "T1b"});
+  topo.add_as({11, 2, "M1"});
+  topo.add_as({13, 2, "M3"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(1, 11, Relationship::kCustomer);
+  topo.add_link(2, 13, Relationship::kCustomer);
+  topo.add_link(11, 100, Relationship::kCustomer);
+  topo.add_link(13, 100, Relationship::kCustomer);
+  return topo;
+}
+
+struct ZombieSetup {
+  Topology topo = diamond();
+  simnet::Simulation sim;
+  TransparencyLog log;
+  netbase::TimePoint t0 = utc(2024, 6, 4, 12, 0, 0);
+
+  ZombieSetup() : sim(topo, simnet::SimConfig{2, 8, 60}, Rng(5)) {
+    simnet::WithdrawalSuppression fault;
+    fault.from_asn = 13;
+    fault.to_asn = 2;
+    fault.window = {t0, std::nullopt};
+    sim.add_withdrawal_suppression(fault);
+    sim.announce(t0, 100, kBeacon);
+    sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+    log.publish_announce(kBeacon, 100, t0);
+    log.publish_withdraw(kBeacon, 100, t0 + 15 * kMinute);
+  }
+};
+
+TEST(RostAuditor, EnrolledAsEvictsItsZombie) {
+  ZombieSetup s;
+  RostAuditor auditor(s.sim, s.log, RostConfig{30 * kMinute});
+  auditor.enroll(2);
+  auditor.schedule(s.t0, s.t0 + 6 * kHour);
+  s.sim.run_until(s.t0 + 6 * kHour);
+  EXPECT_EQ(s.sim.router(2).best(kBeacon), nullptr);
+  EXPECT_GE(auditor.evictions(), 1);
+}
+
+TEST(RostAuditor, WithoutEnrollmentZombieSurvives) {
+  ZombieSetup s;
+  RostAuditor auditor(s.sim, s.log, RostConfig{30 * kMinute});
+  auditor.schedule(s.t0, s.t0 + 6 * kHour);  // nobody enrolled
+  s.sim.run_until(s.t0 + 6 * kHour);
+  EXPECT_NE(s.sim.router(2).best(kBeacon), nullptr);
+  EXPECT_EQ(auditor.evictions(), 0);
+}
+
+TEST(RostAuditor, EvictionPropagatesDownstream) {
+  // The zombie spreads from T1b to T1a and M1 via the peer link.
+  // Enrolling only T1b cleans the whole region: the eviction produces
+  // real withdrawals that propagate.
+  ZombieSetup s;
+  s.sim.run_until(s.t0 + 2 * kHour);
+  ASSERT_NE(s.sim.router(1).best(kBeacon), nullptr);  // infected via T1b
+  RostAuditor auditor(s.sim, s.log, RostConfig{30 * kMinute});
+  auditor.enroll(2);
+  auditor.schedule(s.t0 + 2 * kHour, s.t0 + 4 * kHour);
+  s.sim.run_until(s.t0 + 5 * kHour);
+  EXPECT_EQ(s.sim.router(2).best(kBeacon), nullptr);
+  EXPECT_EQ(s.sim.router(1).best(kBeacon), nullptr);
+  EXPECT_EQ(s.sim.router(11).best(kBeacon), nullptr);
+}
+
+TEST(RostAuditor, DoesNotEvictLegitimateRoutes) {
+  ZombieSetup s;
+  // A second prefix that stays legitimately announced.
+  const Prefix legit = Prefix::parse("2a0d:3dc1:aaaa::/48");
+  s.sim.announce(s.t0, 100, legit);
+  s.log.publish_announce(legit, 100, s.t0);
+  RostAuditor auditor(s.sim, s.log, RostConfig{30 * kMinute});
+  for (bgp::Asn asn : s.topo.all_asns()) auditor.enroll(asn);
+  auditor.schedule(s.t0, s.t0 + 6 * kHour);
+  s.sim.run_until(s.t0 + 6 * kHour);
+  EXPECT_EQ(s.sim.router(2).best(kBeacon), nullptr);      // zombie gone
+  EXPECT_NE(s.sim.router(2).best(legit), nullptr);        // legit route intact
+  EXPECT_NE(s.sim.router(1).best(legit), nullptr);
+}
+
+TEST(RostAuditor, UnknownOriginIsLeftAlone) {
+  // Routes whose origin never publishes (non-participating origin)
+  // must not be touched.
+  ZombieSetup s;
+  const Prefix foreign = Prefix::parse("2001:db8:77::/48");
+  s.sim.announce(s.t0, 100, foreign);  // never published to the log
+  RostAuditor auditor(s.sim, s.log, RostConfig{30 * kMinute});
+  for (bgp::Asn asn : s.topo.all_asns()) auditor.enroll(asn);
+  auditor.schedule(s.t0, s.t0 + 2 * kHour);
+  s.sim.run_until(s.t0 + 2 * kHour);
+  EXPECT_NE(s.sim.router(2).best(foreign), nullptr);
+}
+
+}  // namespace
+}  // namespace zombiescope::rost

@@ -1,0 +1,119 @@
+// Tests for ROA/ROV semantics, including the timed ROA removal the
+// paper performs on 2024-06-22 19:49 UTC.
+
+#include <gtest/gtest.h>
+
+#include "netbase/time.hpp"
+#include "rpki/rov.hpp"
+
+namespace zombiescope::rpki {
+namespace {
+
+using netbase::Prefix;
+using netbase::utc;
+
+Roa beacon_roa() {
+  return Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 210312};
+}
+
+TEST(Rov, NotFoundWithoutAnyRoa) {
+  RoaTable table;
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 10)),
+            RovState::kNotFound);
+}
+
+TEST(Rov, ValidWithinMaxLengthAndOrigin) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 10)),
+            RovState::kValid);
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1::/32"), 210312, utc(2024, 6, 10)),
+            RovState::kValid);
+}
+
+TEST(Rov, InvalidOnWrongOrigin) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 666, utc(2024, 6, 10)),
+            RovState::kInvalid);
+}
+
+TEST(Rov, InvalidBeyondMaxLength) {
+  RoaTable table;
+  table.add(Roa{Prefix::parse("2a0d:3dc1::/32"), 40, 210312}, utc(2024, 6, 1));
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 10)),
+            RovState::kInvalid);
+}
+
+TEST(Rov, NotFoundBeforeRegistration) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 5, 31)),
+            RovState::kNotFound);
+}
+
+TEST(Rov, RemovalFlipsValidToInvalidThenNotFound) {
+  // After the paper removed its ROA, routes became RPKI-invalid...
+  // no: with no covering ROA the state is NotFound. A different ROA on
+  // the covering prefix would make them Invalid. Model both.
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  ASSERT_EQ(table.remove(beacon_roa(), utc(2024, 6, 22, 19, 49, 0)), 1);
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 10)),
+            RovState::kValid);  // history preserved
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 23)),
+            RovState::kNotFound);
+}
+
+TEST(Rov, RemovalVisibilityDelayModelsRpkiTimeOfFlight) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  const auto removal = utc(2024, 6, 22, 19, 49, 0);
+  table.remove(beacon_roa(), removal, 2 * netbase::kHour);
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312,
+                           removal + netbase::kHour),
+            RovState::kValid);  // routers have not seen the deletion yet
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312,
+                           removal + 3 * netbase::kHour),
+            RovState::kNotFound);
+}
+
+TEST(Rov, RemoveOnlyMatchesIdenticalRoa) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  Roa other = beacon_roa();
+  other.asn = 4601;
+  EXPECT_EQ(table.remove(other, utc(2024, 6, 22)), 0);
+}
+
+TEST(Rov, CompetingRoasOneValidWins) {
+  // RFC 6811: Invalid only if NO matching ROA validates the route.
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  table.add(Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 4601}, utc(2024, 6, 1));
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 4601, utc(2024, 6, 10)),
+            RovState::kValid);
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 210312, utc(2024, 6, 10)),
+            RovState::kValid);
+  EXPECT_EQ(table.validate(Prefix::parse("2a0d:3dc1:1851::/48"), 666, utc(2024, 6, 10)),
+            RovState::kInvalid);
+}
+
+TEST(Rov, ChangeTimesAreSortedUnique) {
+  RoaTable table;
+  table.add(beacon_roa(), utc(2024, 6, 1));
+  table.add(Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 4601}, utc(2024, 6, 1));
+  table.remove(beacon_roa(), utc(2024, 6, 22, 19, 49, 0));
+  const auto times = table.change_times();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], utc(2024, 6, 1));
+  EXPECT_EQ(times[1], utc(2024, 6, 22, 19, 49, 0));
+}
+
+TEST(Rov, StringsForDiagnostics) {
+  EXPECT_EQ(to_string(RovState::kInvalid), "Invalid");
+  EXPECT_EQ(to_string(RovPolicy::kImportOnly), "import-only");
+}
+
+}  // namespace
+}  // namespace zombiescope::rpki

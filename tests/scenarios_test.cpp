@@ -1,0 +1,163 @@
+// Integration tests for the scenario builders, on trimmed-down specs
+// so they run in seconds. These validate the full pipeline: simulate →
+// archive MRT → detect.
+
+#include <gtest/gtest.h>
+
+#include "scenarios/longlived2024.hpp"
+#include "scenarios/ris_replication.hpp"
+#include "zombie/interval_detector.hpp"
+#include "zombie/longlived.hpp"
+#include "zombie/noisy.hpp"
+#include "zombie/rootcause.hpp"
+
+namespace zombiescope::scenarios {
+namespace {
+
+using netbase::kDay;
+using netbase::kMinute;
+using netbase::utc;
+
+RisPeriodSpec short_ris_spec() {
+  RisPeriodSpec spec = period_2018jul();
+  spec.end = spec.start + 5 * kDay;  // 30 intervals
+  // Several stall injections so at least one lands on a transit AS
+  // that downstream monitors actually route through (the injection
+  // sites are drawn randomly).
+  spec.longlived_v4 = 4;
+  spec.longlived_v6 = 4;
+  spec.span_min_intervals = 3;
+  spec.span_max_intervals = 6;
+  spec.sessionwide_v4 = 1;
+  spec.sessionwide_v6 = 1;
+  return spec;
+}
+
+TEST(RisScenario, ProducesCoherentArchive) {
+  const auto spec = short_ris_spec();
+  const auto out = run_ris_period(spec);
+  ASSERT_FALSE(out.updates.empty());
+  ASSERT_FALSE(out.events.empty());
+  EXPECT_EQ(out.events.size(), 30u * 27u);
+  // Archive is time-sorted.
+  for (std::size_t i = 1; i < out.updates.size(); ++i)
+    ASSERT_LE(mrt::record_timestamp(out.updates[i - 1]),
+              mrt::record_timestamp(out.updates[i]));
+  // The noisy session is among the peers.
+  bool noisy_seen = false;
+  for (const auto& record : out.updates) {
+    const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record);
+    if (msg != nullptr && msg->peer_asn == kNoisyRisPeerAsn) noisy_seen = true;
+  }
+  EXPECT_TRUE(noisy_seen);
+}
+
+TEST(RisScenario, DetectorFindsZombiesAndDuplicates) {
+  const auto out = run_ris_period(short_ris_spec());
+  zombie::IntervalZombieDetector detector({});
+  const auto result = detector.detect(out.updates, out.events);
+  EXPECT_GT(result.outbreaks_with_duplicates.size(), 0u);
+  EXPECT_GE(result.outbreaks_with_duplicates.size(), result.outbreaks_deduplicated.size());
+  // The long-lived stall must produce at least one Aggregator-flagged
+  // duplicate.
+  bool duplicate_found = false;
+  for (const auto& route : result.routes)
+    if (route.duplicate) duplicate_found = true;
+  EXPECT_TRUE(duplicate_found);
+  // Every announced beacon interval is visible at some peer.
+  EXPECT_GT(result.visible_prefixes, 700);
+}
+
+TEST(RisScenario, NoisyPeerHasOutlierProbability) {
+  const auto out = run_ris_period(short_ris_spec());
+  zombie::IntervalZombieDetector detector({});
+  const auto result = detector.detect(out.updates, out.events);
+  int noisy_routes = 0, other_routes = 0;
+  for (const auto& route : result.routes)
+    (route.peer.asn == kNoisyRisPeerAsn ? noisy_routes : other_routes)++;
+  // v6 events: 14/27 of 810, noisy loses ~43%.
+  EXPECT_GT(noisy_routes, 100);
+}
+
+TEST(RisScenario, DeterministicAcrossRuns) {
+  const auto a = run_ris_period(short_ris_spec());
+  const auto b = run_ris_period(short_ris_spec());
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  EXPECT_EQ(a.sim_stats.messages_delivered, b.sim_stats.messages_delivered);
+  for (std::size_t i = 0; i < a.updates.size(); i += 997)
+    EXPECT_EQ(mrt::record_timestamp(a.updates[i]), mrt::record_timestamp(b.updates[i]));
+}
+
+LongLived2024Spec short_longlived_spec() {
+  LongLived2024Spec spec;
+  spec.monitor_until = utc(2024, 7, 1);  // June only
+  return spec;
+}
+
+TEST(LongLivedScenario, AnecdotePrefixesAreCorrect) {
+  const auto out = run_longlived2024(short_longlived_spec());
+  EXPECT_EQ(out.resurrected_prefix.to_string(), "2a0d:3dc1:1851::/48");
+  EXPECT_EQ(out.impactful_prefix.to_string(), "2a0d:3dc1:2233::/48");
+  EXPECT_EQ(out.longest_prefix.to_string(), "2a0d:3dc1:163::/48");
+  EXPECT_EQ(out.rrc25_noisy_routers.size(), 3u);
+  EXPECT_GT(out.studied_announcements, 1600);
+  EXPECT_LT(out.studied_announcements, 1760);
+}
+
+TEST(LongLivedScenario, ImpactfulOutbreakDetectedWithRootCause) {
+  const auto out = run_longlived2024(short_longlived_spec());
+  zombie::LongLivedConfig config;
+  for (const auto& peer : out.noisy_peers) config.excluded_peers.insert(peer);
+  zombie::LongLivedZombieDetector detector{config};
+  const auto result = detector.detect(out.updates, out.events, 180 * kMinute);
+
+  const zombie::ZombieOutbreak* impactful = nullptr;
+  for (const auto& outbreak : result.outbreaks)
+    if (outbreak.prefix == out.impactful_prefix) impactful = &outbreak;
+  ASSERT_NE(impactful, nullptr);
+  EXPECT_GT(impactful->peer_as_count(), 5);
+  const auto cause = zombie::infer_root_cause(*impactful);
+  ASSERT_TRUE(cause.suspect.has_value());
+  EXPECT_EQ(*cause.suspect, Cast::kCoreBackbone);
+  EXPECT_EQ(cause.common_subpath(), "33891 25091 8298 210312");
+}
+
+TEST(LongLivedScenario, TwoNoisyRoutersOfSameAsAreIdentical) {
+  const auto out = run_longlived2024(short_longlived_spec());
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto result = detector.detect(out.updates, out.events, 90 * kMinute);
+  int a = 0, b = 0;
+  for (const auto& outbreak : result.outbreaks) {
+    for (const auto& route : outbreak.routes) {
+      if (route.peer == out.rrc25_noisy_routers[0]) ++a;
+      if (route.peer == out.rrc25_noisy_routers[1]) ++b;
+    }
+  }
+  EXPECT_GT(a, 50);
+  EXPECT_EQ(a, b) << "the two AS211509 transports must report identical stuck sets";
+}
+
+TEST(LongLivedScenario, NoisyFilterDiscoversInjectedSessions) {
+  const auto out = run_longlived2024(short_longlived_spec());
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto result = detector.detect(out.updates, out.events, 90 * kMinute);
+  std::vector<zombie::ZombieRoute> routes;
+  for (const auto& outbreak : result.outbreaks)
+    for (const auto& route : outbreak.routes) routes.push_back(route);
+  zombie::NoisyPeerFilter filter;
+  const auto detected =
+      filter.noisy_peer_keys(routes, out.all_peers, out.studied_announcements);
+  EXPECT_EQ(detected, out.noisy_peers);
+}
+
+TEST(LongLivedScenario, RibDumpsCoverJune) {
+  const auto out = run_longlived2024(short_longlived_spec());
+  int tables = 0;
+  for (const auto& record : out.rib_dumps)
+    if (std::holds_alternative<mrt::PeerIndexTable>(record)) ++tables;
+  // 27 days x 3 dumps x 2 collectors.
+  EXPECT_GT(tables, 150);
+}
+
+}  // namespace
+}  // namespace zombiescope::scenarios

@@ -1,0 +1,178 @@
+// Tests for the BGP session FSM: establishment, keepalive/hold
+// machinery, the zero-TCP-window zombie pathology, and the RFC 9687
+// send-hold-timer remedy.
+
+#include <gtest/gtest.h>
+
+#include "bgp/session_fsm.hpp"
+
+namespace zombiescope::bgp {
+namespace {
+
+using netbase::kMinute;
+using netbase::TimePoint;
+
+UpdateMessage withdrawal() {
+  UpdateMessage msg;
+  msg.withdrawn.push_back(netbase::Prefix::parse("2a0d:3dc1:1851::/48"));
+  return msg;
+}
+
+/// A two-endpoint harness with per-side read windows (the TCP receive
+/// window abstraction). advance() moves time in 1-second steps,
+/// ticking both sides and shuttling messages subject to the windows.
+struct Wire {
+  SessionFsm a;
+  SessionFsm b;
+  bool a_reads = true;  // does A read what B sends?
+  bool b_reads = true;  // does B read what A sends?
+  TimePoint now = 0;
+
+  Wire(FsmConfig config_a, FsmConfig config_b) : a(config_a), b(config_b) {}
+
+  void establish() {
+    a.start(now);
+    b.start(now);
+    a.connected(now);
+    b.connected(now);
+    advance(5);
+    ASSERT_EQ(a.state(), FsmState::kEstablished);
+    ASSERT_EQ(b.state(), FsmState::kEstablished);
+  }
+
+  void advance(netbase::Duration seconds) {
+    for (netbase::Duration i = 0; i < seconds; ++i) {
+      ++now;
+      a.tick(now);
+      b.tick(now);
+      if (b_reads)
+        for (const auto& message : a.drain(now, 16)) b.receive(now, message);
+      if (a_reads)
+        for (const auto& message : b.drain(now, 16)) a.receive(now, message);
+    }
+  }
+};
+
+FsmConfig plain() { return FsmConfig{90, 30, 0}; }
+FsmConfig with_send_hold(netbase::Duration t) { return FsmConfig{90, 30, t}; }
+
+TEST(SessionFsm, HandshakeReachesEstablished) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  EXPECT_EQ(wire.a.session_drops(), 0);
+}
+
+TEST(SessionFsm, KeepalivesSustainTheSession) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  wire.advance(20 * kMinute);
+  EXPECT_EQ(wire.a.state(), FsmState::kEstablished);
+  EXPECT_EQ(wire.b.state(), FsmState::kEstablished);
+}
+
+TEST(SessionFsm, HoldTimerFiresWhenPeerGoesSilent) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  // B's messages stop reaching A entirely (link cut one way).
+  wire.a_reads = false;
+  wire.advance(91);
+  EXPECT_EQ(wire.a.state(), FsmState::kIdle);
+  EXPECT_EQ(wire.a.last_error(), "hold timer expired");
+}
+
+TEST(SessionFsm, UpdatesFlowWhenHealthy) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  EXPECT_TRUE(wire.a.send_update(wire.now, withdrawal()));
+  wire.advance(2);
+  EXPECT_EQ(wire.a.queued(), 0u);
+}
+
+TEST(SessionFsm, SendUpdateRequiresEstablished) {
+  SessionFsm fsm(plain());
+  EXPECT_FALSE(fsm.send_update(0, withdrawal()));
+}
+
+FsmConfig wedged_box() {
+  // The buggy box: keeps generating KEEPALIVEs, never reads, and its
+  // own hold timer never fires (that is the bug — a healthy box would
+  // tear down when it stops processing input).
+  return FsmConfig{0, 30, 0};
+}
+
+TEST(SessionFsm, ZeroWindowPathologyWithoutRfc9687) {
+  // The Cartwright-Cox incident: B wedges — it keeps sending
+  // KEEPALIVEs but never reads. A's withdrawals queue forever; A's
+  // hold timer never fires (B's keepalives keep arriving); the session
+  // stays Established indefinitely. Every route B holds is a zombie.
+  Wire wire(plain(), wedged_box());
+  wire.establish();
+  wire.b_reads = false;  // zero receive window at B
+  EXPECT_TRUE(wire.a.send_update(wire.now, withdrawal()));
+  wire.advance(60 * kMinute);
+  EXPECT_EQ(wire.a.state(), FsmState::kEstablished) << "pre-9687: session never drops";
+  EXPECT_GT(wire.a.queued(), 0u) << "the withdrawal is still stuck in the queue";
+  EXPECT_EQ(wire.a.session_drops(), 0);
+}
+
+TEST(SessionFsm, SendHoldTimerTearsDownWedgedSession) {
+  // Same pathology, with RFC 9687 enabled on A (send hold 8 minutes).
+  Wire wire(with_send_hold(8 * kMinute), wedged_box());
+  wire.establish();
+  wire.b_reads = false;
+  EXPECT_TRUE(wire.a.send_update(wire.now, withdrawal()));
+  wire.advance(8 * kMinute + 30);
+  EXPECT_EQ(wire.a.state(), FsmState::kIdle);
+  EXPECT_EQ(wire.a.last_error(), "send hold timer expired (RFC 9687)");
+  EXPECT_EQ(wire.a.session_drops(), 1);
+}
+
+TEST(SessionFsm, SendHoldTimerDoesNotFireUnderNormalOperation) {
+  Wire wire(with_send_hold(8 * kMinute), with_send_hold(8 * kMinute));
+  wire.establish();
+  for (int i = 0; i < 30; ++i) {
+    wire.a.send_update(wire.now, withdrawal());
+    wire.advance(2 * kMinute);
+  }
+  EXPECT_EQ(wire.a.state(), FsmState::kEstablished);
+  EXPECT_EQ(wire.a.session_drops(), 0);
+}
+
+TEST(SessionFsm, SendHoldTimerRestartsOnPartialProgress) {
+  // The peer reads slowly but steadily: as long as the queue makes
+  // progress, RFC 9687 must not fire.
+  Wire wire(with_send_hold(5 * kMinute), plain());  // healthy peer
+  wire.establish();
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 40; ++i) wire.a.send_update(wire.now, withdrawal());
+    wire.advance(4 * kMinute);  // drain rate 16/s clears each burst
+  }
+  EXPECT_EQ(wire.a.state(), FsmState::kEstablished);
+}
+
+TEST(SessionFsm, NotificationDropsSession) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  wire.b.receive(wire.now, FsmMessage{MessageType::kNotification, std::nullopt});
+  EXPECT_EQ(wire.b.state(), FsmState::kIdle);
+  EXPECT_EQ(wire.b.last_error(), "NOTIFICATION from peer");
+}
+
+TEST(SessionFsm, StopClearsQueues) {
+  Wire wire(plain(), plain());
+  wire.establish();
+  wire.b_reads = false;
+  wire.a.send_update(wire.now, withdrawal());
+  EXPECT_GT(wire.a.queued(), 0u);
+  wire.a.stop(wire.now);
+  EXPECT_EQ(wire.a.state(), FsmState::kIdle);
+  EXPECT_EQ(wire.a.queued(), 0u);
+}
+
+TEST(SessionFsm, StateNames) {
+  EXPECT_EQ(to_string(FsmState::kEstablished), "Established");
+  EXPECT_EQ(to_string(FsmState::kOpenConfirm), "OpenConfirm");
+}
+
+}  // namespace
+}  // namespace zombiescope::bgp

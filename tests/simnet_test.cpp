@@ -1,0 +1,464 @@
+// Tests for the BGP propagation simulator: convergence, valley-free
+// export, decision process, path hunting, fault injection (the zombie
+// mechanisms), session resets (resurrection), and ROV interaction.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::simnet {
+namespace {
+
+using netbase::kDay;
+using netbase::kHour;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::Rng;
+using netbase::utc;
+using topology::GeneratorParams;
+using topology::Relationship;
+using topology::Topology;
+
+const Prefix kBeacon = Prefix::parse("2a0d:3dc1:1145::/48");
+
+// A small fixed topology:
+//
+//        T1a ---- T1b          (peer)
+//        /  \      |
+//      M1    M2   M3           (customers of T1s)
+//       \    /     |
+//        ORIGIN----+           (customer of M1, M2, M3)
+//
+Topology diamond() {
+  Topology topo;
+  topo.add_as({1, 1, "T1a"});
+  topo.add_as({2, 1, "T1b"});
+  topo.add_as({11, 2, "M1"});
+  topo.add_as({12, 2, "M2"});
+  topo.add_as({13, 2, "M3"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(1, 11, Relationship::kCustomer);
+  topo.add_link(1, 12, Relationship::kCustomer);
+  topo.add_link(2, 13, Relationship::kCustomer);
+  topo.add_link(11, 100, Relationship::kCustomer);
+  topo.add_link(12, 100, Relationship::kCustomer);
+  topo.add_link(13, 100, Relationship::kCustomer);
+  return topo;
+}
+
+Simulation make_sim(const Topology& topo, std::uint64_t seed = 1) {
+  SimConfig config;
+  config.min_link_delay = 2;
+  config.max_link_delay = 10;
+  return Simulation(topo, config, Rng(seed));
+}
+
+TEST(Simulation, AnnouncementReachesEveryAs) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  for (bgp::Asn asn : topo.all_asns()) {
+    if (asn == 100) continue;
+    const RouteEntry* best = sim.router(asn).best(kBeacon);
+    ASSERT_NE(best, nullptr) << "AS" << asn;
+    EXPECT_EQ(best->path.origin_asn(), 100u) << "AS" << asn;
+    EXPECT_FALSE(best->path.contains(asn)) << "AS" << asn;
+  }
+}
+
+TEST(Simulation, WithdrawalClearsEveryAsWithoutFaults) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 2 * kHour);
+  for (bgp::Asn asn : topo.all_asns())
+    EXPECT_EQ(sim.router(asn).best(kBeacon), nullptr) << "AS" << asn;
+}
+
+TEST(Simulation, NoFaultsNoZombiesOnGeneratedTopology) {
+  // The fundamental soundness invariant: with no fault injection, a
+  // withdrawal leaves no route behind anywhere, for any seed.
+  GeneratorParams params;
+  params.tier1_count = 4;
+  params.tier2_count = 16;
+  params.tier3_count = 60;
+  for (std::uint64_t seed : {3u, 14u, 159u}) {
+    Rng rng(seed);
+    Topology topo = topology::generate_hierarchical(params, rng);
+    Simulation sim = make_sim(topo, seed);
+    const bgp::Asn origin = topo.all_asns().back();
+    const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+    sim.announce(t0, origin, kBeacon);
+    sim.withdraw(t0 + 15 * kMinute, origin, kBeacon);
+    sim.run_until(t0 + 6 * kHour);
+    for (bgp::Asn asn : topo.all_asns())
+      ASSERT_EQ(sim.router(asn).best(kBeacon), nullptr) << "seed " << seed << " AS" << asn;
+  }
+}
+
+TEST(Simulation, ValleyFreeExport) {
+  // M3 must not give T1b's route to another provider, and a route
+  // learned from the T1 peer link must not be re-exported to a peer.
+  Topology topo;
+  topo.add_as({1, 1, "T1a"});
+  topo.add_as({2, 1, "T1b"});
+  topo.add_as({3, 1, "T1c"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(2, 3, Relationship::kPeer);
+  topo.add_link(1, 100, Relationship::kCustomer);
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  // T1b learns it from its peer T1a (customer route of T1a: exported
+  // to peers). T1c must NOT have it: T1b may not export a peer route
+  // to another peer.
+  EXPECT_NE(sim.router(2).best(kBeacon), nullptr);
+  EXPECT_EQ(sim.router(3).best(kBeacon), nullptr);
+}
+
+TEST(Simulation, PrefersCustomerRouteOverPeerRoute) {
+  // T1a hears the prefix from its customer M1 and from its peer T1b;
+  // it must pick the customer route even if longer.
+  Topology topo;
+  topo.add_as({1, 1, "T1a"});
+  topo.add_as({2, 1, "T1b"});
+  topo.add_as({11, 2, "M1"});
+  topo.add_as({12, 2, "M1b"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(1, 11, Relationship::kCustomer);
+  topo.add_link(11, 12, Relationship::kCustomer);
+  topo.add_link(12, 100, Relationship::kCustomer);
+  topo.add_link(2, 100, Relationship::kCustomer);
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  const RouteEntry* best = sim.router(1).best(kBeacon);
+  ASSERT_NE(best, nullptr);
+  // Customer chain 11-12-100 (3 hops) preferred over peer 2-100 (2 hops).
+  EXPECT_EQ(best->path.to_string(), "11 12 100");
+}
+
+TEST(Simulation, WithdrawalSuppressionCreatesZombie) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  // M3 fails to propagate withdrawals to T1b (paper Fig. 1, step 2-3).
+  WithdrawalSuppression fault;
+  fault.from_asn = 13;
+  fault.to_asn = 2;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 3 * kHour);
+
+  // T1b holds the seed zombie. Because T1b learned the stale route
+  // from its *customer* M3, it (re)exports it to its peer T1a and
+  // onward to T1a's customers — the outbreak spreads through the
+  // region that lost its own routes (the paper's palm-tree pattern).
+  EXPECT_GT(sim.stats().messages_suppressed, 0u);
+  const RouteEntry* seed = sim.router(2).best(kBeacon);
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->path.to_string(), "13 100");
+  for (bgp::Asn asn : {1u, 11u, 12u}) {
+    const RouteEntry* infected = sim.router(asn).best(kBeacon);
+    ASSERT_NE(infected, nullptr) << "AS" << asn;
+    // Every zombie route goes through the infected T1b (AS2): the
+    // common subpath ends "2 13 100".
+    EXPECT_TRUE(infected->path.ends_with({2, 13, 100})) << infected->path.to_string();
+  }
+  // The culprit's upstream M3 and the origin itself are clean (loop
+  // detection stops the zombie from flowing back).
+  EXPECT_EQ(sim.router(13).best(kBeacon), nullptr);
+  EXPECT_EQ(sim.router(100).best(kBeacon), nullptr);
+}
+
+TEST(Simulation, SuppressionPrefixFilterLimitsBlastRadius) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  const Prefix other = Prefix::parse("2a0d:3dc1:2233::/48");
+  WithdrawalSuppression fault;
+  fault.from_asn = 13;
+  fault.to_asn = 2;
+  fault.prefix_filter = kBeacon;  // only this beacon gets stuck
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+
+  sim.announce(t0, 100, kBeacon);
+  sim.announce(t0, 100, other);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, other);
+  sim.run_until(t0 + 3 * kHour);
+  EXPECT_NE(sim.router(2).best(kBeacon), nullptr);
+  EXPECT_EQ(sim.router(2).best(other), nullptr);
+}
+
+TEST(Simulation, ReceiveStallCreatesZombie) {
+  // The zero-window bug: T1b stops processing updates for a while;
+  // the withdrawal arrives during the stall and is lost forever.
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  ReceiveStall stall;
+  stall.asn = 2;
+  stall.window = {t0 + 10 * kMinute, t0 + kHour};
+  sim.add_receive_stall(stall);
+
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 3 * kHour);
+  EXPECT_NE(sim.router(2).best(kBeacon), nullptr);
+  EXPECT_GT(sim.stats().messages_stalled, 0u);
+}
+
+TEST(Simulation, SessionOutageResurrectsZombie) {
+  // T1b holds a zombie (suppressed withdrawal from M3). Its peering
+  // session with T1a is down across the withdrawal window, so T1a
+  // flushes T1b's routes and converges to "no route" (its customer
+  // routes are withdrawn cleanly). A week later the session
+  // re-establishes: T1b re-advertises its full table — including the
+  // zombie. T1a, clean for a week, is newly infected: the paper's
+  // "zombie resurrection" ("if a downstream session of an infected
+  // router is reset, new announcements are generated for these stuck
+  // prefixes").
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  WithdrawalSuppression fault;
+  fault.from_asn = 13;
+  fault.to_asn = 2;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+
+  sim.announce(t0, 100, kBeacon);
+  sim.schedule_session_outage(t0 + 10 * kMinute, t0 + 7 * kDay, 1, 2);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 3 * kHour);
+  ASSERT_NE(sim.router(2).best(kBeacon), nullptr);  // zombie in T1b
+  ASSERT_EQ(sim.router(1).best(kBeacon), nullptr);  // T1a clean
+  ASSERT_EQ(sim.router(11).best(kBeacon), nullptr);
+
+  // A week later the T1a-T1b session comes back.
+  sim.run_until(t0 + 7 * kDay + kHour);
+  const RouteEntry* resurrected = sim.router(1).best(kBeacon);
+  ASSERT_NE(resurrected, nullptr) << "T1a should have been re-infected";
+  EXPECT_EQ(resurrected->path.to_string(), "2 13 100");
+  // And the resurrection propagates to T1a's customers — "affecting
+  // new ASes even months after the initial withdrawal".
+  const RouteEntry* downstream = sim.router(11).best(kBeacon);
+  ASSERT_NE(downstream, nullptr);
+  EXPECT_TRUE(downstream->path.ends_with({2, 13, 100}));
+}
+
+TEST(Simulation, SessionResetWithoutZombieIsClean) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.schedule_session_reset(t0 + kDay, 1, 2);
+  sim.run_until(t0 + kDay + kHour);
+  for (bgp::Asn asn : topo.all_asns())
+    EXPECT_EQ(sim.router(asn).best(kBeacon), nullptr) << "AS" << asn;
+}
+
+TEST(Simulation, SessionResetDuringAnnouncementReconverges) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  ASSERT_NE(sim.router(2).best(kBeacon), nullptr);
+  // Reset the only link T1b has toward the origin's region mid-flight.
+  sim.schedule_session_reset(t0 + kHour, 2, 13);
+  sim.run_until(t0 + 2 * kHour);
+  // After re-establishment T1b must have the route again.
+  const RouteEntry* best = sim.router(2).best(kBeacon);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->path.origin_asn(), 100u);
+}
+
+TEST(Simulation, RovCompliantEvictsOnRoaRemoval) {
+  Topology topo = diamond();
+  rpki::RoaTable roas;
+  roas.add(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 100}, utc(2024, 6, 1));
+
+  Simulation sim = make_sim(topo);
+  sim.set_roa_table(&roas);
+  sim.set_rov_policy(2, rpki::RovPolicy::kCompliant);
+
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  // T1b gets a zombie via suppression from M3.
+  WithdrawalSuppression fault;
+  fault.from_asn = 13;
+  fault.to_asn = 2;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 3 * kHour);
+  ASSERT_NE(sim.router(2).best(kBeacon), nullptr);
+
+  // The ROA is removed; the only remaining ROA for the /32 belongs to
+  // another ASN, making the stale route Invalid. The compliant router
+  // evicts it; kNone routers would keep it (the paper's observation).
+  roas.remove(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 100}, utc(2024, 6, 22, 19, 49, 0));
+  roas.add(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 32, 999}, utc(2024, 6, 22, 19, 49, 0));
+  sim.run_until(utc(2024, 6, 23));
+  EXPECT_EQ(sim.router(2).best(kBeacon), nullptr);
+}
+
+TEST(Simulation, RovImportOnlyKeepsStaleInvalidRoute) {
+  Topology topo = diamond();
+  rpki::RoaTable roas;
+  roas.add(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 100}, utc(2024, 6, 1));
+
+  Simulation sim = make_sim(topo);
+  sim.set_roa_table(&roas);
+  sim.set_rov_policy(2, rpki::RovPolicy::kImportOnly);  // flawed ROV
+
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  WithdrawalSuppression fault;
+  fault.from_asn = 13;
+  fault.to_asn = 2;
+  fault.window = {t0, std::nullopt};
+  sim.add_withdrawal_suppression(fault);
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + 3 * kHour);
+  ASSERT_NE(sim.router(2).best(kBeacon), nullptr);
+
+  roas.remove(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 100}, utc(2024, 6, 22, 19, 49, 0));
+  roas.add(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 32, 999}, utc(2024, 6, 22, 19, 49, 0));
+  sim.run_until(utc(2024, 6, 23));
+  // Import-only ROV never re-validates: the zombie survives the ROA
+  // deletion — exactly the paper's security concern.
+  EXPECT_NE(sim.router(2).best(kBeacon), nullptr);
+}
+
+TEST(Simulation, RovImportDropsInvalidAnnouncement) {
+  Topology topo = diamond();
+  rpki::RoaTable roas;
+  // ROA authorizes a different origin: announcements are Invalid.
+  roas.add(rpki::Roa{Prefix::parse("2a0d:3dc1::/32"), 48, 999}, utc(2024, 6, 1));
+  Simulation sim = make_sim(topo);
+  sim.set_roa_table(&roas);
+  sim.set_rov_policy(2, rpki::RovPolicy::kImportOnly);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  EXPECT_EQ(sim.router(2).best(kBeacon), nullptr);   // dropped at import
+  EXPECT_NE(sim.router(1).best(kBeacon), nullptr);   // non-ROV AS accepts
+}
+
+TEST(Simulation, MonitorSeesAnnounceAndWithdraw) {
+  struct Recorder : MonitorSink {
+    std::vector<std::pair<netbase::TimePoint, bool>> events;  // (t, is_announce)
+    void on_route_change(netbase::TimePoint t, const RibChange& change) override {
+      events.emplace_back(t, change.is_announcement());
+    }
+  };
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  Recorder recorder;
+  sim.attach_monitor(2, &recorder);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  ASSERT_GE(recorder.events.size(), 2u);
+  EXPECT_TRUE(recorder.events.front().second);
+  EXPECT_FALSE(recorder.events.back().second);
+}
+
+TEST(Simulation, PathHuntingProducesLongerTransientPaths) {
+  // Fig. 6's explanation: after a withdrawal, routers briefly fall
+  // back to longer alternative paths ("path hunting"). Monitor every
+  // AS; at least some ASes must transiently announce a path longer
+  // than their steady-state best before converging to "no route".
+  struct Lengths : MonitorSink {
+    std::vector<int> lengths;
+    void on_route_change(netbase::TimePoint, const RibChange& change) override {
+      if (change.is_announcement()) lengths.push_back(change.new_best->path.length());
+    }
+  };
+  GeneratorParams params;
+  params.tier1_count = 4;
+  params.tier2_count = 20;
+  params.tier3_count = 60;
+  Rng rng(21);
+  Topology topo = topology::generate_hierarchical(params, rng);
+  Simulation sim = make_sim(topo, 21);
+  std::map<bgp::Asn, Lengths> monitors;
+  for (bgp::Asn asn : topo.all_asns()) sim.attach_monitor(asn, &monitors[asn]);
+  const bgp::Asn origin = topo.all_asns().back();
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, origin, kBeacon);
+  sim.run_until(t0 + kHour);
+  std::map<bgp::Asn, std::size_t> steady_counts;
+  std::map<bgp::Asn, int> steady_lengths;
+  for (const auto& [asn, m] : monitors) {
+    steady_counts[asn] = m.lengths.size();
+    if (!m.lengths.empty()) steady_lengths[asn] = m.lengths.back();
+  }
+  sim.withdraw(t0 + kHour, origin, kBeacon);
+  sim.run_until(t0 + 2 * kHour);
+  int hunting_ases = 0;
+  int longer_than_steady = 0;
+  for (const auto& [asn, m] : monitors) {
+    if (m.lengths.size() <= steady_counts[asn]) continue;
+    ++hunting_ases;  // this AS re-announced during convergence
+    for (std::size_t i = steady_counts[asn]; i < m.lengths.size(); ++i)
+      if (m.lengths[i] > steady_lengths[asn]) {
+        ++longer_than_steady;
+        break;
+      }
+  }
+  EXPECT_GT(hunting_ases, 0) << "no path hunting observed anywhere";
+  EXPECT_GT(longer_than_steady, 0) << "hunting paths were never longer";
+  // Everyone still converges to clean state.
+  for (bgp::Asn asn : topo.all_asns())
+    ASSERT_EQ(sim.router(asn).best(kBeacon), nullptr) << "AS" << asn;
+}
+
+TEST(Simulation, StatsAreCounted) {
+  Topology topo = diamond();
+  Simulation sim = make_sim(topo);
+  const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+  sim.announce(t0, 100, kBeacon);
+  sim.run_until(t0 + kHour);
+  EXPECT_GT(sim.stats().events_processed, 0u);
+  EXPECT_GT(sim.stats().messages_delivered, 0u);
+  EXPECT_GT(sim.stats().rib_changes, 0u);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  for (int run = 0; run < 2; ++run) {
+    static std::uint64_t first_delivered = 0;
+    Topology topo = diamond();
+    Simulation sim = make_sim(topo, 77);
+    const auto t0 = utc(2024, 6, 4, 12, 0, 0);
+    sim.announce(t0, 100, kBeacon);
+    sim.withdraw(t0 + 15 * kMinute, 100, kBeacon);
+    sim.run_until(t0 + kHour);
+    if (run == 0)
+      first_delivered = sim.stats().messages_delivered;
+    else
+      EXPECT_EQ(sim.stats().messages_delivered, first_delivered);
+  }
+}
+
+}  // namespace
+}  // namespace zombiescope::simnet

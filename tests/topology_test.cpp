@@ -1,0 +1,135 @@
+// Tests for the AS-level topology: relationship bookkeeping, customer
+// cones, and the hierarchical generator's structural invariants.
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.hpp"
+#include "topology/topology.hpp"
+
+namespace zombiescope::topology {
+namespace {
+
+using netbase::Rng;
+
+Topology triangle() {
+  Topology topo;
+  topo.add_as({10, 1, "T1"});
+  topo.add_as({20, 2, "mid"});
+  topo.add_as({30, 3, "stub"});
+  topo.add_link(10, 20, Relationship::kCustomer);  // 20 is 10's customer
+  topo.add_link(20, 30, Relationship::kCustomer);  // 30 is 20's customer
+  return topo;
+}
+
+TEST(Topology, RelationshipPerspectives) {
+  Topology topo = triangle();
+  EXPECT_EQ(topo.relationship(10, 20), Relationship::kCustomer);
+  EXPECT_EQ(topo.relationship(20, 10), Relationship::kProvider);
+  EXPECT_EQ(topo.relationship(10, 30), std::nullopt);
+  EXPECT_EQ(reverse(Relationship::kPeer), Relationship::kPeer);
+}
+
+TEST(Topology, RejectsDuplicatesAndSelfLinks) {
+  Topology topo = triangle();
+  EXPECT_THROW(topo.add_as({10, 1, ""}), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(10, 20, Relationship::kPeer), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(10, 10, Relationship::kPeer), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(10, 999, Relationship::kPeer), std::invalid_argument);
+  EXPECT_THROW(topo.info(999), std::invalid_argument);
+}
+
+TEST(Topology, CustomerConeIsTransitive) {
+  Topology topo = triangle();
+  const auto cone10 = topo.customer_cone(10);
+  EXPECT_EQ(cone10, (std::set<bgp::Asn>{20, 30}));
+  EXPECT_EQ(topo.customer_cone(20), (std::set<bgp::Asn>{30}));
+  EXPECT_TRUE(topo.customer_cone(30).empty());
+}
+
+TEST(Topology, CustomerConeIgnoresPeersAndHandlesCycles) {
+  Topology topo;
+  topo.add_as({1, 1, ""});
+  topo.add_as({2, 1, ""});
+  topo.add_as({3, 2, ""});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(1, 3, Relationship::kCustomer);
+  topo.add_link(2, 3, Relationship::kCustomer);
+  EXPECT_EQ(topo.customer_cone(1), (std::set<bgp::Asn>{3}));
+}
+
+TEST(Generator, DeterministicUnderSeed) {
+  GeneratorParams params;
+  params.tier1_count = 4;
+  params.tier2_count = 10;
+  params.tier3_count = 40;
+  Rng rng1(7), rng2(7);
+  Topology a = generate_hierarchical(params, rng1);
+  Topology b = generate_hierarchical(params, rng2);
+  ASSERT_EQ(a.as_count(), b.as_count());
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (bgp::Asn asn : a.all_asns()) EXPECT_EQ(a.degree(asn), b.degree(asn)) << asn;
+}
+
+TEST(Generator, StructuralInvariants) {
+  GeneratorParams params;
+  Rng rng(42);
+  Topology topo = generate_hierarchical(params, rng);
+  EXPECT_EQ(topo.as_count(),
+            static_cast<std::size_t>(params.tier1_count + params.tier2_count +
+                                     params.tier3_count));
+
+  int tier1_seen = 0;
+  for (bgp::Asn asn : topo.all_asns()) {
+    const AsInfo& info = topo.info(asn);
+    if (info.tier == 1) {
+      ++tier1_seen;
+      // Tier-1s form a peering clique.
+      int t1_peers = 0;
+      for (const auto& [n, rel] : topo.neighbors(asn))
+        if (topo.info(n).tier == 1) {
+          EXPECT_EQ(rel, Relationship::kPeer);
+          ++t1_peers;
+        }
+      EXPECT_EQ(t1_peers, params.tier1_count - 1);
+    }
+    if (info.tier == 3) {
+      // Every stub has at least one provider; stubs never have
+      // customers of their own in this generator.
+      int providers = 0;
+      for (const auto& [n, rel] : topo.neighbors(asn)) {
+        (void)n;
+        EXPECT_NE(rel, Relationship::kCustomer);
+        if (rel == Relationship::kProvider) ++providers;
+      }
+      EXPECT_GE(providers, params.tier3_providers_min);
+    }
+  }
+  EXPECT_EQ(tier1_seen, params.tier1_count);
+
+  // Tier-1 customer cones dominate: the largest cone must cover a
+  // sizable share of the topology (the paper's "dominant AS" notion).
+  std::size_t biggest = 0;
+  for (bgp::Asn asn : topo.all_asns())
+    if (topo.info(asn).tier == 1) biggest = std::max(biggest, topo.customer_cone(asn).size());
+  EXPECT_GT(biggest, topo.as_count() / 4);
+}
+
+TEST(Generator, EveryAsReachesTier1UpHill) {
+  GeneratorParams params;
+  params.tier1_count = 3;
+  params.tier2_count = 12;
+  params.tier3_count = 50;
+  Rng rng(1);
+  Topology topo = generate_hierarchical(params, rng);
+  // Union of all Tier-1 customer cones + Tier-1s = everything.
+  std::set<bgp::Asn> covered;
+  for (bgp::Asn asn : topo.all_asns()) {
+    if (topo.info(asn).tier != 1) continue;
+    covered.insert(asn);
+    for (bgp::Asn c : topo.customer_cone(asn)) covered.insert(c);
+  }
+  EXPECT_EQ(covered.size(), topo.as_count());
+}
+
+}  // namespace
+}  // namespace zombiescope::topology

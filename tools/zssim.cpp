@@ -1,0 +1,60 @@
+// zssim — generates MRT archives from the calibrated scenarios, so the
+// zsdetect CLI (and any MRT consumer) has realistic data to chew on.
+//
+//   zssim ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]
+//
+// Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
+// longlived2024). Defaults the prefix to the scenario name.
+
+#include <cstdio>
+#include <string>
+
+#include "mrt/codec.hpp"
+#include "scenarios/longlived2024.hpp"
+#include "scenarios/ris_replication.hpp"
+
+using namespace zombiescope;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string which = argv[1];
+  const std::string prefix = argc > 2 ? argv[2] : which;
+
+  if (which == "longlived2024") {
+    scenarios::LongLived2024Spec spec;
+    std::fprintf(stderr, "simulating the 2024 beacon experiment (~1 year of RIB dumps)...\n");
+    const auto out = scenarios::run_longlived2024(spec);
+    mrt::write_file(prefix + ".updates.mrt", out.updates);
+    mrt::write_file(prefix + ".ribs.mrt", out.rib_dumps);
+    std::printf("wrote %s.updates.mrt (%zu records) and %s.ribs.mrt (%zu records)\n",
+                prefix.c_str(), out.updates.size(), prefix.c_str(), out.rib_dumps.size());
+    std::printf("detect with:\n  zsdetect --updates %s.updates.mrt --ribs %s.ribs.mrt \\\n"
+                "           --schedule fifteen --start 2024-06-10 --end 2024-06-23 "
+                "--filter-noisy\n",
+                prefix.c_str(), prefix.c_str());
+    return 0;
+  }
+
+  scenarios::RisPeriodSpec spec;
+  if (which == "ris2018") spec = scenarios::period_2018jul();
+  else if (which == "ris2017oct") spec = scenarios::period_2017oct();
+  else if (which == "ris2017mar") spec = scenarios::period_2017mar();
+  else {
+    std::fprintf(stderr, "error: unknown scenario '%s'\n", which.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "simulating RIS period %s...\n", spec.label.c_str());
+  const auto out = scenarios::run_ris_period(spec);
+  mrt::write_file(prefix + ".updates.mrt", out.updates);
+  std::printf("wrote %s.updates.mrt (%zu records)\n", prefix.c_str(), out.updates.size());
+  std::printf("detect with:\n  zsdetect --updates %s.updates.mrt --schedule ris \\\n"
+              "           --start %s --end %s --filter-noisy --root-cause\n",
+              prefix.c_str(), netbase::format_date(spec.start).c_str(),
+              netbase::format_date(spec.end).c_str());
+  return 0;
+}
