@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lookingglass_lag.dir/ablation_lookingglass_lag.cpp.o"
+  "CMakeFiles/ablation_lookingglass_lag.dir/ablation_lookingglass_lag.cpp.o.d"
+  "ablation_lookingglass_lag"
+  "ablation_lookingglass_lag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lookingglass_lag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_noisy_filter.cpp" "bench/CMakeFiles/ablation_noisy_filter.dir/ablation_noisy_filter.cpp.o" "gcc" "bench/CMakeFiles/ablation_noisy_filter.dir/ablation_noisy_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/zs_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/zs_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/zombie/CMakeFiles/zs_zombie.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/zs_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/zs_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/beacon/CMakeFiles/zs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/zs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/zs_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/zs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/zs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

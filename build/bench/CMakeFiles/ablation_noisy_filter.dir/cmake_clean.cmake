@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_noisy_filter.dir/ablation_noisy_filter.cpp.o"
+  "CMakeFiles/ablation_noisy_filter.dir/ablation_noisy_filter.cpp.o.d"
+  "ablation_noisy_filter"
+  "ablation_noisy_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noisy_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recycle.dir/ablation_recycle.cpp.o"
+  "CMakeFiles/ablation_recycle.dir/ablation_recycle.cpp.o.d"
+  "ablation_recycle"
+  "ablation_recycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

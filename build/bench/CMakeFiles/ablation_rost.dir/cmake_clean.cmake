@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rost.dir/ablation_rost.cpp.o"
+  "CMakeFiles/ablation_rost.dir/ablation_rost.cpp.o.d"
+  "ablation_rost"
+  "ablation_rost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

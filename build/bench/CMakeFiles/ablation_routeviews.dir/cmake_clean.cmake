@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routeviews.dir/ablation_routeviews.cpp.o"
+  "CMakeFiles/ablation_routeviews.dir/ablation_routeviews.cpp.o.d"
+  "ablation_routeviews"
+  "ablation_routeviews.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routeviews.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

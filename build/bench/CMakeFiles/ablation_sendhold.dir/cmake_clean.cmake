@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sendhold.dir/ablation_sendhold.cpp.o"
+  "CMakeFiles/ablation_sendhold.dir/ablation_sendhold.cpp.o.d"
+  "ablation_sendhold"
+  "ablation_sendhold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sendhold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

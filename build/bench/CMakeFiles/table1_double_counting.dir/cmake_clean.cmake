@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_double_counting.dir/table1_double_counting.cpp.o"
+  "CMakeFiles/table1_double_counting.dir/table1_double_counting.cpp.o.d"
+  "table1_double_counting"
+  "table1_double_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_double_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_missing_zombies.dir/table3_missing_zombies.cpp.o"
+  "CMakeFiles/table3_missing_zombies.dir/table3_missing_zombies.cpp.o.d"
+  "table3_missing_zombies"
+  "table3_missing_zombies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_missing_zombies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

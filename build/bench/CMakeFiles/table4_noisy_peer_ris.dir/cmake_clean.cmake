@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_noisy_peer_ris.dir/table4_noisy_peer_ris.cpp.o"
+  "CMakeFiles/table4_noisy_peer_ris.dir/table4_noisy_peer_ris.cpp.o.d"
+  "table4_noisy_peer_ris"
+  "table4_noisy_peer_ris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_noisy_peer_ris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

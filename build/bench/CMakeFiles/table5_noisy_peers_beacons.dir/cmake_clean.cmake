@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_noisy_peers_beacons.dir/table5_noisy_peers_beacons.cpp.o"
+  "CMakeFiles/table5_noisy_peers_beacons.dir/table5_noisy_peers_beacons.cpp.o.d"
+  "table5_noisy_peers_beacons"
+  "table5_noisy_peers_beacons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_noisy_peers_beacons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_noisy_peers_beacons.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/zs_bench_common.dir/bench_common.cpp.o.d"
+  "libzs_bench_common.a"
+  "libzs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

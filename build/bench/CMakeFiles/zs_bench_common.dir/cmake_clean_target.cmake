@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzs_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beacon_service.dir/beacon_service.cpp.o"
+  "CMakeFiles/beacon_service.dir/beacon_service.cpp.o.d"
+  "beacon_service"
+  "beacon_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beacon_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_partial_outage.dir/fig1_partial_outage.cpp.o"
+  "CMakeFiles/fig1_partial_outage.dir/fig1_partial_outage.cpp.o.d"
+  "fig1_partial_outage"
+  "fig1_partial_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_partial_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrt_inspect.dir/mrt_inspect.cpp.o"
+  "CMakeFiles/mrt_inspect.dir/mrt_inspect.cpp.o.d"
+  "mrt_inspect"
+  "mrt_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrt_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicate_ris.dir/replicate_ris.cpp.o"
+  "CMakeFiles/replicate_ris.dir/replicate_ris.cpp.o.d"
+  "replicate_ris"
+  "replicate_ris.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicate_ris.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

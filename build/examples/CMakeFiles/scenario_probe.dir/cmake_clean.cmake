@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_probe.dir/scenario_probe.cpp.o"
+  "CMakeFiles/scenario_probe.dir/scenario_probe.cpp.o.d"
+  "scenario_probe"
+  "scenario_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

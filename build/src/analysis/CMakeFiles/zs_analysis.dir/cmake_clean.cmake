@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_analysis.dir/stats.cpp.o"
+  "CMakeFiles/zs_analysis.dir/stats.cpp.o.d"
+  "libzs_analysis.a"
+  "libzs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

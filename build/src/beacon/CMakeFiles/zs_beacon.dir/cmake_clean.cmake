@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_beacon.dir/clock.cpp.o"
+  "CMakeFiles/zs_beacon.dir/clock.cpp.o.d"
+  "CMakeFiles/zs_beacon.dir/driver.cpp.o"
+  "CMakeFiles/zs_beacon.dir/driver.cpp.o.d"
+  "CMakeFiles/zs_beacon.dir/schedule.cpp.o"
+  "CMakeFiles/zs_beacon.dir/schedule.cpp.o.d"
+  "libzs_beacon.a"
+  "libzs_beacon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_beacon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

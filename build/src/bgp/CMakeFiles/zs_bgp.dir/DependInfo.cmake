@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/aspath.cpp" "src/bgp/CMakeFiles/zs_bgp.dir/aspath.cpp.o" "gcc" "src/bgp/CMakeFiles/zs_bgp.dir/aspath.cpp.o.d"
+  "/root/repo/src/bgp/session_fsm.cpp" "src/bgp/CMakeFiles/zs_bgp.dir/session_fsm.cpp.o" "gcc" "src/bgp/CMakeFiles/zs_bgp.dir/session_fsm.cpp.o.d"
+  "/root/repo/src/bgp/types.cpp" "src/bgp/CMakeFiles/zs_bgp.dir/types.cpp.o" "gcc" "src/bgp/CMakeFiles/zs_bgp.dir/types.cpp.o.d"
+  "/root/repo/src/bgp/update.cpp" "src/bgp/CMakeFiles/zs_bgp.dir/update.cpp.o" "gcc" "src/bgp/CMakeFiles/zs_bgp.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/zs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_bgp.dir/aspath.cpp.o"
+  "CMakeFiles/zs_bgp.dir/aspath.cpp.o.d"
+  "CMakeFiles/zs_bgp.dir/session_fsm.cpp.o"
+  "CMakeFiles/zs_bgp.dir/session_fsm.cpp.o.d"
+  "CMakeFiles/zs_bgp.dir/types.cpp.o"
+  "CMakeFiles/zs_bgp.dir/types.cpp.o.d"
+  "CMakeFiles/zs_bgp.dir/update.cpp.o"
+  "CMakeFiles/zs_bgp.dir/update.cpp.o.d"
+  "libzs_bgp.a"
+  "libzs_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_collector.dir/collector.cpp.o"
+  "CMakeFiles/zs_collector.dir/collector.cpp.o.d"
+  "libzs_collector.a"
+  "libzs_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

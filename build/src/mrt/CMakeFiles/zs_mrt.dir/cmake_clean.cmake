@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_mrt.dir/codec.cpp.o"
+  "CMakeFiles/zs_mrt.dir/codec.cpp.o.d"
+  "CMakeFiles/zs_mrt.dir/record.cpp.o"
+  "CMakeFiles/zs_mrt.dir/record.cpp.o.d"
+  "libzs_mrt.a"
+  "libzs_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_netbase.dir/bytes.cpp.o"
+  "CMakeFiles/zs_netbase.dir/bytes.cpp.o.d"
+  "CMakeFiles/zs_netbase.dir/ip.cpp.o"
+  "CMakeFiles/zs_netbase.dir/ip.cpp.o.d"
+  "CMakeFiles/zs_netbase.dir/time.cpp.o"
+  "CMakeFiles/zs_netbase.dir/time.cpp.o.d"
+  "libzs_netbase.a"
+  "libzs_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

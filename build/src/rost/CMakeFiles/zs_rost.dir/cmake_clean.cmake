@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_rost.dir/rost.cpp.o"
+  "CMakeFiles/zs_rost.dir/rost.cpp.o.d"
+  "libzs_rost.a"
+  "libzs_rost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_rost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_rpki.dir/rov.cpp.o"
+  "CMakeFiles/zs_rpki.dir/rov.cpp.o.d"
+  "libzs_rpki.a"
+  "libzs_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_scenarios.dir/common.cpp.o"
+  "CMakeFiles/zs_scenarios.dir/common.cpp.o.d"
+  "CMakeFiles/zs_scenarios.dir/longlived2024.cpp.o"
+  "CMakeFiles/zs_scenarios.dir/longlived2024.cpp.o.d"
+  "CMakeFiles/zs_scenarios.dir/ris_replication.cpp.o"
+  "CMakeFiles/zs_scenarios.dir/ris_replication.cpp.o.d"
+  "libzs_scenarios.a"
+  "libzs_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

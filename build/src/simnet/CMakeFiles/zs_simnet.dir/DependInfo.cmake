@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simnet/dataplane.cpp" "src/simnet/CMakeFiles/zs_simnet.dir/dataplane.cpp.o" "gcc" "src/simnet/CMakeFiles/zs_simnet.dir/dataplane.cpp.o.d"
+  "/root/repo/src/simnet/router.cpp" "src/simnet/CMakeFiles/zs_simnet.dir/router.cpp.o" "gcc" "src/simnet/CMakeFiles/zs_simnet.dir/router.cpp.o.d"
+  "/root/repo/src/simnet/simulation.cpp" "src/simnet/CMakeFiles/zs_simnet.dir/simulation.cpp.o" "gcc" "src/simnet/CMakeFiles/zs_simnet.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/zs_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/zs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/zs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

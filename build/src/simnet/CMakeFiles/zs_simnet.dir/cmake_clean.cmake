@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_simnet.dir/dataplane.cpp.o"
+  "CMakeFiles/zs_simnet.dir/dataplane.cpp.o.d"
+  "CMakeFiles/zs_simnet.dir/router.cpp.o"
+  "CMakeFiles/zs_simnet.dir/router.cpp.o.d"
+  "CMakeFiles/zs_simnet.dir/simulation.cpp.o"
+  "CMakeFiles/zs_simnet.dir/simulation.cpp.o.d"
+  "libzs_simnet.a"
+  "libzs_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

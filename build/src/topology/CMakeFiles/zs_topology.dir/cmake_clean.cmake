@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_topology.dir/topology.cpp.o"
+  "CMakeFiles/zs_topology.dir/topology.cpp.o.d"
+  "libzs_topology.a"
+  "libzs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

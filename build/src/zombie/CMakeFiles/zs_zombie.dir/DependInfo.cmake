@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zombie/analyzer.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/analyzer.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/analyzer.cpp.o.d"
+  "/root/repo/src/zombie/interval_detector.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/interval_detector.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/interval_detector.cpp.o.d"
+  "/root/repo/src/zombie/longlived.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/longlived.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/longlived.cpp.o.d"
+  "/root/repo/src/zombie/lookingglass.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/lookingglass.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/lookingglass.cpp.o.d"
+  "/root/repo/src/zombie/noisy.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/noisy.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/noisy.cpp.o.d"
+  "/root/repo/src/zombie/realtime.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/realtime.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/realtime.cpp.o.d"
+  "/root/repo/src/zombie/rootcause.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/rootcause.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/rootcause.cpp.o.d"
+  "/root/repo/src/zombie/state.cpp" "src/zombie/CMakeFiles/zs_zombie.dir/state.cpp.o" "gcc" "src/zombie/CMakeFiles/zs_zombie.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/beacon/CMakeFiles/zs_beacon.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/zs_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/zs_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/zs_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/zs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/zs_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/zs_netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

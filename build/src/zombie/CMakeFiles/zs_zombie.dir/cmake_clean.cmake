@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zs_zombie.dir/analyzer.cpp.o"
+  "CMakeFiles/zs_zombie.dir/analyzer.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/interval_detector.cpp.o"
+  "CMakeFiles/zs_zombie.dir/interval_detector.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/longlived.cpp.o"
+  "CMakeFiles/zs_zombie.dir/longlived.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/lookingglass.cpp.o"
+  "CMakeFiles/zs_zombie.dir/lookingglass.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/noisy.cpp.o"
+  "CMakeFiles/zs_zombie.dir/noisy.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/realtime.cpp.o"
+  "CMakeFiles/zs_zombie.dir/realtime.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/rootcause.cpp.o"
+  "CMakeFiles/zs_zombie.dir/rootcause.cpp.o.d"
+  "CMakeFiles/zs_zombie.dir/state.cpp.o"
+  "CMakeFiles/zs_zombie.dir/state.cpp.o.d"
+  "libzs_zombie.a"
+  "libzs_zombie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zs_zombie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

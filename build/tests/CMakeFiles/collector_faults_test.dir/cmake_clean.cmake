@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_faults_test.dir/collector_faults_test.cpp.o"
+  "CMakeFiles/collector_faults_test.dir/collector_faults_test.cpp.o.d"
+  "collector_faults_test"
+  "collector_faults_test.pdb"
+  "collector_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_codec_test.dir/fuzz_codec_test.cpp.o"
+  "CMakeFiles/fuzz_codec_test.dir/fuzz_codec_test.cpp.o.d"
+  "fuzz_codec_test"
+  "fuzz_codec_test.pdb"
+  "fuzz_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

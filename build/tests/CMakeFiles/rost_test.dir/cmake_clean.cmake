@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rost_test.dir/rost_test.cpp.o"
+  "CMakeFiles/rost_test.dir/rost_test.cpp.o.d"
+  "rost_test"
+  "rost_test.pdb"
+  "rost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

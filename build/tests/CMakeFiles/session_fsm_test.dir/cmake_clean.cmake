@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_fsm_test.dir/session_fsm_test.cpp.o"
+  "CMakeFiles/session_fsm_test.dir/session_fsm_test.cpp.o.d"
+  "session_fsm_test"
+  "session_fsm_test.pdb"
+  "session_fsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zombie_test.dir/zombie_test.cpp.o"
+  "CMakeFiles/zombie_test.dir/zombie_test.cpp.o.d"
+  "zombie_test"
+  "zombie_test.pdb"
+  "zombie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zombie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

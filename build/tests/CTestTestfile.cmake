@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netbase_test[1]_include.cmake")
+include("/root/repo/build/tests/bgp_test[1]_include.cmake")
+include("/root/repo/build/tests/mrt_test[1]_include.cmake")
+include("/root/repo/build/tests/rpki_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/beacon_test[1]_include.cmake")
+include("/root/repo/build/tests/simnet_test[1]_include.cmake")
+include("/root/repo/build/tests/collector_test[1]_include.cmake")
+include("/root/repo/build/tests/zombie_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/realtime_test[1]_include.cmake")
+include("/root/repo/build/tests/collector_faults_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/session_fsm_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/rost_test[1]_include.cmake")
+include("/root/repo/build/tests/scenarios_test[1]_include.cmake")

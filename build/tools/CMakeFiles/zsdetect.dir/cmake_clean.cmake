@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zsdetect.dir/zsdetect.cpp.o"
+  "CMakeFiles/zsdetect.dir/zsdetect.cpp.o.d"
+  "zsdetect"
+  "zsdetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zsdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zssim.dir/zssim.cpp.o"
+  "CMakeFiles/zssim.dir/zssim.cpp.o.d"
+  "zssim"
+  "zssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

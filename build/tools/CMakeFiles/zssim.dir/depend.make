@@ -1,0 +1,2 @@
+# Empty dependencies file for zssim.
+# This may be replaced when dependencies are built.
