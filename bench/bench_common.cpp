@@ -1,10 +1,15 @@
 #include "bench/bench_common.hpp"
 
+#include <errno.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <filesystem>
 
 #include "mrt/codec.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 
 namespace zombiescope::bench {
 
@@ -62,6 +67,7 @@ scenarios::RisPeriodSpec ris_spec(int which) {
 }
 
 scenarios::ScenarioOutput load_ris_period(int which) {
+  obs::ScopedSpan span("bench.load_ris_period");
   const auto spec = ris_spec(which);
   const std::string path = cache_dir() + "/" + period_tag(which) + ".updates.mrt";
   scenarios::ScenarioOutput out;
@@ -79,6 +85,7 @@ scenarios::ScenarioOutput load_ris_period(int which) {
 }
 
 scenarios::LongLived2024Output load_longlived2024() {
+  obs::ScopedSpan span("bench.load_longlived2024");
   const scenarios::LongLived2024Spec spec;
   const std::string updates_path = cache_dir() + "/longlived2024.updates.mrt";
   const std::string dumps_path = cache_dir() + "/longlived2024.ribs.mrt";
@@ -125,7 +132,28 @@ scenarios::LongLived2024Output load_longlived2024() {
   return out;
 }
 
+void emit_metrics_snapshot(const std::string& name) {
+  if (const char* env = std::getenv("ZS_NO_BENCH_JSON"); env != nullptr && *env != '\0')
+    return;
+  std::string dir = ".";
+  if (const char* env = std::getenv("ZS_BENCH_JSON_DIR"); env != nullptr && *env != '\0')
+    dir = env;
+  const std::string path = dir + "/BENCH_" + name + ".json";
+  try {
+    obs::write_metrics_file(path, obs::Format::kJson);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[obs] metrics snapshot failed: %s\n", e.what());
+  }
+}
+
 void print_header(const std::string& title, const std::string& paper_ref) {
+  // The snapshot runs at exit so it captures everything the bench did
+  // after this header, named after the binary itself.
+  static const bool installed = [] {
+    std::atexit([] { emit_metrics_snapshot(program_invocation_short_name); });
+    return true;
+  }();
+  (void)installed;
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());

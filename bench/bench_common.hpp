@@ -27,7 +27,16 @@ scenarios::RisPeriodSpec ris_spec(int which);
 /// Loads (or simulates + stores) the 2024 long-lived experiment.
 scenarios::LongLived2024Output load_longlived2024();
 
-/// Prints a section header for the harness output.
+/// Prints a section header for the harness output. Also installs the
+/// at-exit telemetry snapshot (see emit_metrics_snapshot), so every
+/// bench binary leaves a BENCH_<tool>.json behind for trajectory
+/// diffing.
 void print_header(const std::string& title, const std::string& paper_ref);
+
+/// Writes the global metrics registry (zsobs-v1 JSON, spans included)
+/// to BENCH_<name>.json in $ZS_BENCH_JSON_DIR (default: the working
+/// directory). No-op when $ZS_NO_BENCH_JSON is set. Never throws: a
+/// failed snapshot must not fail the bench.
+void emit_metrics_snapshot(const std::string& name);
 
 }  // namespace zombiescope::bench

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "beacon/clock.hpp"
+#include "bench/bench_common.hpp"
 #include "mrt/codec.hpp"
 #include "netbase/rng.hpp"
 #include "netbase/trie.hpp"
@@ -161,4 +162,15 @@ BENCHMARK(BM_StateTrackerApply)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run ends with a telemetry snapshot:
+// the micro benches drive the instrumented hot paths directly, and the
+// counter values (events processed, bytes through the codec) land in
+// BENCH_micro_hotpaths.json next to the timing output.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  zombiescope::bench::emit_metrics_snapshot("micro_hotpaths");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + full test suite, then the obs
+# subsystem's concurrency tests again under ThreadSanitizer (its hot
+# path is the only code that promises lock-free cross-thread use).
+#
+# Usage: scripts/run_tier1.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${BUILD_DIR}-tsan"
+
+echo "== tier-1: plain build + ctest (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== tier-1: obs_test under ThreadSanitizer (${TSAN_DIR})"
+cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j --target obs_test
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
+
+echo "== tier-1: OK"

@@ -48,6 +48,7 @@ void PeerSession::record_state(netbase::TimePoint t, bgp::SessionState from,
 }
 
 void PeerSession::on_route_change(netbase::TimePoint t, const simnet::RibChange& change) {
+  owner_.m_monitor_events_.inc();
   if (!established_) return;  // messages sent while the session is down are lost
 
   if (change.is_announcement()) {
@@ -79,7 +80,10 @@ void PeerSession::on_route_change(netbase::TimePoint t, const simnet::RibChange&
   const bool noise_matches = !config_.noise_prefix_filter.has_value() ||
                              config_.noise_prefix_filter->covers(change.prefix);
   const double loss = config_.loss_probability_for(change.prefix.family());
-  if (noise_matches && loss > 0.0 && rng_.chance(loss)) return;
+  if (noise_matches && loss > 0.0 && rng_.chance(loss)) {
+    owner_.m_withdrawals_lost_.inc();
+    return;
+  }
 
   // Slow convergence: record the withdrawal late, unless a newer
   // announcement supersedes it first.
@@ -167,6 +171,8 @@ PeerSession& Collector::add_peer(simnet::Simulation& sim, const SessionConfig& c
 }
 
 void Collector::dump_ribs(netbase::TimePoint t) {
+  m_rib_dumps_.inc();
+  const std::size_t before = rib_dumps_.size();
   mrt::PeerIndexTable table;
   table.timestamp = t;
   table.collector_bgp_id = address_v4_.v4_value();
@@ -208,6 +214,7 @@ void Collector::dump_ribs(netbase::TimePoint t) {
     }
     rib_dumps_.push_back(std::move(record));
   }
+  m_rib_records_.inc(rib_dumps_.size() - before);
 }
 
 void Collector::schedule_rib_dumps(simnet::Simulation& sim, netbase::TimePoint start,

@@ -25,6 +25,7 @@
 
 #include "mrt/record.hpp"
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
 #include "simnet/simulation.hpp"
 
 namespace zombiescope::collector {
@@ -131,7 +132,17 @@ class Collector {
   /// address must match the session's family.
   Collector(std::string name, bgp::Asn asn, netbase::IpAddress address_v4,
             netbase::IpAddress address_v6 = netbase::IpAddress::parse("2001:7f8:fff::255"))
-      : name_(std::move(name)), asn_(asn), address_v4_(address_v4), address_v6_(address_v6) {}
+      : name_(std::move(name)),
+        asn_(asn),
+        address_v4_(address_v4),
+        address_v6_(address_v6),
+        m_updates_(obs::Registry::global().counter("zs_collector_updates_total")),
+        m_rib_records_(obs::Registry::global().counter("zs_collector_rib_records_total")),
+        m_rib_dumps_(obs::Registry::global().counter("zs_collector_rib_dumps_total")),
+        m_monitor_events_(
+            obs::Registry::global().counter("zs_collector_monitor_events_total")),
+        m_withdrawals_lost_(
+            obs::Registry::global().counter("zs_collector_withdrawals_lost_total")) {}
 
   /// Creates a session and attaches it to the simulated peer AS.
   PeerSession& add_peer(simnet::Simulation& sim, const SessionConfig& config,
@@ -158,9 +169,14 @@ class Collector {
   const std::vector<mrt::MrtRecord>& rib_dumps() const { return rib_dumps_; }
   const std::vector<std::unique_ptr<PeerSession>>& sessions() const { return sessions_; }
 
-  void append_update(mrt::MrtRecord record) { updates_.push_back(std::move(record)); }
+  void append_update(mrt::MrtRecord record) {
+    m_updates_.inc();
+    updates_.push_back(std::move(record));
+  }
 
  private:
+  friend class PeerSession;
+
   std::string name_;
   bgp::Asn asn_;
   netbase::IpAddress address_v4_;
@@ -168,6 +184,12 @@ class Collector {
   std::vector<std::unique_ptr<PeerSession>> sessions_;
   std::vector<mrt::MrtRecord> updates_;
   std::vector<mrt::MrtRecord> rib_dumps_;
+
+  obs::Counter m_updates_;
+  obs::Counter m_rib_records_;
+  obs::Counter m_rib_dumps_;
+  obs::Counter m_monitor_events_;
+  obs::Counter m_withdrawals_lost_;
 };
 
 }  // namespace zombiescope::collector

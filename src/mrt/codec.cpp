@@ -1,14 +1,47 @@
 #include "mrt/codec.hpp"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <stdexcept>
 
 #include "bgp/attributes.hpp"
+#include "obs/metrics.hpp"
 
 namespace zombiescope::mrt {
 
 namespace {
+
+// Codec telemetry: byte/record throughput per direction, per-type
+// record counts, and a size histogram — enough to audit how much MRT
+// each pipeline stage emits. Bound once; increments are relaxed
+// atomics.
+struct CodecMetrics {
+  obs::Counter bytes_encoded = obs::Registry::global().counter("zs_mrt_bytes_encoded_total");
+  obs::Counter bytes_decoded = obs::Registry::global().counter("zs_mrt_bytes_decoded_total");
+  obs::Counter records_encoded =
+      obs::Registry::global().counter("zs_mrt_records_encoded_total");
+  obs::Counter records_decoded =
+      obs::Registry::global().counter("zs_mrt_records_decoded_total");
+  // Per-record-type counts, indexed by the MrtRecord variant order.
+  std::array<obs::Counter, 4> encoded_by_type{
+      obs::Registry::global().counter("zs_mrt_encoded_bgp4mp_message_total"),
+      obs::Registry::global().counter("zs_mrt_encoded_bgp4mp_state_change_total"),
+      obs::Registry::global().counter("zs_mrt_encoded_peer_index_table_total"),
+      obs::Registry::global().counter("zs_mrt_encoded_rib_entry_total")};
+  std::array<obs::Counter, 4> decoded_by_type{
+      obs::Registry::global().counter("zs_mrt_decoded_bgp4mp_message_total"),
+      obs::Registry::global().counter("zs_mrt_decoded_bgp4mp_state_change_total"),
+      obs::Registry::global().counter("zs_mrt_decoded_peer_index_table_total"),
+      obs::Registry::global().counter("zs_mrt_decoded_rib_entry_total")};
+  obs::Histogram record_bytes =
+      obs::Registry::global().histogram("zs_mrt_record_bytes", obs::byte_buckets());
+};
+
+CodecMetrics& codec_metrics() {
+  static CodecMetrics metrics;
+  return metrics;
+}
 
 using netbase::AddressFamily;
 using netbase::ByteReader;
@@ -278,6 +311,11 @@ void MrtWriter::write(const MrtRecord& record) {
         write_common_header(out_, record_timestamp(record), type, subtype,
                             static_cast<std::uint32_t>(body.size()));
         out_.bytes(body);
+        CodecMetrics& metrics = codec_metrics();
+        metrics.records_encoded.inc();
+        metrics.encoded_by_type[record.index()].inc();
+        metrics.bytes_encoded.inc(12 + body.size());
+        metrics.record_bytes.observe(static_cast<double>(12 + body.size()));
       },
       record);
 }
@@ -289,6 +327,7 @@ MrtRecord MrtReader::next() {
   const std::uint32_t length = reader_.u32();
   ByteReader body = reader_.sub(length);
 
+  MrtRecord record = [&]() -> MrtRecord {
   if (type == RecordType::kBgp4mp) {
     switch (static_cast<Bgp4mpSubtype>(subtype)) {
       case Bgp4mpSubtype::kMessageAs4: {
@@ -379,6 +418,14 @@ MrtRecord MrtReader::next() {
     }
   }
   throw DecodeError("unsupported MRT type " + std::to_string(static_cast<int>(type)));
+  }();
+
+  CodecMetrics& metrics = codec_metrics();
+  metrics.records_decoded.inc();
+  metrics.decoded_by_type[record.index()].inc();
+  metrics.bytes_decoded.inc(12 + length);
+  metrics.record_bytes.observe(12.0 + length);
+  return record;
 }
 
 std::vector<MrtRecord> decode_all(std::span<const std::uint8_t> data) {

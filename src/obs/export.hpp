@@ -1,0 +1,55 @@
+// obs/export.hpp — turning registry/tracer state into artifacts.
+//
+// Two formats:
+//  * Prometheus text exposition (counters, gauges, histograms with
+//    _bucket{le=...}/_sum/_count series) — scrape-ready;
+//  * a JSON snapshot ("zsobs-v1") — the schema of the repo's
+//    BENCH_*.json perf-trajectory files, with optional span data so
+//    one file carries both counts and per-stage wall time.
+//
+// Exporting is strictly pull: nothing here runs unless called, which
+// is what keeps the instrumented hot paths free of I/O.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace zombiescope::obs {
+
+enum class Format { kPrometheus, kJson };
+
+/// Parses "prom" / "json" (the CLI --metrics-format values).
+std::optional<Format> parse_format(std::string_view text);
+
+/// Prometheus text exposition format.
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// The zsobs-v1 JSON snapshot: counters, gauges, histograms, and (if
+/// given) completed spans with their parent links.
+std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans = {});
+
+/// Span-only JSON ("zsobs-trace-v1") for --trace-out files.
+std::string trace_to_json(std::span<const SpanRecord> spans);
+
+/// Sanity-checks Prometheus text format: every line is a comment or
+/// `name[{labels}] value` with a valid metric name and numeric value,
+/// and every histogram has consistent _bucket/_sum/_count series.
+bool prometheus_format_ok(std::string_view text);
+
+/// Writes `content` to `path`; throws std::runtime_error on failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+/// Snapshot the global registry (and, for JSON, the global tracer) to
+/// a file in the given format.
+void write_metrics_file(const std::string& path, Format format);
+
+/// Snapshot the global tracer's spans to a JSON trace file.
+void write_trace_file(const std::string& path);
+
+}  // namespace zombiescope::obs

@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zombiescope::obs {
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank && counts[i] > 0) {
+      // +Inf bucket: the best estimate is the highest finite bound.
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double within = (rank - static_cast<double>(cumulative)) /
+                            static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+const std::uint64_t* Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const std::int64_t* Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
+  for (const auto& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name),
+                           std::make_unique<std::atomic<std::uint64_t>>(0)).first;
+  return Counter(it->second.get());
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name),
+                         std::make_unique<std::atomic<std::int64_t>>(0)).first;
+  return Gauge(it->second.get());
+}
+
+Histogram Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+    throw std::invalid_argument("histogram bounds must be strictly increasing");
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto cells = std::make_unique<HistogramCells>();
+    cells->bounds = std::move(bounds);
+    cells->counts = std::make_unique<std::atomic<std::uint64_t>[]>(cells->bounds.size() + 1);
+    for (std::size_t i = 0; i <= cells->bounds.size(); ++i) cells->counts[i] = 0;
+    it = histograms_.emplace(std::string(name), std::move(cells)).first;
+  }
+  return Histogram(it->second.get());
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, cell] : counters_)
+    snap.counters.emplace_back(name, cell->load(std::memory_order_relaxed));
+  for (const auto& [name, cell] : gauges_)
+    snap.gauges.emplace_back(name, cell->load(std::memory_order_relaxed));
+  for (const auto& [name, cells] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = cells->bounds;
+    h.counts.resize(cells->bounds.size() + 1);
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      h.counts[i] = cells->counts[i].load(std::memory_order_relaxed);
+    h.sum = cells->sum.load(std::memory_order_relaxed);
+    h.count = cells->count.load(std::memory_order_relaxed);
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, cell] : counters_) cell->store(0, std::memory_order_relaxed);
+  for (auto& [name, cell] : gauges_) cell->store(0, std::memory_order_relaxed);
+  for (auto& [name, cells] : histograms_) {
+    for (std::size_t i = 0; i <= cells->bounds.size(); ++i)
+      cells->counts[i].store(0, std::memory_order_relaxed);
+    cells->count.store(0, std::memory_order_relaxed);
+    cells->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> duration_buckets() {
+  return {0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0, 300.0};
+}
+
+std::vector<double> byte_buckets() {
+  return {32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0, 16384.0, 65536.0};
+}
+
+}  // namespace zombiescope::obs

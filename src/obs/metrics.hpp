@@ -1,0 +1,167 @@
+// obs/metrics.hpp — the zsobs metrics registry.
+//
+// Named counters, gauges, and fixed-bucket histograms for auditing the
+// pipeline (how many MRT records each stage emitted, how long a
+// detector pass took). Handles are cheap trivially-copyable wrappers
+// around a pointer to the registered cell: registration (the name
+// lookup) takes a mutex once at setup time, after which inc() / set()
+// / observe() are plain relaxed std::atomic operations — safe from any
+// thread, lock-free, and entirely passive until an exporter walks the
+// registry. A default-constructed handle is unbound and every
+// operation on it is a no-op, so instrumented call sites cost nothing
+// when telemetry is not wired up.
+//
+// Naming convention: zs_<module>_<name>[_<unit>], e.g.
+// zs_simnet_events_processed_total, zs_zombie_detect_seconds (see the
+// "Observability" section of DESIGN.md).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zombiescope::obs {
+
+/// Monotonically increasing count. Handle to a registry cell.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) const noexcept {
+    if (cell_ != nullptr) cell_->fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+  bool bound() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// A value that can go up and down (queue depths, table sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) const noexcept {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) const noexcept {
+    if (cell_ != nullptr) cell_->fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+  bool bound() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Backing storage of one histogram: fixed upper bounds plus an
+/// implicit +Inf bucket, cumulative sum and count.
+struct HistogramCells {
+  std::vector<double> bounds;  // strictly increasing upper bounds (le)
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+};
+
+/// Fixed-bucket histogram. observe() is a bucket scan plus three
+/// relaxed atomic adds — lock-free and wait-free for realistic bucket
+/// counts.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void observe(double v) const noexcept {
+    if (cells_ == nullptr) return;
+    std::size_t i = 0;
+    while (i < cells_->bounds.size() && v > cells_->bounds[i]) ++i;
+    cells_->counts[i].fetch_add(1, std::memory_order_relaxed);
+    cells_->count.fetch_add(1, std::memory_order_relaxed);
+    cells_->sum.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return cells_ == nullptr ? 0 : cells_->count.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return cells_ == nullptr ? 0.0 : cells_->sum.load(std::memory_order_relaxed);
+  }
+  bool bound() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(HistogramCells* cells) : cells_(cells) {}
+  HistogramCells* cells_ = nullptr;
+};
+
+/// Point-in-time copy of one histogram, with Prometheus-style quantile
+/// estimation (linear interpolation inside the target bucket).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // per-bucket, bounds.size() + 1 (+Inf last)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  double quantile(double q) const;
+};
+
+/// Point-in-time copy of the whole registry, sorted by name.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  const std::uint64_t* counter(std::string_view name) const;
+  const std::int64_t* gauge(std::string_view name) const;
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Owns the metric cells. Handles returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime; registering the
+/// same name again returns a handle to the same cell. reset() zeroes
+/// every cell but keeps registrations (and outstanding handles) valid.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the instrumented modules report to.
+  static Registry& global();
+
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `bounds` must be strictly increasing; re-registration ignores the
+  /// bounds of later calls.
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::uint64_t>>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<std::atomic<std::int64_t>>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramCells>, std::less<>> histograms_;
+};
+
+/// Default duration buckets (seconds) for pass/stage timing histograms.
+std::vector<double> duration_buckets();
+/// Default size buckets (bytes) for record-size histograms.
+std::vector<double> byte_buckets();
+
+}  // namespace zombiescope::obs

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "mrt/codec.hpp"
+#include "obs/trace.hpp"
 
 namespace zombiescope::scenarios {
 
 std::vector<mrt::MrtRecord> through_mrt_codec(const std::vector<mrt::MrtRecord>& records) {
+  obs::ScopedSpan span("scenario.mrt_codec");
   return mrt::decode_all(mrt::encode_all(records));
 }
 

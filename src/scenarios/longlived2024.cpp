@@ -1,8 +1,10 @@
 #include "scenarios/longlived2024.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "beacon/driver.hpp"
+#include "obs/trace.hpp"
 #include "zombie/state.hpp"
 
 namespace zombiescope::scenarios {
@@ -26,6 +28,12 @@ using topology::Relationship;
 LongLived2024Output run_longlived2024(const LongLived2024Spec& spec) {
   Rng rng(spec.seed);
   LongLived2024Output output;
+
+  // Stage spans: emplace() ends the previous stage before starting the
+  // next, so the phase tree stays flat under the scenario root.
+  obs::ScopedSpan run_span("scenario.longlived2024");
+  std::optional<obs::ScopedSpan> stage;
+  stage.emplace("scenario.topology_build");
 
   // --- topology: generated hierarchy + the paper's cast ----------------
   topology::GeneratorParams params;
@@ -126,6 +134,8 @@ LongLived2024Output run_longlived2024(const LongLived2024Spec& spec) {
   output.roa_removed_at = utc(2024, 6, 22, 19, 49, 0);
   // RPKI time-of-flight: routers see the deletion about an hour later.
   roas->remove(beacon_roa, output.roa_removed_at, kHour);
+
+  stage.emplace("scenario.setup");
 
   // --- simulation -----------------------------------------------------------
   simnet::SimConfig sim_config;
@@ -447,9 +457,11 @@ LongLived2024Output run_longlived2024(const LongLived2024Spec& spec) {
                            output.rib_dump_interval);
 
   // --- run ------------------------------------------------------------------
+  stage.emplace("scenario.simulate");
   sim.run_until(spec.monitor_until + kDay);
   output.sim_stats = sim.stats();
 
+  stage.emplace("scenario.collect");
   const std::vector<const std::vector<mrt::MrtRecord>*> update_archives{
       &rrc00.updates(), &rrc25.updates(), &route_views.updates()};
   output.updates = through_mrt_codec(zombie::merge_archives(update_archives));

@@ -1,8 +1,10 @@
 #include "scenarios/ris_replication.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "beacon/driver.hpp"
+#include "obs/trace.hpp"
 #include "zombie/state.hpp"
 
 namespace zombiescope::scenarios {
@@ -76,6 +78,11 @@ RisPeriodSpec period_2017mar() {
 ScenarioOutput run_ris_period(const RisPeriodSpec& spec) {
   Rng rng(spec.seed);
 
+  // Stage spans (see longlived2024.cpp for the emplace() idiom).
+  obs::ScopedSpan run_span("scenario.ris_period");
+  std::optional<obs::ScopedSpan> stage;
+  stage.emplace("scenario.topology_build");
+
   // --- topology ------------------------------------------------------
   topology::GeneratorParams params;
   params.tier1_count = 5;
@@ -98,6 +105,8 @@ ScenarioOutput run_ris_period(const RisPeriodSpec& spec) {
   topo.add_as({kNoisyRisPeerAsn, 3, "noisy-rrc21-peer"});
   topo.add_link(tier2[2], kNoisyRisPeerAsn, Relationship::kCustomer);
   topo.add_link(tier2[3], kNoisyRisPeerAsn, Relationship::kCustomer);
+
+  stage.emplace("scenario.setup");
 
   // --- simulation ------------------------------------------------------
   simnet::SimConfig sim_config;
@@ -212,9 +221,11 @@ ScenarioOutput run_ris_period(const RisPeriodSpec& spec) {
   output.studied_announcements = static_cast<int>(output.events.size());
 
   // --- run ------------------------------------------------------------------
+  stage.emplace("scenario.simulate");
   sim.run_until(spec.end + 6 * kHour);
   output.sim_stats = sim.stats();
 
+  stage.emplace("scenario.collect");
   // Merge archives, then round-trip through the binary codec so the
   // detectors read exactly what the MRT files would contain.
   const std::vector<const std::vector<mrt::MrtRecord>*> archives{&rrc00.updates(),

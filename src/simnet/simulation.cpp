@@ -15,7 +15,15 @@ std::pair<bgp::Asn, bgp::Asn> norm(bgp::Asn a, bgp::Asn b) {
 
 Simulation::Simulation(const topology::Topology& topo, const SimConfig& config,
                        netbase::Rng rng)
-    : topo_(topo), config_(config), rng_(std::move(rng)) {
+    : topo_(topo),
+      config_(config),
+      rng_(std::move(rng)),
+      m_events_(obs::Registry::global().counter("zs_simnet_events_processed_total")),
+      m_delivered_(obs::Registry::global().counter("zs_simnet_messages_delivered_total")),
+      m_suppressed_(obs::Registry::global().counter("zs_simnet_messages_suppressed_total")),
+      m_stalled_(obs::Registry::global().counter("zs_simnet_messages_stalled_total")),
+      m_rib_changes_(obs::Registry::global().counter("zs_simnet_rib_changes_total")),
+      m_queue_depth_(obs::Registry::global().gauge("zs_simnet_event_queue_depth")) {
   for (bgp::Asn asn : topo.all_asns()) {
     std::map<bgp::Asn, topology::Relationship> neighbors;
     for (const auto& [neighbor, rel] : topo.neighbors(asn)) neighbors[neighbor] = rel;
@@ -280,6 +288,7 @@ void Simulation::run_until(netbase::TimePoint until) {
     process(event);
   }
   now_ = std::max(now_, until);
+  flush_metrics();
 }
 
 void Simulation::run_all() {
@@ -288,6 +297,17 @@ void Simulation::run_all() {
     queue_.pop();
     process(event);
   }
+  flush_metrics();
+}
+
+void Simulation::flush_metrics() {
+  m_events_.inc(stats_.events_processed - flushed_.events_processed);
+  m_delivered_.inc(stats_.messages_delivered - flushed_.messages_delivered);
+  m_suppressed_.inc(stats_.messages_suppressed - flushed_.messages_suppressed);
+  m_stalled_.inc(stats_.messages_stalled - flushed_.messages_stalled);
+  m_rib_changes_.inc(stats_.rib_changes - flushed_.rib_changes);
+  flushed_ = stats_;
+  m_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
 }
 
 }  // namespace zombiescope::simnet

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "netbase/rng.hpp"
+#include "obs/metrics.hpp"
 #include "rpki/rov.hpp"
 #include "simnet/faults.hpp"
 #include "simnet/router.hpp"
@@ -48,7 +49,10 @@ class MonitorSink {
   virtual void on_route_change(netbase::TimePoint t, const RibChange& change) = 0;
 };
 
-/// Counters for benchmarks and sanity checks.
+/// Counters for benchmarks and sanity checks. The event loop updates
+/// this plain struct (single-threaded, no atomic cost on the hot
+/// path); flush_metrics() bridges the deltas onto the zsobs registry
+/// (zs_simnet_* metrics) at run boundaries.
 struct SimStats {
   std::uint64_t events_processed = 0;
   std::uint64_t messages_delivered = 0;
@@ -113,6 +117,12 @@ class Simulation {
 
   netbase::TimePoint now() const { return now_; }
   const SimStats& stats() const { return stats_; }
+
+  /// Publishes stats deltas since the last flush to the global metrics
+  /// registry and refreshes the event-queue-depth gauge. Called
+  /// automatically when run_until()/run_all() return; callable any
+  /// time for mid-run snapshots.
+  void flush_metrics();
   const Router& router(bgp::Asn asn) const;
   Router& router(bgp::Asn asn);
   const topology::Topology& topo() const { return topo_; }
@@ -192,6 +202,14 @@ class Simulation {
   netbase::TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   SimStats stats_;
+  SimStats flushed_;  // portion of stats_ already published to the registry
+
+  obs::Counter m_events_;
+  obs::Counter m_delivered_;
+  obs::Counter m_suppressed_;
+  obs::Counter m_stalled_;
+  obs::Counter m_rib_changes_;
+  obs::Gauge m_queue_depth_;
 };
 
 }  // namespace zombiescope::simnet

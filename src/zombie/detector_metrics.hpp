@@ -1,0 +1,52 @@
+// zombie/detector_metrics.hpp — shared telemetry for the detector
+// passes (interval, long-lived, lifespan, noisy-peer filter).
+//
+// Internal to src/zombie; the metric names are the public contract
+// (see DESIGN.md "Observability").
+
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace zombiescope::zombie::internal {
+
+/// Handles bound once; every pass shares the same counter family so a
+/// snapshot summarizes the whole detection pipeline.
+struct DetectorMetrics {
+  obs::Counter records_scanned =
+      obs::Registry::global().counter("zs_zombie_records_scanned_total");
+  obs::Counter candidates =
+      obs::Registry::global().counter("zs_zombie_candidates_examined_total");
+  obs::Counter outbreaks =
+      obs::Registry::global().counter("zs_zombie_outbreaks_confirmed_total");
+  obs::Counter routes = obs::Registry::global().counter("zs_zombie_routes_confirmed_total");
+  obs::Counter lifespans = obs::Registry::global().counter("zs_zombie_lifespans_total");
+  obs::Counter noisy_hits =
+      obs::Registry::global().counter("zs_zombie_noisy_filter_hits_total");
+  obs::Histogram pass_seconds =
+      obs::Registry::global().histogram("zs_zombie_pass_seconds", obs::duration_buckets());
+};
+
+inline DetectorMetrics& detector_metrics() {
+  static DetectorMetrics metrics;
+  return metrics;
+}
+
+/// Times one detector pass into the shared wall-time histogram.
+class PassTimer {
+ public:
+  PassTimer() = default;
+  PassTimer(const PassTimer&) = delete;
+  PassTimer& operator=(const PassTimer&) = delete;
+  ~PassTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    detector_metrics().pass_seconds.observe(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
+};
+
+}  // namespace zombiescope::zombie::internal

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "beacon/clock.hpp"
+#include "obs/trace.hpp"
+#include "zombie/detector_metrics.hpp"
 
 namespace zombiescope::zombie {
 
@@ -29,6 +31,10 @@ struct LastUpdate {
 IntervalDetectionResult IntervalZombieDetector::detect(
     std::span<const mrt::MrtRecord> records,
     std::span<const beacon::BeaconEvent> events) const {
+  obs::ScopedSpan span("zombie.detect.interval");
+  internal::PassTimer timer;
+  internal::DetectorMetrics& metrics = internal::detector_metrics();
+  metrics.records_scanned.inc(records.size());
   IntervalDetectionResult result;
 
   // Index events by announce time; intervals inherit the RIS period.
@@ -142,6 +148,7 @@ IntervalDetectionResult IntervalZombieDetector::detect(
       outbreak.withdraw_time = event.withdraw_time;
       ZombieOutbreak deduped = outbreak;
 
+      metrics.candidates.inc(table_it->second.size());
       for (const auto& [peer, last] : table_it->second) {
         if (last.seen_announce) vis.announcing_asns.insert(peer.asn);
 
@@ -192,6 +199,8 @@ IntervalDetectionResult IntervalZombieDetector::detect(
     cursor = scan;
   }
 
+  metrics.outbreaks.inc(result.outbreaks_deduplicated.size());
+  metrics.routes.inc(result.routes.size());
   return result;
 }
 

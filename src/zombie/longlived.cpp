@@ -2,10 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+#include "zombie/detector_metrics.hpp"
+
 namespace zombiescope::zombie {
 
 namespace {
 
+using internal::PassTimer;
+using internal::detector_metrics;
 using netbase::Duration;
 using netbase::Prefix;
 using netbase::TimePoint;
@@ -21,6 +26,10 @@ struct LastUpdate {
 LongLivedResult LongLivedZombieDetector::detect(
     std::span<const mrt::MrtRecord> records, std::span<const beacon::BeaconEvent> events,
     Duration threshold) const {
+  obs::ScopedSpan span("zombie.detect.longlived");
+  PassTimer timer;
+  internal::DetectorMetrics& metrics = detector_metrics();
+  metrics.records_scanned.inc(records.size());
   LongLivedResult result;
 
   // Studied events per prefix, sorted by announce time. Beacon prefixes
@@ -100,6 +109,7 @@ LongLivedResult LongLivedZombieDetector::detect(
   for (const beacon::BeaconEvent* event : studied) {
     auto it = table.find(event);
     if (it == table.end()) continue;
+    metrics.candidates.inc(it->second.size());
     ZombieOutbreak outbreak;
     outbreak.prefix = event->prefix;
     outbreak.interval_start = event->announce_time;
@@ -116,6 +126,8 @@ LongLivedResult LongLivedZombieDetector::detect(
     }
     if (!outbreak.routes.empty()) result.outbreaks.push_back(std::move(outbreak));
   }
+  metrics.outbreaks.inc(result.outbreaks.size());
+  metrics.routes.inc(static_cast<std::uint64_t>(result.route_count()));
   return result;
 }
 
@@ -138,6 +150,10 @@ std::vector<SweepPoint> LongLivedZombieDetector::sweep(
 std::vector<OutbreakLifespan> LifespanAnalyzer::analyze(
     std::span<const mrt::MrtRecord> rib_dumps, std::span<const beacon::BeaconEvent> events,
     Duration dump_interval) const {
+  obs::ScopedSpan span("zombie.analyze.lifespans");
+  PassTimer timer;
+  internal::DetectorMetrics& metrics = detector_metrics();
+  metrics.records_scanned.inc(rib_dumps.size());
   // Final withdrawal time per studied prefix.
   std::map<Prefix, TimePoint> final_withdrawal;
   for (const auto& event : events) {
@@ -224,6 +240,7 @@ std::vector<OutbreakLifespan> LifespanAnalyzer::analyze(
 
     out.push_back(std::move(lifespan));
   }
+  metrics.lifespans.inc(out.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "zombie/detector_metrics.hpp"
+
 namespace zombiescope::zombie {
 
 std::vector<PeerStats> NoisyPeerFilter::stats(std::span<const ZombieRoute> routes,
@@ -44,6 +46,7 @@ std::vector<PeerStats> NoisyPeerFilter::noisy_peers(std::span<const PeerStats> s
   std::sort(out.begin(), out.end(), [](const PeerStats& a, const PeerStats& b) {
     return a.probability() > b.probability();
   });
+  internal::detector_metrics().noisy_hits.inc(out.size());
   return out;
 }
 

@@ -19,6 +19,9 @@
 //   --no-dedup           report with double-counting (baseline methodology)
 //   --root-cause         run palm-tree inference per outbreak
 //   --max-outbreaks N    print at most N outbreaks (default 20)
+//   --metrics-out FILE   write a telemetry snapshot after the run
+//   --metrics-format F   snapshot format: prom | json (default json)
+//   --trace-out FILE     write the per-stage span tree as JSON
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +29,8 @@
 
 #include "beacon/schedule.hpp"
 #include "mrt/codec.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "zombie/interval_detector.hpp"
 #include "zombie/longlived.hpp"
 #include "zombie/noisy.hpp"
@@ -40,7 +45,9 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --updates FILE --schedule ris|daily|fifteen --start YYYY-MM-DD\n"
                "          --end YYYY-MM-DD [--ribs FILE] [--threshold MINUTES]\n"
-               "          [--filter-noisy] [--no-dedup] [--root-cause] [--max-outbreaks N]\n",
+               "          [--filter-noisy] [--no-dedup] [--root-cause] [--max-outbreaks N]\n"
+               "          [--metrics-out FILE] [--metrics-format prom|json]\n"
+               "          [--trace-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -65,6 +72,9 @@ struct Options {
   bool dedup = true;
   bool root_cause = false;
   int max_outbreaks = 20;
+  std::string metrics_out;
+  std::string trace_out;
+  obs::Format metrics_format = obs::Format::kJson;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -86,7 +96,13 @@ Options parse_options(int argc, char** argv) {
     else if (arg == "--no-dedup") opt.dedup = false;
     else if (arg == "--root-cause") opt.root_cause = true;
     else if (arg == "--max-outbreaks") opt.max_outbreaks = std::stoi(need_value(i));
-    else usage(argv[0]);
+    else if (arg == "--metrics-out") opt.metrics_out = need_value(i);
+    else if (arg == "--trace-out") opt.trace_out = need_value(i);
+    else if (arg == "--metrics-format") {
+      const auto parsed = obs::parse_format(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      opt.metrics_format = *parsed;
+    } else usage(argv[0]);
   }
   if (opt.updates_path.empty() || opt.start == 0 || opt.end == 0 || opt.end <= opt.start)
     usage(argv[0]);
@@ -124,13 +140,10 @@ void print_outbreak(const zombie::ZombieOutbreak& outbreak, bool root_cause) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = parse_options(argc, argv);
-
+int run(const Options& opt) {
   std::vector<mrt::MrtRecord> updates;
   try {
+    obs::ScopedSpan load_span("zsdetect.load");
     updates = mrt::read_file(opt.updates_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -218,6 +231,7 @@ int main(int argc, char** argv) {
   if (!opt.ribs_path.empty()) {
     std::vector<mrt::MrtRecord> ribs;
     try {
+      obs::ScopedSpan load_span("zsdetect.load_ribs");
       ribs = mrt::read_file(opt.ribs_path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -242,4 +256,26 @@ int main(int argc, char** argv) {
     }
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_options(argc, argv);
+
+  int rc = 0;
+  {
+    // Root of the span tree; load and detector-pass spans nest under it.
+    obs::ScopedSpan root("zsdetect.run");
+    rc = run(opt);
+  }
+
+  try {
+    if (!opt.metrics_out.empty()) obs::write_metrics_file(opt.metrics_out, opt.metrics_format);
+    if (!opt.trace_out.empty()) obs::write_trace_file(opt.trace_out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return rc;
 }

@@ -2,35 +2,47 @@
 // zsdetect CLI (and any MRT consumer) has realistic data to chew on.
 //
 //   zssim ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]
+//         [--metrics-out FILE] [--trace-out FILE] [--metrics-format prom|json]
 //
 // Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
 // longlived2024). Defaults the prefix to the scenario name.
+// --metrics-out snapshots the telemetry registry after the run;
+// --trace-out dumps the per-stage span tree (see DESIGN.md,
+// "Observability").
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "mrt/codec.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "scenarios/longlived2024.hpp"
 #include "scenarios/ris_replication.hpp"
 
 using namespace zombiescope;
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]\n",
-                 argv[0]);
-    return 2;
-  }
-  const std::string which = argv[1];
-  const std::string prefix = argc > 2 ? argv[2] : which;
+namespace {
 
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]\n"
+               "          [--metrics-out FILE] [--trace-out FILE]\n"
+               "          [--metrics-format prom|json]\n",
+               argv0);
+  std::exit(2);
+}
+
+int run_scenario(const std::string& which, const std::string& prefix) {
   if (which == "longlived2024") {
     scenarios::LongLived2024Spec spec;
     std::fprintf(stderr, "simulating the 2024 beacon experiment (~1 year of RIB dumps)...\n");
     const auto out = scenarios::run_longlived2024(spec);
-    mrt::write_file(prefix + ".updates.mrt", out.updates);
-    mrt::write_file(prefix + ".ribs.mrt", out.rib_dumps);
+    {
+      obs::ScopedSpan write_span("zssim.write_mrt");
+      mrt::write_file(prefix + ".updates.mrt", out.updates);
+      mrt::write_file(prefix + ".ribs.mrt", out.rib_dumps);
+    }
     std::printf("wrote %s.updates.mrt (%zu records) and %s.ribs.mrt (%zu records)\n",
                 prefix.c_str(), out.updates.size(), prefix.c_str(), out.rib_dumps.size());
     std::printf("detect with:\n  zsdetect --updates %s.updates.mrt --ribs %s.ribs.mrt \\\n"
@@ -50,11 +62,60 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "simulating RIS period %s...\n", spec.label.c_str());
   const auto out = scenarios::run_ris_period(spec);
-  mrt::write_file(prefix + ".updates.mrt", out.updates);
+  {
+    obs::ScopedSpan write_span("zssim.write_mrt");
+    mrt::write_file(prefix + ".updates.mrt", out.updates);
+  }
   std::printf("wrote %s.updates.mrt (%zu records)\n", prefix.c_str(), out.updates.size());
   std::printf("detect with:\n  zsdetect --updates %s.updates.mrt --schedule ris \\\n"
               "           --start %s --end %s --filter-noisy --root-cause\n",
               prefix.c_str(), netbase::format_date(spec.start).c_str(),
               netbase::format_date(spec.end).c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string metrics_out;
+  std::string trace_out;
+  obs::Format metrics_format = obs::Format::kJson;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out") metrics_out = need_value(i);
+    else if (arg == "--trace-out") trace_out = need_value(i);
+    else if (arg == "--metrics-format") {
+      const auto parsed = obs::parse_format(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      metrics_format = *parsed;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty() || positional.size() > 2) usage(argv[0]);
+  const std::string which = positional[0];
+  const std::string prefix = positional.size() > 1 ? positional[1] : which;
+
+  int rc = 0;
+  {
+    // Root of the span tree; every scenario stage nests under it.
+    obs::ScopedSpan root("zssim.run");
+    rc = run_scenario(which, prefix);
+  }
+
+  try {
+    if (!metrics_out.empty()) obs::write_metrics_file(metrics_out, metrics_format);
+    if (!trace_out.empty()) obs::write_trace_file(trace_out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return rc;
 }
