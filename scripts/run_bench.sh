@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Builds and runs the experiment harness (bench/): one binary per paper
+# table/figure. Each binary leaves a BENCH_<tool>.json telemetry
+# snapshot behind; this script collects them in the repo root so
+# successive runs can be diffed (ZS_BENCH_JSON_DIR overridable).
+#
+# Usage: scripts/run_bench.sh [build-dir] [bench ...]
+#   scripts/run_bench.sh                      # all benches, build/
+#   scripts/run_bench.sh build micro_hotpaths # just one
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+# Bench targets = every .cpp in bench/ except the shared library.
+if [ "$#" -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=()
+  for src in bench/*.cpp; do
+    name="$(basename "${src}" .cpp)"
+    case "${name}" in bench_common) continue ;; esac
+    BENCHES+=("${name}")
+  done
+fi
+
+echo "== bench: building ${#BENCHES[@]} harness binarie(s) (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}"
+
+export ZS_BENCH_JSON_DIR="${ZS_BENCH_JSON_DIR:-${REPO_ROOT}}"
+export ZS_CACHE_DIR="${ZS_CACHE_DIR:-${REPO_ROOT}/zs_bench_cache}"
+
+failed=()
+for bench in "${BENCHES[@]}"; do
+  echo "== bench: ${bench}"
+  if ! "${BUILD_DIR}/bench/${bench}"; then
+    failed+=("${bench}")
+  fi
+done
+
+echo "== bench: telemetry snapshots in ${ZS_BENCH_JSON_DIR}"
+ls -1 "${ZS_BENCH_JSON_DIR}"/BENCH_*.json 2>/dev/null || true
+
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "== bench: FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "== bench: OK"

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, then the obs
-# subsystem's concurrency tests again under ThreadSanitizer (its hot
-# path is the only code that promises lock-free cross-thread use).
+# subsystem's tests again under ThreadSanitizer (its hot paths — the
+# metrics cells, the span ring, and the journal MPSC ring — are the
+# only code that promises lock-free cross-thread use) and under
+# AddressSanitizer+UBSan (the journal codec and the HTTP server parse
+# external bytes).
 #
 # Usage: scripts/run_tier1.sh [build-dir]   (default: build)
 
@@ -10,15 +13,21 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${BUILD_DIR}-tsan"
+ASAN_DIR="${BUILD_DIR}-asan"
 
 echo "== tier-1: plain build + ctest (${BUILD_DIR})"
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
-echo "== tier-1: obs_test under ThreadSanitizer (${TSAN_DIR})"
+echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
-cmake --build "${TSAN_DIR}" -j --target obs_test
+cmake --build "${TSAN_DIR}" -j --target obs_test journal_test http_test
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
+
+echo "== tier-1: obs tests under ASan+UBSan (${ASAN_DIR})"
+cmake -B "${ASAN_DIR}" -S . -DZS_SANITIZE=address,undefined
+cmake --build "${ASAN_DIR}" -j --target obs_test journal_test http_test
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs'
 
 echo "== tier-1: OK"

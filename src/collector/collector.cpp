@@ -2,7 +2,36 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
+
 namespace zombiescope::collector {
+
+namespace {
+
+// Collector-side noise and session lifecycle events. These are the
+// ground truth zsreport cross-checks detector decisions against: a
+// kWithdrawalLost here explains a later kZombieDeclared.
+void journal_noise(obs::JournalEventType type, netbase::TimePoint at,
+                   bgp::Asn peer_asn, const netbase::IpAddress& peer_address,
+                   const netbase::Prefix* prefix = nullptr, std::int64_t a = 0) {
+  obs::Journal& journal = obs::Journal::global();
+  constexpr std::uint32_t kCats = obs::kCatNoise | obs::kCatCollector;
+  if (!journal.enabled(kCats)) return;
+  obs::JournalEvent ev;
+  ev.type = type;
+  ev.time = at;
+  if (prefix != nullptr) {
+    ev.has_prefix = true;
+    ev.prefix = *prefix;
+  }
+  ev.has_peer = true;
+  ev.peer_asn = peer_asn;
+  ev.peer_address = peer_address;
+  ev.a = a;
+  journal.emit_runtime(obs::category_of(type), ev);
+}
+
+}  // namespace
 
 PeerSession::PeerSession(Collector& owner, SessionConfig config, netbase::Rng rng)
     : owner_(owner), config_(std::move(config)), rng_(std::move(rng)) {}
@@ -82,6 +111,8 @@ void PeerSession::on_route_change(netbase::TimePoint t, const simnet::RibChange&
   const double loss = config_.loss_probability_for(change.prefix.family());
   if (noise_matches && loss > 0.0 && rng_.chance(loss)) {
     owner_.m_withdrawals_lost_.inc();
+    journal_noise(obs::JournalEventType::kWithdrawalLost, t, config_.peer_asn,
+                  config_.peer_address, &change.prefix);
     return;
   }
 
@@ -91,6 +122,8 @@ void PeerSession::on_route_change(netbase::TimePoint t, const simnet::RibChange&
       rng_.chance(config_.withdrawal_delay_probability)) {
     const netbase::Duration delay = rng_.uniform_int(config_.withdrawal_delay_min,
                                                      config_.withdrawal_delay_max);
+    journal_noise(obs::JournalEventType::kWithdrawalDelayed, t, config_.peer_asn,
+                  config_.peer_address, &change.prefix, delay);
     const std::uint64_t generation = generation_[change.prefix];
     const netbase::Prefix prefix = change.prefix;
     sim_->schedule_callback(t + delay, [this, prefix, generation] {
@@ -112,6 +145,8 @@ void PeerSession::on_route_change(netbase::TimePoint t, const simnet::RibChange&
       rng_.chance(config_.phantom_reannounce_probability)) {
     const netbase::Duration delay = rng_.uniform_int(config_.phantom_reannounce_min,
                                                      config_.phantom_reannounce_max);
+    journal_noise(obs::JournalEventType::kPhantomReannounce, t, config_.peer_asn,
+                  config_.peer_address, &change.prefix, delay);
     const std::uint64_t generation = ++generation_[change.prefix];
     const netbase::Prefix prefix = change.prefix;
     sim_->schedule_callback(t + delay, [this, prefix, generation, withdrawn_entry] {
@@ -133,6 +168,8 @@ void PeerSession::schedule_reset(simnet::Simulation& sim, netbase::TimePoint dow
     established_ = false;
     const netbase::TimePoint t = sim_->now();
     record_state(t, bgp::SessionState::kEstablished, bgp::SessionState::kIdle);
+    journal_noise(obs::JournalEventType::kCollectorSessionDown, t, config_.peer_asn,
+                  config_.peer_address);
     // Session flush: every route of this peer is withdrawn from the
     // collector's point of view (RIS handles STATE messages exactly
     // this way, which the detectors must honor).
@@ -147,6 +184,8 @@ void PeerSession::schedule_reset(simnet::Simulation& sim, netbase::TimePoint dow
     established_ = true;
     const netbase::TimePoint t = sim_->now();
     record_state(t, bgp::SessionState::kIdle, bgp::SessionState::kEstablished);
+    journal_noise(obs::JournalEventType::kCollectorSessionUp, t, config_.peer_asn,
+                  config_.peer_address);
     // The peer re-advertises its current table — including any route
     // still stuck in its RIB (zombie re-learn, Fig. 4's reappearance).
     const auto& peer_router = sim_->router(config_.peer_asn);

@@ -39,6 +39,18 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+struct ExportedQuantile {
+  std::string_view label;     // Prometheus q="..." label value
+  std::string_view json_key;  // zsobs-v1 histogram object key
+  double q;
+};
+
+constexpr ExportedQuantile kExportedQuantiles[] = {
+    {"0.5", "p50", 0.5},
+    {"0.95", "p95", 0.95},
+    {"0.99", "p99", 0.99},
+};
+
 bool valid_metric_name(std::string_view name) {
   if (name.empty()) return false;
   auto head = [](char c) {
@@ -92,6 +104,14 @@ std::string to_prometheus(const Snapshot& snapshot) {
     out += h.name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
     out += h.name + "_sum " + format_double(h.sum) + "\n";
     out += h.name + "_count " + std::to_string(h.count) + "\n";
+    // Precomputed quantiles as a separate gauge family: appending
+    // extra samples under the histogram TYPE would be invalid
+    // exposition, and a `summary` would collide with the bucket series.
+    out += "# TYPE " + h.name + "_quantile gauge\n";
+    for (const auto& eq : kExportedQuantiles) {
+      out += h.name + "_quantile{q=\"" + std::string(eq.label) + "\"} " +
+             format_double(h.quantile(eq.q)) + "\n";
+    }
   }
   return out;
 }
@@ -127,7 +147,12 @@ std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans)
       out += std::to_string(h.counts[k]);
     }
     out += "], \"sum\": " + format_double(h.sum) +
-           ", \"count\": " + std::to_string(h.count) + "}";
+           ", \"count\": " + std::to_string(h.count);
+    for (const auto& eq : kExportedQuantiles) {
+      out += ", \"" + std::string(eq.json_key) +
+             "\": " + format_double(h.quantile(eq.q));
+    }
+    out += "}";
   }
   out += snapshot.histograms.empty() ? "},\n" : "\n  },\n";
   append_json_spans(out, spans);

@@ -1,0 +1,204 @@
+#include "obs/http.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string_view>
+
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
+namespace zombiescope::obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+constexpr int kRequestTimeoutMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+struct Response {
+  int status = 200;
+  std::string_view content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+std::string_view status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Bad Request";
+  }
+}
+
+// Parses "?n=123" style query values; fallback on anything malformed.
+std::size_t query_n(std::string_view target, std::size_t fallback) {
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) return fallback;
+  std::string_view query = target.substr(q + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (pair.rfind("n=", 0) != 0) continue;
+    std::size_t value = 0;
+    for (char c : pair.substr(2)) {
+      if (c < '0' || c > '9') return fallback;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      if (value > 1'000'000) return fallback;
+    }
+    return value == 0 ? fallback : value;
+  }
+  return fallback;
+}
+
+Response route(std::string_view method, std::string_view target) {
+  const std::string_view path = target.substr(0, target.find('?'));
+  if (method != "GET") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  }
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus(Registry::global().snapshot())};
+  }
+  if (path == "/healthz") {
+    std::string body = "{\"status\":\"ok\",\"spans_recorded\":" +
+                       std::to_string(Tracer::global().total_recorded()) +
+                       ",\"journal_emitted\":" +
+                       std::to_string(Journal::global().emitted()) +
+                       ",\"journal_dropped\":" +
+                       std::to_string(Journal::global().dropped()) + "}\n";
+    return {200, "application/json", std::move(body)};
+  }
+  if (path == "/spans") {
+    return {200, "application/json",
+            trace_to_json(Tracer::global().snapshot())};
+  }
+  if (path == "/journal/tail") {
+    const std::size_t n = query_n(target, 256);
+    std::string body;
+    for (const JournalEvent& event : Journal::global().tail(n)) {
+      body += to_ndjson(event);
+      body += '\n';
+    }
+    return {200, "application/x-ndjson", std::move(body)};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool HttpServer::start(std::uint16_t port) {
+  if (listen_fd_ >= 0) return false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  m_requests_ = Registry::global().counter("zs_http_requests_total");
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the request head, a poll-sliced deadline so a
+  // stalled client cannot wedge the serving thread.
+  std::string request;
+  int waited_ms = 0;
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes && waited_ms < kRequestTimeoutMs &&
+         !stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    waited_ms += kPollIntervalMs;
+    if (ready <= 0) continue;
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t head_end = request.find("\r\n\r\n");
+  if (head_end == std::string::npos) return;
+
+  // Request line: METHOD SP TARGET SP VERSION
+  const std::size_t line_end = request.find("\r\n");
+  std::string_view line(request.data(), line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return;
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  Response response = route(method, target);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  m_requests_.inc();
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(status_text(response.status)) + "\r\n";
+  head += "Content-Type: " + std::string(response.content_type) + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  send_all(fd, head);
+  send_all(fd, response.body);
+  ::shutdown(fd, SHUT_WR);
+}
+
+}  // namespace zombiescope::obs

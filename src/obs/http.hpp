@@ -1,0 +1,63 @@
+// obs/http.hpp — live introspection over HTTP.
+//
+// A deliberately tiny embedded server (POSIX sockets + poll, no
+// external deps, one background thread, sequential request handling)
+// so a long zssim/zsdetect run can be inspected while it is running
+// instead of only at exit:
+//
+//   GET /metrics       Prometheus text exposition of the global registry
+//   GET /healthz       {"status":"ok",...} liveness JSON
+//   GET /spans         the global tracer's span ring as zsobs-trace-v1
+//   GET /journal/tail  last events of the global journal as NDJSON
+//                      (?n=N, default 256, capped at the recent buffer)
+//
+// This is an operator port for a measurement tool, not a web server:
+// requests are served one at a time, bodies are ignored, and anything
+// but GET on a known path gets a terse error. Enabled with --http-port.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace zombiescope::obs {
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port) and starts the
+  /// serving thread. Returns false (with no thread started) if the
+  /// socket cannot be bound. Calling start() twice is an error.
+  bool start(std::uint16_t port);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  /// The bound port (the real one when started with port 0).
+  std::uint16_t port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  Counter m_requests_;
+};
+
+}  // namespace zombiescope::obs

@@ -24,8 +24,13 @@ Tracer::Tracer(std::size_t capacity) : epoch_ns_(steady_ns()), capacity_(capacit
 }
 
 Tracer& Tracer::global() {
-  static Tracer instance;
-  return instance;
+  static Tracer* instance = [] {
+    auto* tracer = new Tracer();
+    tracer->set_dropped_counter(
+        Registry::global().counter("zs_obs_spans_dropped_total"));
+    return tracer;
+  }();
+  return *instance;
 }
 
 void Tracer::set_capacity(std::size_t capacity) {
@@ -59,6 +64,7 @@ void Tracer::reset() {
   ring_.clear();
   head_ = 0;
   total_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
   epoch_ns_ = steady_ns();
 }
 
@@ -67,11 +73,18 @@ std::int64_t Tracer::now_ns() const { return steady_ns() - epoch_ns_; }
 void Tracer::record(SpanRecord record) {
   std::lock_guard lock(mutex_);
   total_.fetch_add(1, std::memory_order_relaxed);
-  if (capacity_ == 0) return;
+  if (capacity_ == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    m_dropped_.inc();
+    return;
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
   }
+  // Overwriting the oldest buffered span loses it from snapshots.
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  m_dropped_.inc();
   ring_[head_] = std::move(record);
   head_ = (head_ + 1) % capacity_;
 }

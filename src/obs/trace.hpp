@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace zombiescope::obs {
 
 /// One completed span. Timestamps are steady-clock nanoseconds
@@ -54,6 +56,14 @@ class Tracer {
   std::vector<SpanRecord> snapshot() const;
   /// All spans ever recorded, including ones overwritten by the ring.
   std::uint64_t total_recorded() const { return total_.load(std::memory_order_relaxed); }
+  /// Spans the bounded ring could not keep (overwritten or refused);
+  /// nonzero means snapshot() is silently missing history.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Binds a registry counter (zs_obs_spans_dropped_total) bumped on
+  /// every drop, so truncation is visible in metric snapshots too.
+  /// global() binds automatically.
+  void set_dropped_counter(Counter counter) { m_dropped_ = counter; }
 
   /// Drops buffered spans and restarts the time epoch.
   void reset();
@@ -67,6 +77,8 @@ class Tracer {
  private:
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  Counter m_dropped_;
   std::atomic<std::uint64_t> next_id_{1};
   std::int64_t epoch_ns_ = 0;
 

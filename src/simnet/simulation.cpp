@@ -3,12 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
+
 namespace zombiescope::simnet {
 
 namespace {
 
 std::pair<bgp::Asn, bgp::Asn> norm(bgp::Asn a, bgp::Asn b) {
   return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Fault injections are the causes the journal exists to record: a
+// zombie declared downstream traces back to one of these events.
+void journal_fault(obs::JournalEventType type, netbase::TimePoint at, bgp::Asn from,
+                   bgp::Asn to, const netbase::Prefix* prefix = nullptr) {
+  obs::Journal& journal = obs::Journal::global();
+  if (!journal.enabled(obs::kCatFault)) return;
+  obs::JournalEvent ev;
+  ev.type = type;
+  ev.time = at;
+  if (prefix != nullptr) {
+    ev.has_prefix = true;
+    ev.prefix = *prefix;
+  }
+  ev.a = from;
+  ev.b = to;
+  journal.emit<obs::kCatFault>(ev);
 }
 
 }  // namespace
@@ -86,6 +106,7 @@ void Simulation::schedule_callback(netbase::TimePoint at, std::function<void()> 
 bool Simulation::evict_prefix(bgp::Asn asn, const netbase::Prefix& prefix) {
   auto change = router(asn).drop_learned_routes(prefix);
   if (!change.has_value()) return false;
+  journal_fault(obs::JournalEventType::kPrefixEvicted, now_, asn, 0, &prefix);
   apply_change(now_, asn, *change);
   return true;
 }
@@ -174,6 +195,8 @@ void Simulation::apply_change(netbase::TimePoint t, bgp::Asn router_asn,
       // zombie seed: the neighbor keeps the stale route.
       if (suppression_matches(t, router_asn, neighbor, change.prefix)) {
         ++stats_.messages_suppressed;
+        journal_fault(obs::JournalEventType::kFaultWithdrawalSuppressed, t,
+                      router_asn, neighbor, &change.prefix);
         continue;
       }
       push(t + link_delay(router_asn, neighbor),
@@ -205,6 +228,8 @@ void Simulation::process(Event& event) {
     if (link_down(announce->from, announce->to)) return;
     if (stall_matches(now_, announce->to, announce->from, announce->prefix.family())) {
       ++stats_.messages_stalled;
+      journal_fault(obs::JournalEventType::kFaultReceiveStall, now_, announce->from,
+                    announce->to, &announce->prefix);
       return;
     }
     ++stats_.messages_delivered;
@@ -219,6 +244,8 @@ void Simulation::process(Event& event) {
     if (link_down(withdraw->from, withdraw->to)) return;
     if (stall_matches(now_, withdraw->to, withdraw->from, withdraw->prefix.family())) {
       ++stats_.messages_stalled;
+      journal_fault(obs::JournalEventType::kFaultReceiveStall, now_, withdraw->from,
+                    withdraw->to, &withdraw->prefix);
       return;
     }
     ++stats_.messages_delivered;
@@ -237,6 +264,7 @@ void Simulation::process(Event& event) {
   }
   if (auto* down = std::get_if<SessionDown>(&event.payload)) {
     down_links_.insert(norm(down->a, down->b));
+    journal_fault(obs::JournalEventType::kSimSessionDown, now_, down->a, down->b);
     // Both ends drop what they learned over the session and clear the
     // Adj-RIB-Out state for it.
     for (auto [x, y] : {std::pair{down->a, down->b}, std::pair{down->b, down->a}}) {
@@ -251,6 +279,7 @@ void Simulation::process(Event& event) {
   }
   if (auto* up = std::get_if<SessionUp>(&event.payload)) {
     down_links_.erase(norm(up->a, up->b));
+    journal_fault(obs::JournalEventType::kSimSessionUp, now_, up->a, up->b);
     // Fresh session: both ends advertise their current tables. If one
     // end still holds a zombie, the other now (re)learns it — months
     // after the original withdrawal, this is a zombie resurrection.

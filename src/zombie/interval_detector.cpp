@@ -4,6 +4,7 @@
 #include <map>
 
 #include "beacon/clock.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "zombie/detector_metrics.hpp"
 
@@ -180,6 +181,31 @@ IntervalDetectionResult IntervalZombieDetector::detect(
         obs.zombie_path = route.path;
         obs.duplicate = route.duplicate;
         result.observations.push_back(std::move(obs));
+
+        obs::Journal& journal = obs::Journal::global();
+        if (journal.enabled(obs::kCatDetector)) {
+          obs::JournalEvent ev;
+          ev.time = event.withdraw_time + config_.threshold;
+          ev.has_prefix = true;
+          ev.prefix = event.prefix;
+          ev.has_peer = true;
+          ev.peer_asn = peer.asn;
+          ev.peer_address = peer.address;
+          ev.a = config_.threshold;
+          ev.b = event.withdraw_time;
+          ev.c = interval.start;
+          ev.type = obs::JournalEventType::kThresholdCrossed;
+          journal.emit<obs::kCatDetector>(ev);
+          if (route.duplicate) {
+            ev.type = obs::JournalEventType::kDuplicateSuppressed;
+            ev.a = *route.aggregator_time;
+            ev.b = interval.start;
+            ev.c = 0;
+          } else {
+            ev.type = obs::JournalEventType::kZombieDeclared;
+          }
+          journal.emit<obs::kCatDetector>(ev);
+        }
 
         outbreak.routes.push_back(route);
         if (!route.duplicate) deduped.routes.push_back(route);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "zombie/detector_metrics.hpp"
 
@@ -122,6 +123,23 @@ LongLivedResult LongLivedZombieDetector::detect(
       route.interval_start = event->announce_time;
       route.withdraw_time = event->withdraw_time;
       route.path = last.path;
+      obs::Journal& journal = obs::Journal::global();
+      if (journal.enabled(obs::kCatDetector)) {
+        obs::JournalEvent ev;
+        ev.time = event->withdraw_time + threshold;
+        ev.has_prefix = true;
+        ev.prefix = event->prefix;
+        ev.has_peer = true;
+        ev.peer_asn = peer.asn;
+        ev.peer_address = peer.address;
+        ev.a = threshold;
+        ev.b = event->withdraw_time;
+        ev.c = event->announce_time;
+        ev.type = obs::JournalEventType::kThresholdCrossed;
+        journal.emit<obs::kCatDetector>(ev);
+        ev.type = obs::JournalEventType::kZombieDeclared;
+        journal.emit<obs::kCatDetector>(ev);
+      }
       outbreak.routes.push_back(std::move(route));
     }
     if (!outbreak.routes.empty()) result.outbreaks.push_back(std::move(outbreak));
@@ -227,15 +245,39 @@ std::vector<OutbreakLifespan> LifespanAnalyzer::analyze(
     std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
       return a->first_seen < b->first_seen;
     });
+    obs::Journal& journal = obs::Journal::global();
     for (const auto* interval : sorted) {
       if (interval->first_seen > covered_until + dump_interval) {
         OutbreakLifespan::Resurrection res;
         res.vanished_at = covered_until;
         res.reappeared_at = interval->first_seen;
         res.peer = interval->peer;
+        if (journal.enabled(obs::kCatLifespan)) {
+          obs::JournalEvent ev;
+          ev.type = obs::JournalEventType::kResurrectionDetected;
+          ev.time = res.reappeared_at;
+          ev.has_prefix = true;
+          ev.prefix = prefix;
+          ev.has_peer = true;
+          ev.peer_asn = res.peer.asn;
+          ev.peer_address = res.peer.address;
+          ev.a = res.vanished_at;
+          ev.b = res.reappeared_at;
+          journal.emit<obs::kCatLifespan>(ev);
+        }
         lifespan.resurrections.push_back(res);
       }
       covered_until = std::max(covered_until, interval->last_seen);
+    }
+    if (journal.enabled(obs::kCatLifespan)) {
+      obs::JournalEvent ev;
+      ev.type = obs::JournalEventType::kLifespanClosed;
+      ev.time = lifespan.last_seen;
+      ev.has_prefix = true;
+      ev.prefix = prefix;
+      ev.a = lifespan.withdraw_time;
+      ev.b = lifespan.last_seen;
+      journal.emit<obs::kCatLifespan>(ev);
     }
 
     out.push_back(std::move(lifespan));

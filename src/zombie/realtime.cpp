@@ -1,6 +1,30 @@
 #include "zombie/realtime.hpp"
 
+#include "obs/journal.hpp"
+
 namespace zombiescope::zombie {
+
+namespace {
+
+void journal_transition(obs::JournalEventType type, const netbase::Prefix& prefix,
+                        const PeerKey& peer, netbase::TimePoint at,
+                        netbase::Duration threshold, netbase::TimePoint withdrawn_at) {
+  obs::Journal& journal = obs::Journal::global();
+  if (!journal.enabled(obs::kCatDetector)) return;
+  obs::JournalEvent ev;
+  ev.type = type;
+  ev.time = at;
+  ev.has_prefix = true;
+  ev.prefix = prefix;
+  ev.has_peer = true;
+  ev.peer_asn = peer.asn;
+  ev.peer_address = peer.address;
+  ev.a = threshold;
+  ev.b = withdrawn_at;
+  journal.emit<obs::kCatDetector>(ev);
+}
+
+}  // namespace
 
 void RealTimeZombieDetector::expect(const beacon::BeaconEvent& event) {
   if (event.superseded) return;
@@ -23,7 +47,11 @@ void RealTimeZombieDetector::resolve(Watch& watch, const PeerKey& peer,
     resolution.resolved_at = at;
     resolution_fn_(resolution);
   }
-  if (it->second.alerted) ++resolutions_;
+  if (it->second.alerted) {
+    ++resolutions_;
+    journal_transition(obs::JournalEventType::kZombieCleared, watch.event.prefix,
+                       peer, at, config_.threshold, watch.event.withdraw_time);
+  }
   it->second.announced = false;
   it->second.alerted = false;
 }
@@ -35,6 +63,9 @@ void RealTimeZombieDetector::fire_deadline(Watch& watch) {
     if (!state.announced || state.alerted) continue;
     state.alerted = true;
     ++alerts_raised_;
+    journal_transition(obs::JournalEventType::kZombieDeclared, watch.event.prefix,
+                       peer, watch.event.withdraw_time + config_.threshold,
+                       config_.threshold, watch.event.withdraw_time);
     if (alert_fn_) {
       ZombieAlert alert;
       alert.prefix = watch.event.prefix;
@@ -80,6 +111,8 @@ void RealTimeZombieDetector::ingest(const mrt::MrtRecord& record) {
       if (watch.deadline_fired && !state.alerted) {
         state.alerted = true;
         ++alerts_raised_;
+        journal_transition(obs::JournalEventType::kZombieDeclared, prefix, peer, t,
+                           config_.threshold, watch.event.withdraw_time);
         if (alert_fn_) {
           ZombieAlert alert;
           alert.prefix = prefix;

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
+
 namespace zombiescope::zombie {
+
+namespace {
+
+// The message-granularity journal layer (kCatState). Chatty — one
+// event per prefix per update — so call sites are all guarded by the
+// enabled() check their caller performs once per record.
+void journal_message(obs::JournalEventType type, const PeerKey& peer,
+                     const netbase::Prefix& prefix, netbase::TimePoint at) {
+  obs::JournalEvent ev;
+  ev.type = type;
+  ev.time = at;
+  ev.has_prefix = true;
+  ev.prefix = prefix;
+  ev.has_peer = true;
+  ev.peer_asn = peer.asn;
+  ev.peer_address = peer.address;
+  obs::Journal::global().emit<obs::kCatState>(ev);
+}
+
+}  // namespace
 
 std::string to_string(const PeerKey& peer) {
   return peer.address.to_string() + " (AS" + std::to_string(peer.asn) + ")";
@@ -17,6 +39,7 @@ int ZombieOutbreak::peer_as_count() const {
 }
 
 void StateTracker::apply(const mrt::MrtRecord& record) {
+  const bool journal_on = obs::Journal::global().enabled(obs::kCatState);
   if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record)) {
     const PeerKey peer{msg->peer_asn, msg->peer_address};
     auto& table = state_[peer];
@@ -24,6 +47,9 @@ void StateTracker::apply(const mrt::MrtRecord& record) {
       RouteStatus& status = table[prefix];
       status.present = false;
       status.last_change = msg->timestamp;
+      if (journal_on)
+        journal_message(obs::JournalEventType::kWithdrawSeen, peer, prefix,
+                        msg->timestamp);
     }
     for (const auto& prefix : msg->update.announced) {
       RouteStatus& status = table[prefix];
@@ -31,6 +57,9 @@ void StateTracker::apply(const mrt::MrtRecord& record) {
       status.path = msg->update.attributes.as_path;
       status.attributes = msg->update.attributes;
       status.last_change = msg->timestamp;
+      if (journal_on)
+        journal_message(obs::JournalEventType::kAnnounceSeen, peer, prefix,
+                        msg->timestamp);
     }
     return;
   }
@@ -47,6 +76,15 @@ void StateTracker::apply(const mrt::MrtRecord& record) {
             status.last_change = state->timestamp;
           }
         }
+      }
+      if (journal_on) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kSessionFlush;
+        ev.time = state->timestamp;
+        ev.has_peer = true;
+        ev.peer_asn = peer.asn;
+        ev.peer_address = peer.address;
+        obs::Journal::global().emit<obs::kCatState>(ev);
       }
     }
     return;

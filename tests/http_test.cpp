@@ -1,0 +1,228 @@
+// Tests for the embedded introspection HTTP server: endpoint routing,
+// Prometheus exposition validity, journal tailing, and scraping while a
+// simulation is actively running on another thread.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "netbase/rng.hpp"
+#include "obs/export.hpp"
+#include "obs/http.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "simnet/simulation.hpp"
+
+namespace zombiescope::obs {
+namespace {
+
+struct Response {
+  int status = 0;
+  std::string head;
+  std::string body;
+};
+
+/// Minimal blocking HTTP/1.0-style client: one request, read to EOF
+/// (the server always sends Connection: close).
+Response http_get(std::uint16_t port, const std::string& target,
+                  const std::string& method = "GET") {
+  Response res;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return res;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return res;
+  }
+  const std::string request =
+      method + " " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) raw.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  const auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return res;
+  res.head = raw.substr(0, split);
+  res.body = raw.substr(split + 4);
+  if (res.head.rfind("HTTP/1.1 ", 0) == 0)
+    res.status = std::atoi(res.head.c_str() + std::strlen("HTTP/1.1 "));
+  return res;
+}
+
+class ObsHttp : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.start(0));  // ephemeral port
+    ASSERT_TRUE(server_.running());
+    ASSERT_NE(server_.port(), 0);
+  }
+  void TearDown() override { server_.stop(); }
+
+  HttpServer server_;
+};
+
+TEST_F(ObsHttp, MetricsEndpointServesValidPrometheus) {
+  Registry::global().counter("zs_http_test_probe_total").inc(3);
+  Registry::global().histogram("zs_http_test_seconds", duration_buckets()).observe(0.5);
+  const Response res = http_get(server_.port(), "/metrics");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.head.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(res.body.find("zs_http_test_probe_total 3"), std::string::npos);
+  EXPECT_NE(res.body.find("zs_http_test_seconds_quantile{q=\"0.95\"}"), std::string::npos);
+  EXPECT_TRUE(prometheus_format_ok(res.body)) << res.body;
+}
+
+TEST_F(ObsHttp, HealthzReportsOk) {
+  const Response res = http_get(server_.port(), "/healthz");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.head.find("application/json"), std::string::npos);
+  EXPECT_NE(res.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(res.body.find("\"journal_emitted\""), std::string::npos);
+}
+
+TEST_F(ObsHttp, SpansEndpointServesJson) {
+  { ScopedSpan span("http_test.span"); }
+  const Response res = http_get(server_.port(), "/spans");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"spans\""), std::string::npos);
+}
+
+TEST_F(ObsHttp, JournalTailServesRecentEvents) {
+  Journal& journal = Journal::global();
+  const std::uint32_t saved = journal.enabled_categories();
+  journal.set_enabled_categories(kCatAll);
+  JournalEvent ev;
+  ev.type = JournalEventType::kSimSessionDown;
+  ev.time = 1234;
+  ev.a = 11;
+  ev.b = 12;
+  journal.emit<kCatFault>(ev);
+  const Response res = http_get(server_.port(), "/journal/tail?n=8");
+  journal.set_enabled_categories(saved);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"ev\":\"sim_session_down\""), std::string::npos);
+  // Every line must parse back as a journal event.
+  std::size_t start = 0;
+  while (start < res.body.size()) {
+    auto end = res.body.find('\n', start);
+    if (end == std::string::npos) end = res.body.size();
+    const std::string line = res.body.substr(start, end - start);
+    if (!line.empty()) {
+      EXPECT_TRUE(parse_ndjson(line).has_value()) << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST_F(ObsHttp, UnknownPathIs404AndPostIs405) {
+  EXPECT_EQ(http_get(server_.port(), "/nope").status, 404);
+  EXPECT_EQ(http_get(server_.port(), "/metrics", "POST").status, 405);
+}
+
+TEST_F(ObsHttp, CountsRequestsServed) {
+  const std::uint64_t before = server_.requests_served();
+  http_get(server_.port(), "/healthz");
+  http_get(server_.port(), "/healthz");
+  EXPECT_EQ(server_.requests_served(), before + 2);
+}
+
+TEST(ObsHttpLifecycle, StopIsIdempotentAndPortRebindable) {
+  HttpServer a;
+  ASSERT_TRUE(a.start(0));
+  const std::uint16_t port = a.port();
+  a.stop();
+  a.stop();
+  EXPECT_FALSE(a.running());
+  HttpServer b;
+  EXPECT_TRUE(b.start(port));  // freed by SO_REUSEADDR + close
+  b.stop();
+}
+
+// The acceptance-criterion test: scraping /metrics while a simulation
+// is actively journaling and bumping counters on another thread must
+// return valid Prometheus text.
+TEST(ObsHttpLive, ScrapeDuringActiveSim) {
+  using netbase::kHour;
+  using netbase::kMinute;
+  using netbase::Prefix;
+  using netbase::Rng;
+  using netbase::utc;
+  using topology::Relationship;
+  using topology::Topology;
+
+  Topology topo;
+  topo.add_as({1, 1, "T1a"});
+  topo.add_as({2, 1, "T1b"});
+  topo.add_as({11, 2, "M1"});
+  topo.add_as({12, 2, "M2"});
+  topo.add_as({13, 2, "M3"});
+  topo.add_as({100, 3, "origin"});
+  topo.add_link(1, 2, Relationship::kPeer);
+  topo.add_link(1, 11, Relationship::kCustomer);
+  topo.add_link(1, 12, Relationship::kCustomer);
+  topo.add_link(2, 13, Relationship::kCustomer);
+  topo.add_link(11, 100, Relationship::kCustomer);
+  topo.add_link(12, 100, Relationship::kCustomer);
+  topo.add_link(13, 100, Relationship::kCustomer);
+
+  Journal& journal = Journal::global();
+  const std::uint32_t saved = journal.enabled_categories();
+  journal.set_enabled_categories(kCatAll);
+
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+
+  const Prefix beacon = Prefix::parse("2a0d:3dc1:1145::/48");
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    simnet::SimConfig config;
+    config.min_link_delay = 2;
+    config.max_link_delay = 10;
+    simnet::Simulation sim(topo, config, Rng(7));
+    auto t = utc(2024, 6, 4, 12, 0, 0);
+    while (!stop.load(std::memory_order_acquire)) {
+      sim.announce(t, 100, beacon);
+      sim.withdraw(t + 15 * kMinute, 100, beacon);
+      sim.run_until(t + kHour);
+      t += 2 * kHour;
+    }
+  });
+
+  bool sane = true;
+  for (int i = 0; i < 5; ++i) {
+    const Response res = http_get(server.port(), "/metrics");
+    EXPECT_EQ(res.status, 200);
+    if (!prometheus_format_ok(res.body)) {
+      sane = false;
+      ADD_FAILURE() << "invalid exposition on scrape " << i << ":\n" << res.body;
+      break;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  driver.join();
+  server.stop();
+  journal.set_enabled_categories(saved);
+  journal.pump();
+  EXPECT_TRUE(sane);
+}
+
+}  // namespace
+}  // namespace zombiescope::obs

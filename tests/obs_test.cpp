@@ -161,6 +161,26 @@ TEST(ObsTrace, RingBufferOverflowKeepsNewestSpans) {
   EXPECT_EQ(spans[3].name, "span9");
 }
 
+TEST(ObsTrace, OverflowCountsDroppedSpansIntoBoundCounter) {
+  Registry registry;
+  Tracer tracer(4);
+  tracer.set_dropped_counter(registry.counter("zs_obs_spans_dropped_total"));
+  for (int i = 0; i < 10; ++i) ScopedSpan span("span" + std::to_string(i), tracer);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const Snapshot snap = registry.snapshot();
+  const std::uint64_t* dropped = snap.counter("zs_obs_spans_dropped_total");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(*dropped, 6u);
+}
+
+TEST(ObsTrace, GlobalTracerExportsDroppedSpansMetric) {
+  // The global tracer binds its drop counter at first use, so the
+  // series is present in /metrics scrapes even before any overflow.
+  Tracer::global();
+  const Snapshot snap = Registry::global().snapshot();
+  ASSERT_NE(snap.counter("zs_obs_spans_dropped_total"), nullptr);
+}
+
 TEST(ObsTrace, DisabledTracerRecordsNothing) {
   Tracer tracer(16);
   tracer.set_enabled(false);
@@ -188,6 +208,29 @@ TEST(ObsExport, PrometheusGoldenAndFormatCheck) {
   EXPECT_NE(text.find("zs_test_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("zs_test_seconds_count 3\n"), std::string::npos);
   EXPECT_TRUE(prometheus_format_ok(text));
+}
+
+TEST(ObsExport, PrometheusExportsHistogramQuantiles) {
+  Registry registry;
+  Histogram h = registry.histogram("zs_test_seconds", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(1.5);
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE zs_test_seconds_quantile gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("zs_test_seconds_quantile{q=\"0.5\"} "), std::string::npos);
+  EXPECT_NE(text.find("zs_test_seconds_quantile{q=\"0.95\"} "), std::string::npos);
+  EXPECT_NE(text.find("zs_test_seconds_quantile{q=\"0.99\"} "), std::string::npos);
+  EXPECT_TRUE(prometheus_format_ok(text));
+}
+
+TEST(ObsExport, JsonExportsHistogramQuantiles) {
+  Registry registry;
+  Histogram h = registry.histogram("zs_test_seconds", {1.0, 2.0});
+  // All mass in (1, 2]: every quantile lands inside that bucket.
+  for (int i = 0; i < 100; ++i) h.observe(1.5);
+  const std::string json = to_json(registry.snapshot(), {});
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
 }
 
 TEST(ObsExport, PrometheusFormatCheckRejectsMalformedInput) {

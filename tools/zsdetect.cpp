@@ -22,6 +22,13 @@
 //   --metrics-out FILE   write a telemetry snapshot after the run
 //   --metrics-format F   snapshot format: prom | json (default json)
 //   --trace-out FILE     write the per-stage span tree as JSON
+//   --journal-out FILE   record the zombie-lifecycle event journal
+//                        (analyze it with zsreport)
+//   --journal-format F   journal format: ndjson | bin (default ndjson)
+//   --journal-categories C  comma list: run,state,detector,noise,
+//                        lifespan,collector,fault,all (default all)
+//   --http-port N        serve /metrics /healthz /spans /journal/tail
+//                        on port N while running (0 = ephemeral)
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +37,8 @@
 #include "beacon/schedule.hpp"
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
+#include "obs/http.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "zombie/interval_detector.hpp"
 #include "zombie/longlived.hpp"
@@ -47,7 +56,9 @@ namespace {
                "          --end YYYY-MM-DD [--ribs FILE] [--threshold MINUTES]\n"
                "          [--filter-noisy] [--no-dedup] [--root-cause] [--max-outbreaks N]\n"
                "          [--metrics-out FILE] [--metrics-format prom|json]\n"
-               "          [--trace-out FILE]\n",
+               "          [--trace-out FILE] [--journal-out FILE]\n"
+               "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
+               "          [--http-port N]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +86,10 @@ struct Options {
   std::string metrics_out;
   std::string trace_out;
   obs::Format metrics_format = obs::Format::kJson;
+  std::string journal_out;
+  obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
+  std::uint32_t journal_categories = obs::kCatAll;
+  int http_port = -1;  // -1 = no HTTP server
 };
 
 Options parse_options(int argc, char** argv) {
@@ -102,7 +117,17 @@ Options parse_options(int argc, char** argv) {
       const auto parsed = obs::parse_format(need_value(i));
       if (!parsed.has_value()) usage(argv[0]);
       opt.metrics_format = *parsed;
-    } else usage(argv[0]);
+    } else if (arg == "--journal-out") opt.journal_out = need_value(i);
+    else if (arg == "--journal-format") {
+      const auto parsed = obs::parse_journal_format(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      opt.journal_format = *parsed;
+    } else if (arg == "--journal-categories") {
+      const auto parsed = obs::parse_categories(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      opt.journal_categories = *parsed;
+    } else if (arg == "--http-port") opt.http_port = std::stoi(need_value(i));
+    else usage(argv[0]);
   }
   if (opt.updates_path.empty() || opt.start == 0 || opt.end == 0 || opt.end <= opt.start)
     usage(argv[0]);
@@ -161,7 +186,14 @@ int run(const Options& opt) {
   // after the Aggregator filter too).
   std::set<zombie::PeerKey> excluded;
   int studied_announcements = 0;
+  obs::Journal& journal = obs::Journal::global();
+  const std::uint32_t journal_mask = journal.enabled_categories();
   if (opt.filter_noisy) {
+    // The statistics pass re-runs a detector whose declarations are
+    // NOT what this tool reports; mask the detector category so the
+    // journal carries exactly the reported zombie set (zsreport
+    // reconstructs from kZombieDeclared events alone).
+    journal.set_enabled_categories(journal_mask & ~obs::kCatDetector);
     zombie::StateTracker tracker;
     for (const auto& record : updates) tracker.apply(record);
     std::vector<zombie::ZombieRoute> routes;
@@ -182,14 +214,41 @@ int run(const Options& opt) {
     }
     zombie::NoisyPeerFilter filter;
     excluded = filter.noisy_peer_keys(routes, tracker.peers(), studied_announcements);
-    for (const auto& peer : excluded)
+    journal.set_enabled_categories(journal_mask);
+    for (const auto& peer : excluded) {
       std::fprintf(stderr, "noisy peer excluded: %s\n", zombie::to_string(peer).c_str());
+      if (journal.enabled(obs::kCatNoise)) {
+        obs::JournalEvent ev;
+        ev.type = obs::JournalEventType::kNoisyPeerExcluded;
+        ev.time = opt.start;
+        ev.has_peer = true;
+        ev.peer_asn = peer.asn;
+        ev.peer_address = peer.address;
+        journal.emit<obs::kCatNoise>(ev);
+      }
+    }
   }
 
   zombie::LongLivedConfig config;
   config.excluded_peers = excluded;
   zombie::LongLivedZombieDetector detector{config};
+  // Under the ris schedule the interval methodology below is what gets
+  // reported; mask this long-lived pass out of the journal there too.
+  if (opt.schedule == "ris")
+    journal.set_enabled_categories(journal_mask & ~obs::kCatDetector);
   auto result = detector.detect(updates, events, opt.threshold);
+  journal.set_enabled_categories(journal_mask);
+
+  if (journal.enabled(obs::kCatRun)) {
+    obs::JournalEvent meta;
+    meta.type = obs::JournalEventType::kRunMeta;
+    meta.time = opt.start;
+    meta.a = opt.schedule == "ris" ? static_cast<std::int64_t>(events.size())
+                                   : result.total_announcements;
+    meta.b = opt.threshold;
+    meta.c = opt.end;
+    journal.emit<obs::kCatRun>(meta);
+  }
 
   // Aggregator-clock dedup (meaningful for RIS-style beacons): run the
   // interval methodology when requested.
@@ -263,6 +322,27 @@ int run(const Options& opt) {
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
 
+  obs::Journal& journal = obs::Journal::global();
+  if (!opt.journal_out.empty()) {
+    try {
+      journal.attach_writer(
+          std::make_unique<obs::JournalWriter>(opt.journal_out, opt.journal_format));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    journal.set_enabled_categories(opt.journal_categories);
+    journal.set_autopump(true);
+  }
+  obs::HttpServer http;
+  if (opt.http_port >= 0) {
+    if (!http.start(static_cast<std::uint16_t>(opt.http_port))) {
+      std::fprintf(stderr, "error: cannot bind HTTP port %d\n", opt.http_port);
+      return 1;
+    }
+    std::fprintf(stderr, "serving http://127.0.0.1:%u/metrics\n", http.port());
+  }
+
   int rc = 0;
   {
     // Root of the span tree; load and detector-pass spans nest under it.
@@ -277,5 +357,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  if (!opt.journal_out.empty()) {
+    journal.close_writer();
+    std::fprintf(stderr, "journal: %llu event(s) written to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(journal.emitted()),
+                 opt.journal_out.c_str(),
+                 static_cast<unsigned long long>(journal.dropped()));
+  }
+  http.stop();
   return rc;
 }

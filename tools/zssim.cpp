@@ -3,12 +3,16 @@
 //
 //   zssim ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]
 //         [--metrics-out FILE] [--trace-out FILE] [--metrics-format prom|json]
+//         [--journal-out FILE] [--journal-format ndjson|bin]
+//         [--journal-categories LIST] [--http-port N]
 //
 // Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
 // longlived2024). Defaults the prefix to the scenario name.
 // --metrics-out snapshots the telemetry registry after the run;
-// --trace-out dumps the per-stage span tree (see DESIGN.md,
-// "Observability").
+// --trace-out dumps the per-stage span tree; --journal-out records the
+// fault-injection / collector event journal (read it with zsreport);
+// --http-port serves /metrics, /healthz, /spans and /journal/tail live
+// during the simulation (see DESIGN.md, "Observability").
 
 #include <cstdio>
 #include <string>
@@ -16,6 +20,8 @@
 
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
+#include "obs/http.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/longlived2024.hpp"
 #include "scenarios/ris_replication.hpp"
@@ -28,7 +34,9 @@ namespace {
   std::fprintf(stderr,
                "usage: %s ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]\n"
                "          [--metrics-out FILE] [--trace-out FILE]\n"
-               "          [--metrics-format prom|json]\n",
+               "          [--metrics-format prom|json] [--journal-out FILE]\n"
+               "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
+               "          [--http-port N]\n",
                argv0);
   std::exit(2);
 }
@@ -81,6 +89,10 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   obs::Format metrics_format = obs::Format::kJson;
+  std::string journal_out;
+  obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
+  std::uint32_t journal_categories = obs::kCatAll;
+  int http_port = -1;  // -1 = no HTTP server
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -93,6 +105,17 @@ int main(int argc, char** argv) {
       const auto parsed = obs::parse_format(need_value(i));
       if (!parsed.has_value()) usage(argv[0]);
       metrics_format = *parsed;
+    } else if (arg == "--journal-out") journal_out = need_value(i);
+    else if (arg == "--journal-format") {
+      const auto parsed = obs::parse_journal_format(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      journal_format = *parsed;
+    } else if (arg == "--journal-categories") {
+      const auto parsed = obs::parse_categories(need_value(i));
+      if (!parsed.has_value()) usage(argv[0]);
+      journal_categories = *parsed;
+    } else if (arg == "--http-port") {
+      http_port = std::stoi(need_value(i));
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -102,6 +125,27 @@ int main(int argc, char** argv) {
   if (positional.empty() || positional.size() > 2) usage(argv[0]);
   const std::string which = positional[0];
   const std::string prefix = positional.size() > 1 ? positional[1] : which;
+
+  obs::Journal& journal = obs::Journal::global();
+  if (!journal_out.empty()) {
+    try {
+      journal.attach_writer(
+          std::make_unique<obs::JournalWriter>(journal_out, journal_format));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    journal.set_enabled_categories(journal_categories);
+    journal.set_autopump(true);
+  }
+  obs::HttpServer http;
+  if (http_port >= 0) {
+    if (!http.start(static_cast<std::uint16_t>(http_port))) {
+      std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
+      return 1;
+    }
+    std::fprintf(stderr, "serving http://127.0.0.1:%u/metrics\n", http.port());
+  }
 
   int rc = 0;
   {
@@ -117,5 +161,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  if (!journal_out.empty()) {
+    journal.close_writer();
+    std::fprintf(stderr, "journal: %llu event(s) written to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(journal.emitted()), journal_out.c_str(),
+                 static_cast<unsigned long long>(journal.dropped()));
+  }
+  http.stop();
   return rc;
 }
