@@ -1,7 +1,9 @@
 #include "bench/bench_common.hpp"
 
 #include <errno.h>
+#include <sys/resource.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +11,7 @@
 
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace zombiescope::bench {
@@ -16,6 +19,18 @@ namespace zombiescope::bench {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Set by print_header so the at-exit snapshot can report the bench's
+// wall time.
+std::chrono::steady_clock::time_point g_bench_started;
+bool g_bench_started_valid = false;
+
+/// Peak RSS of this process in bytes (ru_maxrss is KiB on Linux).
+long long peak_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+}
 
 std::string period_tag(int which) {
   switch (which) {
@@ -133,6 +148,13 @@ scenarios::LongLived2024Output load_longlived2024() {
 }
 
 void emit_metrics_snapshot(const std::string& name) {
+  // Stop the profiling session (started by print_header) even when the
+  // JSON snapshot itself is suppressed, so the timer is never left
+  // armed past the harness's lifetime.
+  obs::ProfileReport profile;
+  if constexpr (obs::kProfCompiledIn) {
+    if (obs::Profiler::global().running()) profile = obs::Profiler::global().stop();
+  }
   if (const char* env = std::getenv("ZS_NO_BENCH_JSON"); env != nullptr && *env != '\0')
     return;
   std::string dir = ".";
@@ -140,16 +162,44 @@ void emit_metrics_snapshot(const std::string& name) {
     dir = env;
   const std::string path = dir + "/BENCH_" + name + ".json";
   try {
-    obs::write_metrics_file(path, obs::Format::kJson);
+    char wall[32] = "0";
+    if (g_bench_started_valid) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - g_bench_started;
+      std::snprintf(wall, sizeof(wall), "%.3f", elapsed.count());
+    }
+    obs::JsonSections extra;
+    extra.emplace_back("bench", "\"" + name + "\"");
+    extra.emplace_back("wall_time_s", wall);
+    extra.emplace_back("peak_rss_bytes", std::to_string(peak_rss_bytes()));
+    if (profile.valid) extra.emplace_back("profile", profile.to_json());
+    const auto spans = obs::Tracer::global().snapshot();
+    obs::write_text_file(
+        path, obs::to_json(obs::Registry::global().snapshot(), spans, extra));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "[obs] metrics snapshot failed: %s\n", e.what());
   }
 }
 
+void begin_bench_session() {
+  static const bool started = [] {
+    g_bench_started = std::chrono::steady_clock::now();
+    g_bench_started_valid = true;
+    if constexpr (obs::kProfCompiledIn) {
+      if (std::getenv("ZS_NO_PROF") == nullptr) obs::Profiler::global().start();
+    }
+    return true;
+  }();
+  (void)started;
+}
+
 void print_header(const std::string& title, const std::string& paper_ref) {
   // The snapshot runs at exit so it captures everything the bench did
-  // after this header, named after the binary itself.
+  // after this header, named after the binary itself. The zsprof
+  // session starts here so the snapshot's profile section covers the
+  // same window as its wall time ($ZS_NO_PROF opts out).
   static const bool installed = [] {
+    begin_bench_session();
     std::atexit([] { emit_metrics_snapshot(program_invocation_short_name); });
     return true;
   }();

@@ -27,16 +27,24 @@ scenarios::RisPeriodSpec ris_spec(int which);
 /// Loads (or simulates + stores) the 2024 long-lived experiment.
 scenarios::LongLived2024Output load_longlived2024();
 
-/// Prints a section header for the harness output. Also installs the
-/// at-exit telemetry snapshot (see emit_metrics_snapshot), so every
-/// bench binary leaves a BENCH_<tool>.json behind for trajectory
-/// diffing.
+/// Starts the bench telemetry session: records the wall-clock start
+/// and begins a zsprof sampling session (skipped when $ZS_NO_PROF is
+/// set or the profiler is compiled out). Idempotent; called by
+/// print_header, and directly by benches with a custom main.
+void begin_bench_session();
+
+/// Prints a section header for the harness output. Also starts the
+/// telemetry session and installs the at-exit snapshot (see
+/// emit_metrics_snapshot), so every bench binary leaves a
+/// BENCH_<tool>.json behind for trajectory diffing.
 void print_header(const std::string& title, const std::string& paper_ref);
 
-/// Writes the global metrics registry (zsobs-v1 JSON, spans included)
-/// to BENCH_<name>.json in $ZS_BENCH_JSON_DIR (default: the working
-/// directory). No-op when $ZS_NO_BENCH_JSON is set. Never throws: a
-/// failed snapshot must not fail the bench.
+/// Stops the profiling session and writes the global metrics registry
+/// (zsobs-v1 JSON: spans, build info, bench name, wall time, peak RSS,
+/// and a zsprof profile section) to BENCH_<name>.json in
+/// $ZS_BENCH_JSON_DIR (default: the working directory). The JSON is
+/// suppressed when $ZS_NO_BENCH_JSON is set. Never throws: a failed
+/// snapshot must not fail the bench.
 void emit_metrics_snapshot(const std::string& name);
 
 }  // namespace zombiescope::bench

@@ -167,6 +167,7 @@ BENCHMARK(BM_StateTrackerApply)->Unit(benchmark::kMillisecond);
 // counter values (events processed, bytes through the codec) land in
 // BENCH_micro_hotpaths.json next to the timing output.
 int main(int argc, char** argv) {
+  zombiescope::bench::begin_bench_session();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# The benchmark regression gate: builds and runs the bench harness at a
+# baseline git ref and at the current HEAD (working tree), then lets
+# zsbenchdiff decide whether HEAD regressed. Exit 0 = no regression,
+# 1 = the gate tripped, anything else = the harness itself failed.
+#
+# Usage: scripts/check_bench_regression.sh [baseline-ref] [bench ...]
+#   scripts/check_bench_regression.sh               # HEAD~1, all benches
+#   scripts/check_bench_regression.sh main micro_hotpaths
+#
+# Environment:
+#   ZS_BENCH_REPEATS     runs per side (default 3; min-of-N + IQR
+#                        outlier rejection want repeats)
+#   ZS_BENCH_THRESHOLD   gate threshold in percent (default 5)
+#   ZS_BENCH_NOISE       noise floor in percent (default 1)
+#
+# The baseline is built from a detached git worktree so the working
+# tree (including uncommitted changes) is never touched. Both sides
+# share the scenario cache: the first run pays the simulation cost,
+# every other run loads MRT archives from disk.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
+
+BASELINE_REF="${1:-HEAD~1}"
+shift $(( $# > 0 ? 1 : 0 ))
+if [ "$#" -gt 0 ]; then
+  BENCHES=("$@")
+else
+  BENCHES=(micro_hotpaths)
+fi
+
+REPEATS="${ZS_BENCH_REPEATS:-3}"
+THRESHOLD="${ZS_BENCH_THRESHOLD:-5}"
+NOISE="${ZS_BENCH_NOISE:-1}"
+
+WORK_DIR="$(mktemp -d "${TMPDIR:-/tmp}/zs_bench_gate.XXXXXX")"
+BASELINE_TREE="${WORK_DIR}/baseline-src"
+trap 'git worktree remove --force "${BASELINE_TREE}" >/dev/null 2>&1 || true;
+      rm -rf "${WORK_DIR}"' EXIT
+
+export ZS_CACHE_DIR="${ZS_CACHE_DIR:-${WORK_DIR}/cache}"
+export ZS_NO_BENCH_HISTORY=1
+
+run_side() {  # run_side <src-dir> <build-dir> <json-dir>
+  local src="$1" build="$2" json="$3"
+  cmake -B "${build}" -S "${src}" >/dev/null
+  cmake --build "${build}" -j --target "${BENCHES[@]}" >/dev/null
+  local i
+  for i in $(seq 1 "${REPEATS}"); do
+    local run_dir="${json}/run${i}"
+    mkdir -p "${run_dir}"
+    local bench
+    for bench in "${BENCHES[@]}"; do
+      ZS_BENCH_JSON_DIR="${run_dir}" "${build}/bench/${bench}" >/dev/null
+    done
+  done
+}
+
+echo "== gate: baseline ${BASELINE_REF} vs HEAD (${REPEATS} run(s)/side, threshold ${THRESHOLD}%)"
+git worktree add --force --detach "${BASELINE_TREE}" "${BASELINE_REF}" >/dev/null
+
+echo "== gate: running baseline"
+run_side "${BASELINE_TREE}" "${WORK_DIR}/baseline-build" "${WORK_DIR}/baseline-json"
+echo "== gate: running candidate (HEAD)"
+run_side "${REPO_ROOT}" "${WORK_DIR}/candidate-build" "${WORK_DIR}/candidate-json"
+
+# The candidate build definitely has zsbenchdiff; the baseline may
+# predate it.
+cmake --build "${WORK_DIR}/candidate-build" -j --target zsbenchdiff >/dev/null
+
+# Build identities legitimately differ in git sha (that is the point);
+# zsbenchdiff only refuses on compiler/build-type/sanitizer/arch
+# mismatches, which a same-machine A/B never produces.
+"${WORK_DIR}/candidate-build/tools/zsbenchdiff" \
+  "${WORK_DIR}"/baseline-json/run*/BENCH_*.json \
+  --vs "${WORK_DIR}"/candidate-json/run*/BENCH_*.json \
+  --threshold "${THRESHOLD}" --noise "${NOISE}"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full CI pipeline, in the order a reviewer wants failures
+# reported:
+#
+#   1. tier-1: plain build + all tests, then the obs subsystem under
+#      TSan and ASan+UBSan (scripts/run_tier1.sh);
+#   2. optionally, the benchmark regression gate against a baseline
+#      ref (scripts/check_bench_regression.sh) — enabled by setting
+#      ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
+#
+# Usage: scripts/ci.sh [build-dir]
+#   ZS_CI_BENCH_BASELINE=origin/main scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+scripts/run_tier1.sh "${BUILD_DIR}"
+
+if [ -n "${ZS_CI_BENCH_BASELINE:-}" ]; then
+  echo "== ci: bench regression gate vs ${ZS_CI_BENCH_BASELINE}"
+  scripts/check_bench_regression.sh "${ZS_CI_BENCH_BASELINE}"
+else
+  echo "== ci: bench gate skipped (set ZS_CI_BENCH_BASELINE=<ref> to enable)"
+fi
+
+echo "== ci: OK"

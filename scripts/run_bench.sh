@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # Builds and runs the experiment harness (bench/): one binary per paper
 # table/figure. Each binary leaves a BENCH_<tool>.json telemetry
-# snapshot behind; this script collects them in the repo root so
-# successive runs can be diffed (ZS_BENCH_JSON_DIR overridable).
+# snapshot behind (build identity, wall time, peak RSS, per-phase
+# zsprof profile, and every zsobs counter); this script collects them
+# in the repo root so successive runs can be diffed with zsbenchdiff
+# (ZS_BENCH_JSON_DIR overridable), and archives a timestamped copy of
+# each run under bench/history/<UTC>-<sha>/ for `zsbenchdiff --history`
+# (ZS_BENCH_HISTORY_DIR overrides the location; ZS_NO_BENCH_HISTORY=1
+# disables archiving).
 #
 # Usage: scripts/run_bench.sh [build-dir] [bench ...]
 #   scripts/run_bench.sh                      # all benches, build/
@@ -34,16 +39,35 @@ cmake --build "${BUILD_DIR}" -j --target "${BENCHES[@]}"
 export ZS_BENCH_JSON_DIR="${ZS_BENCH_JSON_DIR:-${REPO_ROOT}}"
 export ZS_CACHE_DIR="${ZS_CACHE_DIR:-${REPO_ROOT}/zs_bench_cache}"
 
+# Each bench's wall time is also measured here, from the outside: the
+# in-process wall_time_s only covers print_header..exit, and a bench
+# that dies before its at-exit snapshot still gets a timing line.
 failed=()
 for bench in "${BENCHES[@]}"; do
   echo "== bench: ${bench}"
+  start_s="$(date +%s)"
   if ! "${BUILD_DIR}/bench/${bench}"; then
     failed+=("${bench}")
   fi
+  echo "== bench: ${bench} took $(( $(date +%s) - start_s ))s"
 done
 
 echo "== bench: telemetry snapshots in ${ZS_BENCH_JSON_DIR}"
 ls -1 "${ZS_BENCH_JSON_DIR}"/BENCH_*.json 2>/dev/null || true
+
+# Archive this run for trend analysis / the regression gate. The
+# directory name sorts chronologically, which is what zsbenchdiff
+# --history relies on to pick the newest run as the candidate.
+if [ -z "${ZS_NO_BENCH_HISTORY:-}" ]; then
+  sha="$(git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)"
+  HISTORY_DIR="${ZS_BENCH_HISTORY_DIR:-${REPO_ROOT}/bench/history}"
+  run_dir="${HISTORY_DIR}/$(date -u +%Y%m%dT%H%M%SZ)-${sha}"
+  if compgen -G "${ZS_BENCH_JSON_DIR}/BENCH_*.json" >/dev/null; then
+    mkdir -p "${run_dir}"
+    cp "${ZS_BENCH_JSON_DIR}"/BENCH_*.json "${run_dir}/"
+    echo "== bench: archived run to ${run_dir}"
+  fi
+fi
 
 if [ "${#failed[@]}" -gt 0 ]; then
   echo "== bench: FAILED: ${failed[*]}" >&2

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, then the obs
 # subsystem's tests again under ThreadSanitizer (its hot paths — the
-# metrics cells, the span ring, and the journal MPSC ring — are the
-# only code that promises lock-free cross-thread use) and under
-# AddressSanitizer+UBSan (the journal codec and the HTTP server parse
-# external bytes).
+# metrics cells, the span ring, the journal MPSC ring, and the zsprof
+# sample rings + SIGPROF handler — are the only code that promises
+# lock-free cross-thread use) and under AddressSanitizer+UBSan (the
+# journal codec and the HTTP server parse external bytes; the zsprof
+# stack walk reads raw stack memory).
 #
 # Usage: scripts/run_tier1.sh [build-dir]   (default: build)
 
@@ -22,12 +23,12 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
-cmake --build "${TSAN_DIR}" -j --target obs_test journal_test http_test
+cmake --build "${TSAN_DIR}" -j --target obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
 
 echo "== tier-1: obs tests under ASan+UBSan (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DZS_SANITIZE=address,undefined
-cmake --build "${ASAN_DIR}" -j --target obs_test journal_test http_test
+cmake --build "${ASAN_DIR}" -j --target obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs'
 
 echo "== tier-1: OK"

@@ -1,0 +1,37 @@
+// obs/build_info.hpp — identity stamp of this binary's build.
+//
+// Snapshots that feed the perf trajectory (BENCH_*.json, Prometheus
+// scrapes) carry the git revision, compiler, build type, and sanitizer
+// flags they were produced with, so zsbenchdiff can refuse to compare
+// numbers from incompatible builds (a Debug-vs-Release "regression" is
+// noise, a TSan run is a different program). The git sha is captured
+// at CMake configure time — reconfigure to refresh it after new
+// commits; an unconfigured tree reports "unknown".
+
+#pragma once
+
+#include <string>
+
+namespace zombiescope::obs {
+
+struct BuildInfo {
+  std::string git_sha;     // short revision, "unknown" outside git
+  std::string compiler;    // e.g. "gcc 12.2.0"
+  std::string build_type;  // CMAKE_BUILD_TYPE, e.g. "RelWithDebInfo"
+  std::string sanitizer;   // ZS_SANITIZE value, "" for a plain build
+  std::string arch;        // e.g. "x86_64"
+};
+
+/// The process-wide build identity (computed once).
+const BuildInfo& build_info();
+
+/// The build info as a JSON object (the "build_info" section of the
+/// zsobs-v1 snapshot).
+std::string build_info_json();
+
+/// True when two builds' numbers are comparable: same compiler, build
+/// type, sanitizer flags, and architecture (the git sha may differ —
+/// comparing across commits is the point).
+bool builds_comparable(const BuildInfo& a, const BuildInfo& b);
+
+}  // namespace zombiescope::obs

@@ -7,6 +7,8 @@
 #include <map>
 #include <set>
 
+#include "obs/build_info.hpp"
+
 namespace zombiescope::obs {
 
 namespace {
@@ -83,8 +85,43 @@ std::optional<Format> parse_format(std::string_view text) {
   return std::nullopt;
 }
 
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
+  const BuildInfo& build = build_info();
+  out += "# HELP zs_build_info Build identity of this binary (value is always 1).\n";
+  out += "# TYPE zs_build_info gauge\n";
+  out += "zs_build_info{git_sha=\"" + prometheus_escape_label(build.git_sha) +
+         "\",compiler=\"" + prometheus_escape_label(build.compiler) +
+         "\",build_type=\"" + prometheus_escape_label(build.build_type) +
+         "\",sanitizer=\"" + prometheus_escape_label(build.sanitizer) +
+         "\",arch=\"" + prometheus_escape_label(build.arch) + "\"} 1\n";
   for (const auto& [name, value] : snapshot.counters) {
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(value) + "\n";
@@ -116,8 +153,13 @@ std::string to_prometheus(const Snapshot& snapshot) {
   return out;
 }
 
-std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans) {
+std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans,
+                    const JsonSections& extra) {
   std::string out = "{\n  \"schema\": \"zsobs-v1\",\n";
+  out += "  \"build_info\": " + build_info_json() + ",\n";
+  for (const auto& [key, value] : extra) {
+    out += "  \"" + json_escape(key) + "\": " + value + ",\n";
+  }
   out += "  \"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     if (i != 0) out += ',';
@@ -204,9 +246,29 @@ bool prometheus_format_ok(std::string_view text) {
     if (!valid_metric_name(name)) return false;
     std::size_t value_start = name_end;
     if (value_start < line.size() && line[value_start] == '{') {
-      const std::size_t close = line.find('}', value_start);
-      if (close == std::string_view::npos) return false;
-      value_start = close + 1;
+      // Scan to the closing brace, honoring quoted label values: a
+      // value may contain any character (backslash-escaped `\` `"` and
+      // `\n`), including `}` and `,`.
+      std::size_t i = value_start + 1;
+      bool in_string = false;
+      bool escaped = false;
+      bool closed = false;
+      for (; i < line.size(); ++i) {
+        const char c = line[i];
+        if (in_string) {
+          if (escaped) escaped = false;
+          else if (c == '\\') escaped = true;
+          else if (c == '"') in_string = false;
+        } else if (c == '"') {
+          in_string = true;
+        } else if (c == '}') {
+          closed = true;
+          ++i;
+          break;
+        }
+      }
+      if (!closed) return false;
+      value_start = i;
     }
     if (value_start >= line.size() || line[value_start] != ' ') return false;
     std::string_view value = line.substr(value_start + 1);

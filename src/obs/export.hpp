@@ -16,6 +16,8 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -27,12 +29,28 @@ enum class Format { kPrometheus, kJson };
 /// Parses "prom" / "json" (the CLI --metrics-format values).
 std::optional<Format> parse_format(std::string_view text);
 
-/// Prometheus text exposition format.
+/// Escapes a Prometheus label value: `\` -> `\\`, `"` -> `\"`, and a
+/// newline -> `\n` (the exposition-format escaping rules).
+std::string prometheus_escape_label(std::string_view value);
+
+/// Escapes a HELP text line: `\` -> `\\` and a newline -> `\n` (HELP
+/// text keeps literal double quotes).
+std::string prometheus_escape_help(std::string_view text);
+
+/// Prometheus text exposition format. Includes the `zs_build_info`
+/// gauge (value 1, build identity in labels).
 std::string to_prometheus(const Snapshot& snapshot);
 
-/// The zsobs-v1 JSON snapshot: counters, gauges, histograms, and (if
-/// given) completed spans with their parent links.
-std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans = {});
+/// Extra top-level sections appended to the zsobs-v1 JSON object: each
+/// entry is (key, raw JSON value). The bench harness uses this for
+/// wall time, peak RSS, and the zsprof profile section.
+using JsonSections = std::vector<std::pair<std::string, std::string>>;
+
+/// The zsobs-v1 JSON snapshot: build info, counters, gauges,
+/// histograms, optional extra sections, and (if given) completed spans
+/// with their parent links.
+std::string to_json(const Snapshot& snapshot, std::span<const SpanRecord> spans = {},
+                    const JsonSections& extra = {});
 
 /// Span-only JSON ("zsobs-trace-v1") for --trace-out files.
 std::string trace_to_json(std::span<const SpanRecord> spans);

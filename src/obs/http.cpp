@@ -6,11 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <string_view>
+#include <thread>
 
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace zombiescope::obs {
@@ -32,23 +36,27 @@ std::string_view status_text(int status) {
     case 200: return "OK";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 501: return "Not Implemented";
     default: return "Bad Request";
   }
 }
 
-// Parses "?n=123" style query values; fallback on anything malformed.
-std::size_t query_n(std::string_view target, std::size_t fallback) {
+// Parses "?key=123" style query values; fallback on anything malformed.
+std::size_t query_uint(std::string_view target, std::string_view key,
+                       std::size_t fallback) {
   const std::size_t q = target.find('?');
   if (q == std::string_view::npos) return fallback;
   std::string_view query = target.substr(q + 1);
+  const std::string prefix = std::string(key) + "=";
   while (!query.empty()) {
     const std::size_t amp = query.find('&');
     std::string_view pair = query.substr(0, amp);
     query = amp == std::string_view::npos ? std::string_view{}
                                           : query.substr(amp + 1);
-    if (pair.rfind("n=", 0) != 0) continue;
+    if (pair.rfind(prefix, 0) != 0) continue;
     std::size_t value = 0;
-    for (char c : pair.substr(2)) {
+    for (char c : pair.substr(prefix.size())) {
       if (c < '0' || c > '9') return fallback;
       value = value * 10 + static_cast<std::size_t>(c - '0');
       if (value > 1'000'000) return fallback;
@@ -81,13 +89,39 @@ Response route(std::string_view method, std::string_view target) {
             trace_to_json(Tracer::global().snapshot())};
   }
   if (path == "/journal/tail") {
-    const std::size_t n = query_n(target, 256);
+    const std::size_t n = query_uint(target, "n", 256);
     std::string body;
     for (const JournalEvent& event : Journal::global().tail(n)) {
       body += to_ndjson(event);
       body += '\n';
     }
     return {200, "application/x-ndjson", std::move(body)};
+  }
+  if (path == "/profile") {
+    if constexpr (!kProfCompiledIn) {
+      return {501, "text/plain; charset=utf-8",
+              "profiler compiled out (ZS_PROF_ENABLED=0)\n"};
+    }
+    // On-demand CPU profile: sample for ?seconds=N (default 5, cap 60)
+    // and reply with the folded-stack text. Blocking the serving thread
+    // is fine — the server is sequential by design, and /profile is an
+    // operator action, not a scrape target.
+    const std::size_t seconds = std::min<std::size_t>(
+        query_uint(target, "seconds", 5), 60);
+    Profiler& profiler = Profiler::global();
+    if (!profiler.start()) {
+      return {409, "text/plain; charset=utf-8",
+              "profiler already running (another /profile or --profile-out "
+              "session is active)\n"};
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    const ProfileReport report = profiler.stop();
+    std::string body = "# zsprof folded stacks; rate " +
+                       std::to_string(report.rate_hz) + " Hz, " +
+                       std::to_string(report.samples) + " samples over " +
+                       std::to_string(seconds) + "s\n" +
+                       report.to_folded();
+    return {200, "text/plain; charset=utf-8", std::move(body)};
   }
   return {404, "text/plain; charset=utf-8", "not found\n"};
 }

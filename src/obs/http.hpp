@@ -10,6 +10,10 @@
 //   GET /spans         the global tracer's span ring as zsobs-trace-v1
 //   GET /journal/tail  last events of the global journal as NDJSON
 //                      (?n=N, default 256, capped at the recent buffer)
+//   GET /profile       sample the process with zsprof for ?seconds=N
+//                      (default 5, cap 60) and return folded stacks;
+//                      409 if a profiling session is already active,
+//                      501 when the profiler is compiled out
 //
 // This is an operator port for a measurement tool, not a web server:
 // requests are served one at a time, bodies are ignored, and anything

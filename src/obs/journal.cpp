@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 #include "netbase/bytes.hpp"
@@ -326,12 +327,21 @@ void JournalWriter::write(const JournalEvent& event) {
 void JournalWriter::flush() { out_.flush(); }
 
 std::vector<JournalEvent> read_journal_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    throw std::runtime_error("journal: cannot open " + path);
+  std::vector<std::uint8_t> raw;
+  if (path == "-") {
+    // Piped journals ("zsdetect ... | zsreport -"): slurp stdin. The
+    // auto-detection below works unchanged since both formats are
+    // identified from the leading bytes.
+    raw.assign(std::istreambuf_iterator<char>(std::cin),
+               std::istreambuf_iterator<char>());
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      throw std::runtime_error("journal: cannot open " + path);
+    }
+    raw.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
   }
-  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
-                                std::istreambuf_iterator<char>());
 
   std::vector<JournalEvent> events;
   const std::string_view magic = kJournalBinaryMagic;

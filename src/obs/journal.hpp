@@ -169,9 +169,10 @@ class JournalWriter {
   std::ofstream out_;
 };
 
-/// Reads a journal file back, auto-detecting the format. Throws
-/// std::runtime_error on an unreadable or structurally corrupt file;
-/// unparseable NDJSON lines are skipped (foreign tools may append).
+/// Reads a journal file back, auto-detecting the format; "-" reads
+/// stdin (for piped journals). Throws std::runtime_error on an
+/// unreadable or structurally corrupt file; unparseable NDJSON lines
+/// are skipped (foreign tools may append).
 std::vector<JournalEvent> read_journal_file(const std::string& path);
 
 class Journal {

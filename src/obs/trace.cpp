@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/prof.hpp"
+
 namespace zombiescope::obs {
 
 namespace {
@@ -96,11 +98,29 @@ ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer) {
   id_ = tracer.next_id_.fetch_add(1, std::memory_order_relaxed);
   parent_ = t_current_span;
   t_current_span = id_;
+  // While a zsprof session runs, publish this span on the thread's
+  // signal-readable span stack so samples are phase-attributed.
+  // Compiles to nothing when the profiler is built out, and costs one
+  // relaxed load plus one thread_local read when no session is active.
+  // Registration is unconditional so a session started mid-run (GET
+  // /profile) can sample threads that are already inside their spans —
+  // those samples are frame-attributed but span-less until the thread
+  // opens its next span.
+  if constexpr (kProfCompiledIn) {
+    prof_register_thread();
+    if (prof_attribution_active()) {
+      prof_push_span(prof_intern(name_));
+      prof_pushed_ = true;
+    }
+  }
   start_ns_ = tracer.now_ns();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
+  if constexpr (kProfCompiledIn) {
+    if (prof_pushed_) prof_pop_span();
+  }
   SpanRecord record;
   record.id = id_;
   record.parent = parent_;

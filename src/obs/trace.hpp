@@ -109,6 +109,9 @@ class ScopedSpan {
   std::uint64_t id_ = 0;
   std::uint64_t parent_ = 0;
   std::int64_t start_ns_ = 0;
+  // True when this span registered itself with the zsprof profiler's
+  // per-thread span stack (only while a profiling session is active).
+  bool prof_pushed_ = false;
 };
 
 }  // namespace zombiescope::obs

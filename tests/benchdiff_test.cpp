@@ -1,0 +1,231 @@
+// Tests for obs/benchdiff — snapshot loading, the robust statistics,
+// and the regression gate (A/A quiet, injected 2x slowdown trips).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.hpp"
+
+namespace obs = zombiescope::obs;
+
+namespace {
+
+/// A minimal zsobs-v1 snapshot fixture. `sanitizer` participates in
+/// build-identity compatibility; wall/rss/counter are the metrics.
+std::string snapshot_json(double wall, long long rss, long long counter,
+                          const std::string& sanitizer = "") {
+  return R"({
+  "schema": "zsobs-v1",
+  "build_info": {"git_sha": "abc123", "compiler": "gcc 12.2.0",
+                 "build_type": "RelWithDebInfo", "sanitizer": ")" +
+         sanitizer + R"(", "arch": "x86_64"},
+  "bench": "fixture",
+  "wall_time_s": )" + std::to_string(wall) + R"(,
+  "peak_rss_bytes": )" + std::to_string(rss) + R"(,
+  "counters": {"zs_events_total": )" + std::to_string(counter) + R"(},
+  "gauges": {},
+  "histograms": {"zs_apply_seconds": {"bounds": [0.1], "counts": [4],
+                 "sum": 0.25, "count": 4}},
+  "spans": []
+})";
+}
+
+std::vector<obs::BenchSnapshot> runs(std::initializer_list<double> walls,
+                                     const std::string& sanitizer = "") {
+  std::vector<obs::BenchSnapshot> out;
+  int i = 0;
+  for (double w : walls) {
+    out.push_back(obs::parse_bench_snapshot(
+        snapshot_json(w, 1000000, 500, sanitizer),
+        "run" + std::to_string(i++) + ".json"));
+  }
+  return out;
+}
+
+TEST(ObsBenchDiffJson, ParsesScalarsArraysObjects) {
+  const auto v = obs::parse_json(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "x\n\"y\""}, "e": -2e3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->kind, obs::JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(v->find("a")->number, 1.5);
+  ASSERT_EQ(v->find("b")->array.size(), 3u);
+  EXPECT_TRUE(v->find("b")->array[0].boolean);
+  EXPECT_EQ(v->find("c")->find("d")->str, "x\n\"y\"");
+  EXPECT_DOUBLE_EQ(v->find("e")->number, -2000.0);
+}
+
+TEST(ObsBenchDiffJson, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_json("{").has_value());
+  EXPECT_FALSE(obs::parse_json("{\"a\": }").has_value());
+  EXPECT_FALSE(obs::parse_json("[1, 2,]").has_value());
+  EXPECT_FALSE(obs::parse_json("{} trailing").has_value());
+  EXPECT_FALSE(obs::parse_json("\"unterminated").has_value());
+}
+
+TEST(ObsBenchDiffSnapshot, FlattensMetricsWithKindPrefixes) {
+  const obs::BenchSnapshot snap =
+      obs::parse_bench_snapshot(snapshot_json(1.25, 4096, 99), "x.json");
+  EXPECT_EQ(snap.bench_name, "fixture");
+  EXPECT_EQ(snap.build.compiler, "gcc 12.2.0");
+  EXPECT_DOUBLE_EQ(snap.metrics.at("wall_time_s"), 1.25);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("peak_rss_bytes"), 4096);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("counter:zs_events_total"), 99);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("hist_sum:zs_apply_seconds"), 0.25);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("hist_count:zs_apply_seconds"), 4);
+}
+
+TEST(ObsBenchDiffSnapshot, BenchNameFallsBackToFilename) {
+  const std::string json = R"({"schema": "zsobs-v1", "counters": {}})";
+  const obs::BenchSnapshot snap =
+      obs::parse_bench_snapshot(json, "dir/BENCH_micro_hotpaths.json");
+  EXPECT_EQ(snap.bench_name, "micro_hotpaths");
+}
+
+TEST(ObsBenchDiffSnapshot, RejectsForeignSchema) {
+  EXPECT_THROW(obs::parse_bench_snapshot(R"({"schema": "other"})", "x"),
+               std::runtime_error);
+  EXPECT_THROW(obs::parse_bench_snapshot("[]", "x"), std::runtime_error);
+  EXPECT_THROW(obs::parse_bench_snapshot("not json", "x"), std::runtime_error);
+}
+
+TEST(ObsBenchDiffStats, QuantileInterpolates) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(obs::sorted_quantile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::sorted_quantile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(obs::sorted_quantile(sorted, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(obs::sorted_quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(obs::sorted_quantile({}, 0.5), 0.0);
+}
+
+TEST(ObsBenchDiffStats, IqrRejectsWildOutlier) {
+  const auto kept = obs::iqr_reject({1.0, 1.01, 0.99, 1.02, 50.0});
+  EXPECT_EQ(kept.size(), 4u);
+  for (double v : kept) EXPECT_LT(v, 2.0);
+}
+
+TEST(ObsBenchDiffStats, SmallGroupsAreKeptVerbatim) {
+  const auto kept = obs::iqr_reject({1.0, 100.0, 3.0});
+  EXPECT_EQ(kept.size(), 3u);
+}
+
+TEST(ObsBenchDiff, AAComparisonStaysQuiet) {
+  // Same workload twice with realistic run-to-run jitter: no metric
+  // should be significant, the gate must not trip.
+  const auto base = runs({1.000, 1.012, 0.995});
+  const auto cand = runs({1.003, 0.998, 1.010});
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_FALSE(result.gate_tripped);
+  ASSERT_EQ(result.benches.size(), 1u);
+  for (const auto& delta : result.benches[0].deltas)
+    EXPECT_FALSE(delta.regression) << delta.name;
+}
+
+TEST(ObsBenchDiff, InjectedSlowdownTripsGate) {
+  const auto base = runs({1.000, 1.012, 0.995});
+  const auto cand = runs({2.000, 2.024, 1.990});
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_TRUE(result.gate_tripped);
+  ASSERT_EQ(result.benches.size(), 1u);
+  bool wall_regressed = false;
+  for (const auto& delta : result.benches[0].deltas)
+    if (delta.name == "wall_time_s") {
+      wall_regressed = delta.regression;
+      EXPECT_NEAR(delta.delta_pct, 100.0, 5.0);
+    }
+  EXPECT_TRUE(wall_regressed);
+  const std::string table =
+      obs::render_table(result, obs::DiffConfig{});
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+}
+
+TEST(ObsBenchDiff, ImprovementDoesNotTrip) {
+  const auto base = runs({2.0, 2.02, 1.99});
+  const auto cand = runs({1.0, 1.01, 0.99});
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, OutlierRunDoesNotTripGate) {
+  // One baseline run hit a cold cache (4x): IQR rejection plus
+  // min-of-N keeps the comparison honest.
+  const auto base = runs({1.00, 1.01, 0.99, 1.02});
+  const auto cand = runs({1.00, 1.01, 4.00, 0.99});
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, CounterDriftIsInformationalByDefault) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["counter:zs_events_total"] = 500;
+  cand[0].metrics["counter:zs_events_total"] = 5000;  // 10x drift
+  obs::DiffConfig config;
+  obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+  bool seen = false;
+  for (const auto& delta : result.benches[0].deltas)
+    if (delta.name == "counter:zs_events_total") {
+      seen = true;
+      EXPECT_TRUE(delta.significant);
+      EXPECT_FALSE(delta.gated);
+    }
+  EXPECT_TRUE(seen);
+
+  config.gate_counters = true;
+  result = obs::diff_benches(base, cand, config);
+  EXPECT_TRUE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, HistogramSecondsParticipateInGate) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["hist_sum:zs_apply_seconds"] = 0.25;
+  cand[0].metrics["hist_sum:zs_apply_seconds"] = 0.60;
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_TRUE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, IncompatibleBuildsRefuseToCompare) {
+  const auto base = runs({1.0}, "");
+  const auto cand = runs({1.0}, "address");
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  EXPECT_TRUE(result.gate_tripped);
+  ASSERT_EQ(result.benches.size(), 1u);
+  EXPECT_NE(result.benches[0].incompatible.find("sanitizer"), std::string::npos);
+  EXPECT_TRUE(result.benches[0].deltas.empty());
+
+  obs::DiffConfig config;
+  config.force = true;
+  const obs::DiffResult forced = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(forced.gate_tripped);
+  EXPECT_FALSE(forced.benches[0].deltas.empty());
+}
+
+TEST(ObsBenchDiff, MismatchedBenchNamesAreSkippedNotCompared) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  cand[0].bench_name = "other_bench";
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  ASSERT_EQ(result.benches.size(), 2u);
+  for (const auto& bench : result.benches) {
+    EXPECT_FALSE(bench.incompatible.empty());
+    EXPECT_FALSE(bench.gate_tripped);  // absence is not a regression
+  }
+}
+
+TEST(ObsBenchDiff, RenderJsonIsWellFormed) {
+  const auto base = runs({1.0, 1.01, 0.99});
+  const auto cand = runs({2.0, 2.02, 1.98});
+  const obs::DiffResult result = obs::diff_benches(base, cand);
+  const std::string json = obs::render_json(result);
+  EXPECT_NE(json.find("\"schema\": \"zsbenchdiff-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"gate_tripped\": true"), std::string::npos);
+  // The output must itself parse with the library's own reader.
+  const auto parsed = obs::parse_json(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->find("gate_tripped")->boolean);
+}
+
+}  // namespace

@@ -263,6 +263,63 @@ TEST(ObsExport, JsonSnapshotSchema) {
   EXPECT_NE(trace.find("\"name\": \"stage\""), std::string::npos);
 }
 
+TEST(ObsExport, PrometheusLabelEscaping) {
+  // Exposition rules for label values: backslash, double quote and
+  // newline must be escaped; everything else passes through.
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape_label("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(prometheus_escape_label("new\nline"), "new\\nline");
+  EXPECT_EQ(prometheus_escape_label("all\\three\"at\nonce"),
+            "all\\\\three\\\"at\\nonce");
+  // Label values may legally contain } and , unescaped.
+  EXPECT_EQ(prometheus_escape_label("a},b"), "a},b");
+}
+
+TEST(ObsExport, PrometheusHelpEscaping) {
+  // HELP text escapes backslash and newline but keeps literal quotes.
+  EXPECT_EQ(prometheus_escape_help("plain help"), "plain help");
+  EXPECT_EQ(prometheus_escape_help("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_help("two\nlines"), "two\\nlines");
+  EXPECT_EQ(prometheus_escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(ObsExport, FormatCheckAcceptsEscapedLabelValues) {
+  // A label value containing }, comma, and escaped quotes must pass
+  // the validator (the quote-aware scanner, not a naive find('}')).
+  EXPECT_TRUE(prometheus_format_ok(
+      "zs_x{path=\"dir/file\",note=\"a}b,c\\\"d\\\\e\"} 1\n"));
+  // An unterminated label string fails.
+  EXPECT_FALSE(prometheus_format_ok("zs_x{note=\"unterminated} 1\n"));
+}
+
+TEST(ObsExport, BuildInfoGaugeIsExported) {
+  Registry registry;
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE zs_build_info gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("zs_build_info{git_sha=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("build_type=\""), std::string::npos);
+  EXPECT_NE(text.find("sanitizer=\""), std::string::npos);
+  EXPECT_NE(text.find("\"} 1\n"), std::string::npos);
+  EXPECT_TRUE(prometheus_format_ok(text));
+
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"build_info\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"git_sha\""), std::string::npos);
+}
+
+TEST(ObsExport, JsonExtraSectionsAppearAtTopLevel) {
+  Registry registry;
+  const JsonSections extra = {{"bench", "\"micro\""},
+                              {"wall_time_s", "1.25"},
+                              {"peak_rss_bytes", "4096"}};
+  const std::string json = to_json(registry.snapshot(), {}, extra);
+  EXPECT_NE(json.find("\"bench\": \"micro\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_time_s\": 1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_rss_bytes\": 4096"), std::string::npos);
+}
+
 TEST(ObsExport, ParseFormat) {
   EXPECT_EQ(parse_format("prom"), Format::kPrometheus);
   EXPECT_EQ(parse_format("prometheus"), Format::kPrometheus);

@@ -1,0 +1,69 @@
+// Verifies the ZS_PROF_ENABLED=0 build really compiles the profiler
+// out: this target recompiles prof.cpp/trace.cpp/metrics.cpp with the
+// macro forced to 0 (see tests/CMakeLists.txt) instead of linking
+// zs_obs, mirroring how ZS_JOURNAL_CATEGORIES compile-out is proven.
+
+#include <gtest/gtest.h>
+
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+namespace obs = zombiescope::obs;
+
+static_assert(!obs::kProfCompiledIn,
+              "this test must be built with ZS_PROF_ENABLED=0");
+
+namespace {
+
+TEST(ObsProfCompileOut, EveryEntryPointIsInert) {
+  obs::Profiler& profiler = obs::Profiler::global();
+  EXPECT_FALSE(profiler.start());
+  EXPECT_FALSE(profiler.running());
+  EXPECT_EQ(profiler.samples_captured(), 0u);
+  const obs::ProfileReport report = profiler.stop();
+  EXPECT_FALSE(report.valid);
+  EXPECT_EQ(report.samples, 0u);
+}
+
+TEST(ObsProfCompileOut, HooksAreInlineNoOps) {
+  EXPECT_FALSE(obs::prof_attribution_active());
+  EXPECT_EQ(obs::prof_intern("anything"), nullptr);
+  // Must not crash; these compile to empty inline functions.
+  obs::prof_push_span(nullptr);
+  obs::prof_pop_span();
+  obs::prof_register_thread();
+}
+
+TEST(ObsProfCompileOut, SpansStillWork) {
+  // ScopedSpan guards its profiler registration with
+  // `if constexpr (kProfCompiledIn)`, so tracing is unaffected.
+  {
+    obs::ScopedSpan outer("compileout.outer");
+    obs::ScopedSpan inner("compileout.inner");
+  }
+  const auto spans = obs::Tracer::global().snapshot();
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const auto& span : spans) {
+    if (span.name == "compileout.outer") saw_outer = true;
+    if (span.name == "compileout.inner") saw_inner = true;
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(ObsProfCompileOut, ScopedProfileSessionDegradesGracefully) {
+  obs::ScopedProfileSession session("/tmp/zs_prof_compileout_never_written");
+  EXPECT_FALSE(session.active());
+}
+
+TEST(ObsProfCompileOut, ReportRenderingStillAvailable) {
+  // Rendering (used by zsbenchdiff fixtures and parse_folded) stays
+  // compiled in even when sampling is not.
+  obs::ProfileReport report;
+  report.valid = true;
+  report.folded["a;b"] = 2;
+  EXPECT_EQ(obs::parse_folded(report.to_folded()), report.folded);
+}
+
+}  // namespace

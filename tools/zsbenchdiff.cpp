@@ -1,0 +1,177 @@
+// zsbenchdiff — statistical diff + regression gate over BENCH_*.json.
+//
+// Compares a baseline group of zsobs-v1 bench snapshots against a
+// candidate group (repeated runs welcome: outliers are IQR-rejected and
+// the min-of-N inliers represents each group). Prints the significant
+// deltas and exits non-zero when a gated metric (wall time, peak RSS,
+// *_seconds histogram totals) regresses past the threshold.
+//
+//   zsbenchdiff BASELINE.json... --vs CANDIDATE.json... [options]
+//   zsbenchdiff --history DIR [options]
+//
+// In --history mode, DIR holds timestamped run directories (as written
+// by scripts/run_bench.sh): the newest directory is the candidate and
+// all older ones are the baseline.
+//
+// Options:
+//   --threshold PCT   regression gate threshold (default 5)
+//   --noise PCT       ignore deltas below this floor (default 1)
+//   --gate-counters   also gate on counter/gauge drift
+//   --force           compare even when build identities differ
+//   --json            machine-readable output (zsbenchdiff-v1)
+//
+// Exit codes: 0 no regression, 1 regression (gate tripped),
+//             2 usage error, 3 bad input (unreadable/incompatible).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json... --vs CANDIDATE.json... [options]\n"
+               "       %s --history DIR [options]\n"
+               "options: --threshold PCT  --noise PCT  --gate-counters\n"
+               "         --force  --json\n",
+               argv0, argv0);
+  std::exit(2);
+}
+
+struct Options {
+  std::vector<std::string> baseline;
+  std::vector<std::string> candidate;
+  std::string history_dir;
+  obs::DiffConfig config;
+  bool json = false;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  bool after_vs = false;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--vs") {
+      after_vs = true;
+    } else if (arg == "--history") {
+      opt.history_dir = need_value(i);
+    } else if (arg == "--threshold") {
+      opt.config.threshold_pct = std::stod(need_value(i));
+    } else if (arg == "--noise") {
+      opt.config.noise_pct = std::stod(need_value(i));
+    } else if (arg == "--gate-counters") {
+      opt.config.gate_counters = true;
+    } else if (arg == "--force") {
+      opt.config.force = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      (after_vs ? opt.candidate : opt.baseline).push_back(arg);
+    }
+  }
+  const bool positional = !opt.baseline.empty() || !opt.candidate.empty();
+  if (opt.history_dir.empty()) {
+    if (opt.baseline.empty() || opt.candidate.empty()) usage(argv[0]);
+  } else if (positional || after_vs) {
+    usage(argv[0]);  // --history and explicit file lists are exclusive
+  }
+  return opt;
+}
+
+std::vector<std::string> list_dir(const std::string& path) {
+  std::vector<std::string> names;
+  DIR* dir = opendir(path.c_str());
+  if (dir == nullptr) return names;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    names.emplace_back(entry->d_name);
+  }
+  closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Collects BENCH_*.json directly inside `dir`.
+std::vector<std::string> bench_files_in(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const std::string& name : list_dir(dir)) {
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0)
+      files.push_back(dir + "/" + name);
+  }
+  return files;
+}
+
+/// History mode: run directories sort lexicographically by their
+/// UTC-timestamp prefix, so the last one is the newest (candidate).
+bool split_history(const std::string& dir, Options& opt, std::string& error) {
+  std::vector<std::string> runs;
+  for (const std::string& name : list_dir(dir)) {
+    const std::string sub = dir + "/" + name;
+    if (!bench_files_in(sub).empty()) runs.push_back(sub);
+  }
+  if (runs.size() < 2) {
+    error = "--history needs at least 2 run directories with BENCH_*.json "
+            "under " + dir + " (found " + std::to_string(runs.size()) + ")";
+    return false;
+  }
+  for (std::size_t i = 0; i + 1 < runs.size(); ++i) {
+    auto files = bench_files_in(runs[i]);
+    opt.baseline.insert(opt.baseline.end(), files.begin(), files.end());
+  }
+  opt.candidate = bench_files_in(runs.back());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_options(argc, argv);
+
+  if (!opt.history_dir.empty()) {
+    std::string error;
+    if (!split_history(opt.history_dir, opt, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 3;
+    }
+  }
+
+  std::vector<obs::BenchSnapshot> baseline;
+  std::vector<obs::BenchSnapshot> candidate;
+  try {
+    for (const std::string& path : opt.baseline)
+      baseline.push_back(obs::load_bench_snapshot(path));
+    for (const std::string& path : opt.candidate)
+      candidate.push_back(obs::load_bench_snapshot(path));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+
+  const obs::DiffResult result = obs::diff_benches(baseline, candidate, opt.config);
+
+  if (opt.json)
+    std::fputs(obs::render_json(result).c_str(), stdout);
+  else
+    std::fputs(obs::render_table(result, opt.config).c_str(), stdout);
+
+  // Incompatible builds without --force exit 3 (bad input), a genuine
+  // perf regression exits 1 — CI can tell the two apart.
+  for (const obs::BenchDiff& bench : result.benches)
+    if (!bench.incompatible.empty() && bench.gate_tripped) return 3;
+  return result.gate_tripped ? 1 : 0;
+}

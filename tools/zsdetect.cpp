@@ -28,7 +28,9 @@
 //   --journal-categories C  comma list: run,state,detector,noise,
 //                        lifespan,collector,fault,all (default all)
 //   --http-port N        serve /metrics /healthz /spans /journal/tail
-//                        on port N while running (0 = ephemeral)
+//                        /profile on port N while running (0 = ephemeral)
+//   --profile-out FILE   sample the whole run with zsprof and write
+//                        folded stacks (flamegraph-ready) to FILE
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +41,7 @@
 #include "obs/export.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "zombie/interval_detector.hpp"
 #include "zombie/longlived.hpp"
@@ -58,7 +61,7 @@ namespace {
                "          [--metrics-out FILE] [--metrics-format prom|json]\n"
                "          [--trace-out FILE] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N]\n",
+               "          [--http-port N] [--profile-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -90,6 +93,7 @@ struct Options {
   obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
   std::uint32_t journal_categories = obs::kCatAll;
   int http_port = -1;  // -1 = no HTTP server
+  std::string profile_out;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -127,6 +131,7 @@ Options parse_options(int argc, char** argv) {
       if (!parsed.has_value()) usage(argv[0]);
       opt.journal_categories = *parsed;
     } else if (arg == "--http-port") opt.http_port = std::stoi(need_value(i));
+    else if (arg == "--profile-out") opt.profile_out = need_value(i);
     else usage(argv[0]);
   }
   if (opt.updates_path.empty() || opt.start == 0 || opt.end == 0 || opt.end <= opt.start)
@@ -321,6 +326,10 @@ int run(const Options& opt) {
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
+
+  // Covers the whole run (MRT load + detector passes + reporting); the
+  // folded stacks land in the file when main returns.
+  obs::ScopedProfileSession profile(opt.profile_out);
 
   obs::Journal& journal = obs::Journal::global();
   if (!opt.journal_out.empty()) {

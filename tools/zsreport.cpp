@@ -12,6 +12,12 @@
 //   * with --prefix, the full chronological timeline of one prefix.
 //
 //   zsreport JOURNAL [--prefix P] [--json] [--max-rows N]
+//            [--profile-out FILE]
+//
+// JOURNAL may be `-` to read the journal from stdin, so a pipeline
+// like `zsdetect --journal-out /dev/stdout ... | zsreport -` works.
+// --profile-out samples the report build with zsprof and writes folded
+// stacks to FILE (useful on multi-gigabyte journals).
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +28,7 @@
 
 #include "netbase/time.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 
 using namespace zombiescope;
 
@@ -29,7 +36,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s JOURNAL [--prefix PREFIX] [--json] [--max-rows N]\n",
+               "usage: %s JOURNAL [--prefix PREFIX] [--json] [--max-rows N]\n"
+               "          [--profile-out FILE]\n"
+               "       (JOURNAL may be '-' to read from stdin)\n",
                argv0);
   std::exit(2);
 }
@@ -39,6 +48,7 @@ struct Options {
   std::optional<netbase::Prefix> prefix;
   bool json = false;
   int max_rows = 50;
+  std::string profile_out;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -57,6 +67,10 @@ Options parse_options(int argc, char** argv) {
       opt.json = true;
     } else if (arg == "--max-rows") {
       opt.max_rows = std::stoi(need_value(i));
+    } else if (arg == "--profile-out") {
+      opt.profile_out = need_value(i);
+    } else if (arg == "-" && opt.journal_path.empty()) {
+      opt.journal_path = arg;  // read the journal from stdin
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else if (opt.journal_path.empty()) {
@@ -291,6 +305,7 @@ void print_json(const Report& report, const Options& opt) {
 
 int main(int argc, char** argv) {
   const Options opt = parse_options(argc, argv);
+  obs::ScopedProfileSession profile(opt.profile_out);
   std::vector<obs::JournalEvent> events;
   try {
     events = obs::read_journal_file(opt.journal_path);

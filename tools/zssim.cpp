@@ -4,15 +4,17 @@
 //   zssim ris2018|ris2017oct|ris2017mar|longlived2024 [output-prefix]
 //         [--metrics-out FILE] [--trace-out FILE] [--metrics-format prom|json]
 //         [--journal-out FILE] [--journal-format ndjson|bin]
-//         [--journal-categories LIST] [--http-port N]
+//         [--journal-categories LIST] [--http-port N] [--profile-out FILE]
 //
 // Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
 // longlived2024). Defaults the prefix to the scenario name.
 // --metrics-out snapshots the telemetry registry after the run;
 // --trace-out dumps the per-stage span tree; --journal-out records the
 // fault-injection / collector event journal (read it with zsreport);
-// --http-port serves /metrics, /healthz, /spans and /journal/tail live
-// during the simulation (see DESIGN.md, "Observability").
+// --http-port serves /metrics, /healthz, /spans, /journal/tail and
+// /profile live during the simulation; --profile-out samples the whole
+// run with zsprof and writes folded stacks (flamegraph-ready) there
+// (see DESIGN.md, "Observability").
 
 #include <cstdio>
 #include <string>
@@ -22,6 +24,7 @@
 #include "obs/export.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "scenarios/longlived2024.hpp"
 #include "scenarios/ris_replication.hpp"
@@ -36,7 +39,7 @@ namespace {
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--metrics-format prom|json] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N]\n",
+               "          [--http-port N] [--profile-out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -93,6 +96,7 @@ int main(int argc, char** argv) {
   obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
   std::uint32_t journal_categories = obs::kCatAll;
   int http_port = -1;  // -1 = no HTTP server
+  std::string profile_out;
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -116,6 +120,8 @@ int main(int argc, char** argv) {
       journal_categories = *parsed;
     } else if (arg == "--http-port") {
       http_port = std::stoi(need_value(i));
+    } else if (arg == "--profile-out") {
+      profile_out = need_value(i);
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
@@ -125,6 +131,10 @@ int main(int argc, char** argv) {
   if (positional.empty() || positional.size() > 2) usage(argv[0]);
   const std::string which = positional[0];
   const std::string prefix = positional.size() > 1 ? positional[1] : which;
+
+  // Covers the whole run (simulation + MRT writes); the folded stacks
+  // land in the file when main returns.
+  obs::ScopedProfileSession profile(profile_out);
 
   obs::Journal& journal = obs::Journal::global();
   if (!journal_out.empty()) {
