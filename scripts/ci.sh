@@ -4,25 +4,53 @@
 #
 #   1. tier-1: plain build + all tests, then the obs subsystem under
 #      TSan and ASan+UBSan (scripts/run_tier1.sh);
-#   2. optionally, the benchmark regression gate against a baseline
+#   2. the causal ground-truth gate: zsroot must localize the injected
+#      fault link on 100% of the seeded scenarios (exit 1 otherwise);
+#      the JSON accuracy report is archived as SCORE_zsroot.json;
+#   3. the bench snapshot gate: every bench rebuilt and re-run fresh,
+#      then zsbenchdiff compares the committed BENCH_*.json baselines
+#      against the fresh run — disable with ZS_CI_NO_BENCH_GATE=1
+#      (e.g. on hardware unlike the one the baselines were recorded
+#      on, where build-identity or raw-speed differences are noise);
+#   4. optionally, the benchmark regression gate against a baseline
 #      ref (scripts/check_bench_regression.sh) — enabled by setting
 #      ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
 #
 # Usage: scripts/ci.sh [build-dir]
 #   ZS_CI_BENCH_BASELINE=origin/main scripts/ci.sh
+#   ZS_CI_NO_BENCH_GATE=1 scripts/ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+REPO_ROOT="$(pwd)"
 
 BUILD_DIR="${1:-build}"
 
 scripts/run_tier1.sh "${BUILD_DIR}"
 
+echo "== ci: causal ground-truth gate (zsroot score)"
+cmake --build "${BUILD_DIR}" -j --target zsroot >/dev/null
+"${BUILD_DIR}/tools/zsroot" score --seeds 5 --out SCORE_zsroot.json
+echo "== ci: accuracy report archived to SCORE_zsroot.json"
+
+if [ -z "${ZS_CI_NO_BENCH_GATE:-}" ]; then
+  echo "== ci: bench snapshot gate vs committed BENCH_*.json"
+  FRESH_DIR="$(mktemp -d "${TMPDIR:-/tmp}/zs_ci_bench.XXXXXX")"
+  trap 'rm -rf "${FRESH_DIR}"' EXIT
+  ZS_BENCH_JSON_DIR="${FRESH_DIR}" ZS_NO_BENCH_HISTORY=1 \
+    scripts/run_bench.sh "${BUILD_DIR}"
+  cmake --build "${BUILD_DIR}" -j --target zsbenchdiff >/dev/null
+  "${BUILD_DIR}/tools/zsbenchdiff" \
+    "${REPO_ROOT}"/BENCH_*.json --vs "${FRESH_DIR}"/BENCH_*.json
+else
+  echo "== ci: bench snapshot gate skipped (ZS_CI_NO_BENCH_GATE set)"
+fi
+
 if [ -n "${ZS_CI_BENCH_BASELINE:-}" ]; then
   echo "== ci: bench regression gate vs ${ZS_CI_BENCH_BASELINE}"
   scripts/check_bench_regression.sh "${ZS_CI_BENCH_BASELINE}"
 else
-  echo "== ci: bench gate skipped (set ZS_CI_BENCH_BASELINE=<ref> to enable)"
+  echo "== ci: bench ref gate skipped (set ZS_CI_BENCH_BASELINE=<ref> to enable)"
 fi
 
 echo "== ci: OK"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the plain build + full test suite, then the obs
 # subsystem's tests again under ThreadSanitizer (its hot paths — the
-# metrics cells, the span ring, the journal MPSC ring, and the zsprof
-# sample rings + SIGPROF handler — are the only code that promises
+# metrics cells, the span ring, the journal MPSC ring, the causal
+# tracer's hop ring, and the zsprof sample rings + SIGPROF handler —
+# are the only code that promises
 # lock-free cross-thread use) and under AddressSanitizer+UBSan (the
 # journal codec and the HTTP server parse external bytes; the zsprof
 # stack walk reads raw stack memory).
@@ -21,14 +22,19 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+OBS_TARGETS="obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test \
+  causal_test causal_e2e_test causal_compileout_test"
+
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
-cmake --build "${TSAN_DIR}" -j --target obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test
+# shellcheck disable=SC2086
+cmake --build "${TSAN_DIR}" -j --target ${OBS_TARGETS}
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
 
 echo "== tier-1: obs tests under ASan+UBSan (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DZS_SANITIZE=address,undefined
-cmake --build "${ASAN_DIR}" -j --target obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test
+# shellcheck disable=SC2086
+cmake --build "${ASAN_DIR}" -j --target ${OBS_TARGETS}
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs'
 
 echo "== tier-1: OK"

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
@@ -66,6 +67,45 @@ std::size_t query_uint(std::string_view target, std::string_view key,
   return fallback;
 }
 
+// Raw "?key=value" query lookup (with %xx decoding, so an encoded
+// prefix like 203.0.113.0%2F24 works). Empty if absent.
+std::string query_string(std::string_view target, std::string_view key) {
+  const std::size_t q = target.find('?');
+  if (q == std::string_view::npos) return {};
+  std::string_view query = target.substr(q + 1);
+  const std::string prefix = std::string(key) + "=";
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (pair.rfind(prefix, 0) != 0) continue;
+    std::string_view raw = pair.substr(prefix.size());
+    std::string value;
+    value.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '%' && i + 2 < raw.size()) {
+        const auto hex = [](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+          return -1;
+        };
+        const int hi = hex(raw[i + 1]);
+        const int lo = hex(raw[i + 2]);
+        if (hi >= 0 && lo >= 0) {
+          value.push_back(static_cast<char>(hi * 16 + lo));
+          i += 2;
+          continue;
+        }
+      }
+      value.push_back(raw[i] == '+' ? ' ' : raw[i]);
+    }
+    return value;
+  }
+  return {};
+}
+
 Response route(std::string_view method, std::string_view target) {
   const std::string_view path = target.substr(0, target.find('?'));
   if (method != "GET") {
@@ -90,12 +130,56 @@ Response route(std::string_view method, std::string_view target) {
   }
   if (path == "/journal/tail") {
     const std::size_t n = query_uint(target, "n", 256);
+    std::uint32_t category_mask = kCatAll;
+    if (const std::string categories = query_string(target, "category");
+        !categories.empty()) {
+      const auto parsed = parse_categories(categories);
+      if (!parsed.has_value()) {
+        return {400, "text/plain; charset=utf-8",
+                "unknown category in ?category=" + categories + "\n"};
+      }
+      category_mask = *parsed;
+    }
     std::string body;
     for (const JournalEvent& event : Journal::global().tail(n)) {
+      if ((category_of(event.type) & category_mask) == 0) continue;
       body += to_ndjson(event);
       body += '\n';
     }
     return {200, "application/x-ndjson", std::move(body)};
+  }
+  if (path == "/causal") {
+    // Preprocessor guard (not if constexpr): the CausalTracer type
+    // itself only exists when the tracer is compiled in.
+#if !ZS_CAUSAL_ENABLED
+    return {501, "text/plain; charset=utf-8",
+            "causal tracer compiled out (ZS_CAUSAL_ENABLED=0)\n"};
+#else
+    {
+      const std::string prefix_text = query_string(target, "prefix");
+      CausalTracer& tracer = CausalTracer::global();
+      tracer.drain();
+      if (prefix_text.empty()) {
+        // Index: which prefixes have traces buffered.
+        std::string body;
+        for (const netbase::Prefix& prefix : tracer.traced_prefixes()) {
+          body += prefix.to_string();
+          body += '\n';
+        }
+        if (body.empty()) body = "no traced prefixes\n";
+        return {200, "text/plain; charset=utf-8", std::move(body)};
+      }
+      const auto prefix = netbase::Prefix::try_parse(prefix_text);
+      if (!prefix.has_value()) {
+        return {400, "text/plain; charset=utf-8",
+                "bad ?prefix=" + prefix_text + "\n"};
+      }
+      const std::size_t max_traces = query_uint(target, "max_traces", 8);
+      return {200, "text/plain; charset=utf-8",
+              render_propagation_tree(*prefix, tracer.records_for(*prefix),
+                                      max_traces)};
+    }
+#endif
   }
   if (path == "/profile") {
     if constexpr (!kProfCompiledIn) {

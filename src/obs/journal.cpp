@@ -20,7 +20,7 @@ constexpr CategoryName kCategoryNames[] = {
     {kCatRun, "run"},           {kCatState, "state"},
     {kCatDetector, "detector"}, {kCatNoise, "noise"},
     {kCatLifespan, "lifespan"}, {kCatCollector, "collector"},
-    {kCatFault, "fault"},
+    {kCatFault, "fault"},       {kCatPropagation, "propagation"},
 };
 
 }  // namespace
@@ -87,6 +87,7 @@ constexpr EventTypeName kEventTypeNames[] = {
     {JournalEventType::kSimSessionDown, "sim_session_down", kCatFault},
     {JournalEventType::kSimSessionUp, "sim_session_up", kCatFault},
     {JournalEventType::kPrefixEvicted, "prefix_evicted", kCatFault},
+    {JournalEventType::kPropagationHop, "propagation_hop", kCatPropagation},
 };
 
 }  // namespace

@@ -65,8 +65,9 @@ enum JournalCategory : std::uint32_t {
   kCatNoise = 1u << 3,      // noisy peers, collector-side noise
   kCatLifespan = 1u << 4,   // RIB-dump lifespans and resurrections
   kCatCollector = 1u << 5,  // collector session lifecycle
-  kCatFault = 1u << 6,      // simnet fault injections
-  kCatAll = (1u << 7) - 1,
+  kCatFault = 1u << 6,        // simnet fault injections
+  kCatPropagation = 1u << 7,  // causal per-hop update provenance
+  kCatAll = (1u << 8) - 1,
 };
 
 /// One name per bit ("run", "state", ...). Empty for unknown bits.
@@ -106,6 +107,10 @@ enum class JournalEventType : std::uint16_t {
   kSimSessionDown = 32,
   kSimSessionUp = 33,
   kPrefixEvicted = 34,  // a = AS evicting the prefix (RoST)
+  // kCatPropagation (packed by obs/causal.hpp: a = trace id,
+  // b = from/to ASNs, c = hop + kind + decision — use
+  // to_journal_event / hop_from_event, never the raw fields)
+  kPropagationHop = 40,
 };
 
 /// Snake-case wire name ("zombie_declared"). Used by both serializers.

@@ -45,8 +45,12 @@ const HistogramSnapshot* Snapshot::histogram(std::string_view name) const {
 }
 
 Registry& Registry::global() {
-  static Registry instance;
-  return instance;
+  // Leaked on purpose, like Tracer/Journal/Profiler: at-exit snapshot
+  // handlers (e.g. bench_common's std::atexit hook) may construct a
+  // lazy observer that registers counters after this registry's
+  // destructor would have run, turning exit into a use-after-free.
+  static Registry* instance = new Registry();
+  return *instance;
 }
 
 Counter Registry::counter(std::string_view name) {

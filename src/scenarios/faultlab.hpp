@@ -1,0 +1,118 @@
+// scenarios/faultlab.hpp — seeded fault scenarios with exact ground
+// truth, for scoring root-cause localization.
+//
+// Each scenario builds a deterministic palm-tree topology (origin →
+// provider chain → branching hub → fans → leaves), announces a beacon,
+// withdraws it, and kills the withdrawal on exactly one known link with
+// one of the fault models from simnet/faults.hpp. Because the topology
+// is a tree, the fault's (from, to) link is the unique ground-truth
+// answer: causal localization (zombie/propagation.hpp) must name that
+// link exactly, and the palm-tree heuristic (zombie/rootcause.hpp) is
+// scored against the culprit AS — exact, off-by-one-upstream (the
+// paper's §5.2 caveat: the previous AS may be the one that failed to
+// propagate), or wrong. tools/zsroot aggregates these scores into the
+// accuracy table; tests/causal_e2e_test asserts them per scenario.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simnet/simulation.hpp"
+#include "zombie/propagation.hpp"
+#include "zombie/rootcause.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::scenarios {
+
+enum class FaultKind : std::uint8_t {
+  kWithdrawalSuppression = 0,  // sender drops the withdrawal (fault at from_asn)
+  kReceiveStall = 1,           // receiver never processes it (fault at to_asn)
+};
+
+std::string to_string(FaultKind kind);
+
+/// One seeded fault scenario. The topology is: origin, a provider
+/// chain of `chain_len` ASes above it, a hub above the chain, `fanout`
+/// fan ASes (hub customers), each with `leaves_per_fan` leaf
+/// customers. The fault is injected on the last chain link — the one
+/// entering the hub — so the withdrawal dies exactly where the palm
+/// tree branches.
+struct FaultScenarioSpec {
+  std::uint64_t seed = 0;
+  FaultKind kind = FaultKind::kWithdrawalSuppression;
+  int chain_len = 2;       // ASes strictly between origin and hub (>= 0)
+  int fanout = 3;          // hub customers (>= 2, so the branch point is real)
+  int leaves_per_fan = 2;  // customers per fan (>= 0)
+
+  std::string name() const;
+};
+
+/// How the palm-tree suspect relates to the ground-truth culprit AS.
+enum class RootCauseScore : std::uint8_t {
+  kExact = 0,            // suspect == the AS that swallowed the withdrawal
+  kOffByOneUpstream = 1, // suspect is the other end of the faulty link
+  kWrong = 2,
+};
+
+std::string to_string(RootCauseScore score);
+
+struct FaultScenarioResult {
+  FaultScenarioSpec spec;
+  netbase::Prefix prefix;
+
+  /// Ground truth: the link the fault was injected on (withdrawal
+  /// direction: from -> to) and the AS that swallowed the withdrawal.
+  bgp::Asn injected_from = 0;
+  bgp::Asn injected_to = 0;
+  bgp::Asn culprit_asn = 0;
+
+  /// Ground truth zombie set read straight from router state.
+  std::vector<bgp::Asn> zombie_asns;
+  /// Expected zombie set from the topology (hub + fans + leaves).
+  std::vector<bgp::Asn> expected_zombie_asns;
+
+  /// Causal localization over the tracer's hop records.
+  zombie::FrontierResult frontier;
+  /// True iff the frontier names exactly the injected link and nothing
+  /// else.
+  bool localized_exact = false;
+
+  /// Palm-tree inference over the zombie routes' AS paths, and its
+  /// score against culprit_asn.
+  zombie::RootCauseResult rootcause;
+  RootCauseScore rootcause_score = RootCauseScore::kWrong;
+};
+
+/// Runs one scenario. Resets the global causal tracer, so concurrent
+/// users of the tracer in the same process will lose their records.
+FaultScenarioResult run_fault_scenario(const FaultScenarioSpec& spec);
+
+/// The default scoring suite: a grid of shapes x both fault kinds x
+/// `seeds` seeds. seeds >= 1.
+std::vector<FaultScenarioSpec> default_fault_suite(int seeds);
+
+struct FaultSuiteSummary {
+  int total = 0;
+  int localized_exact = 0;
+  int rootcause_exact = 0;
+  int rootcause_off_by_one = 0;
+  int rootcause_wrong = 0;
+
+  double localization_accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(localized_exact) / total;
+  }
+  double rootcause_exact_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(rootcause_exact) / total;
+  }
+  /// Exact or off-by-one — the heuristic named the faulty link.
+  double rootcause_link_rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(rootcause_exact + rootcause_off_by_one) / total;
+  }
+};
+
+FaultSuiteSummary summarize(const std::vector<FaultScenarioResult>& results);
+
+}  // namespace zombiescope::scenarios

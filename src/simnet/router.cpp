@@ -112,15 +112,22 @@ std::optional<RibChange> Router::withdraw_origin(const netbase::Prefix& prefix) 
 }
 
 std::optional<RibChange> Router::learn(bgp::Asn neighbor, const netbase::Prefix& prefix,
-                                       RouteEntry route, const ImportContext& ctx) {
+                                       RouteEntry route, const ImportContext& ctx,
+                                       ImportVerdict* verdict) {
+  if (verdict != nullptr) *verdict = ImportVerdict::kAccepted;
   // Import policy 1: AS-path loop rejection.
-  if (route.path.contains(asn_)) return std::nullopt;
+  if (route.path.contains(asn_)) {
+    if (verdict != nullptr) *verdict = ImportVerdict::kLoopRejected;
+    return std::nullopt;
+  }
   // Import policy 2: ROV at import (both import-only and compliant).
   if (rov_policy_ != rpki::RovPolicy::kNone && ctx.roas != nullptr) {
     const auto origin = route.path.origin_asn();
     if (origin.has_value() &&
-        ctx.roas->validate(prefix, *origin, ctx.now) == rpki::RovState::kInvalid)
+        ctx.roas->validate(prefix, *origin, ctx.now) == rpki::RovState::kInvalid) {
+      if (verdict != nullptr) *verdict = ImportVerdict::kRovRejected;
       return std::nullopt;
+    }
   }
   PrefixState& state = prefixes_[prefix];
   const auto old_best = capture_best(state);

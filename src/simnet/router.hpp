@@ -48,12 +48,23 @@ class Router {
   /// Stops originating `prefix`.
   std::optional<RibChange> withdraw_origin(const netbase::Prefix& prefix);
 
+  /// Why an announcement was (not) installed — reported through the
+  /// `verdict` out-parameter of learn() so the causal tracer can tell
+  /// a policy rejection apart from a route that merely lost the
+  /// decision process (both return nullopt).
+  enum class ImportVerdict : std::uint8_t {
+    kAccepted = 0,      // stored; a RibChange follows iff best moved
+    kLoopRejected = 1,  // own ASN in the AS path
+    kRovRejected = 2,   // ROV Invalid at import
+  };
+
   /// Processes an announcement received from `neighbor`. The path in
   /// `route.path` already includes the neighbor's prepend. Returns a
   /// change if the best route moved. Routes rejected by import policy
   /// (AS-path loop, ROV Invalid) are not stored.
   std::optional<RibChange> learn(bgp::Asn neighbor, const netbase::Prefix& prefix,
-                                 RouteEntry route, const ImportContext& ctx);
+                                 RouteEntry route, const ImportContext& ctx,
+                                 ImportVerdict* verdict = nullptr);
 
   /// Processes a withdrawal received from `neighbor`.
   std::optional<RibChange> unlearn(bgp::Asn neighbor, const netbase::Prefix& prefix);

@@ -31,6 +31,29 @@ void journal_fault(obs::JournalEventType type, netbase::TimePoint at, bgp::Asn f
   journal.emit<obs::kCatFault>(ev);
 }
 
+// Causal-tracing hook: one HopRecord per link traversal outcome.
+// Compiles to nothing when ZS_CAUSAL_ENABLED=0, and costs one branch
+// (ctx.sampled()) per hop of an unsampled wave otherwise.
+void record_hop(const obs::TraceContext& ctx, const netbase::Prefix& prefix,
+                bgp::Asn from, bgp::Asn to, netbase::TimePoint at, obs::TraceKind kind,
+                obs::HopDecision decision) {
+  if constexpr (obs::kCausalCompiledIn) {
+    if (!ctx.sampled()) return;
+    obs::HopRecord record;
+    record.trace_id = ctx.trace_id;
+    record.prefix = prefix;
+    record.from_asn = from;
+    record.to_asn = to;
+    record.time = at;
+    record.hop = ctx.hop;
+    record.kind = kind;
+    record.decision = decision;
+    obs::causal_record(record);
+  } else {
+    (void)ctx, (void)prefix, (void)from, (void)to, (void)at, (void)kind, (void)decision;
+  }
+}
+
 }  // namespace
 
 Simulation::Simulation(const topology::Topology& topo, const SimConfig& config,
@@ -107,8 +130,17 @@ bool Simulation::evict_prefix(bgp::Asn asn, const netbase::Prefix& prefix) {
   auto change = router(asn).drop_learned_routes(prefix);
   if (!change.has_value()) return false;
   journal_fault(obs::JournalEventType::kPrefixEvicted, now_, asn, 0, &prefix);
-  apply_change(now_, asn, *change);
+  apply_change(now_, asn, *change, begin_local_trace(now_, asn, *change));
   return true;
+}
+
+obs::TraceContext Simulation::begin_local_trace(netbase::TimePoint t, bgp::Asn asn,
+                                                const RibChange& change) {
+  const obs::TraceKind kind = change.is_withdrawal() ? obs::TraceKind::kWithdrawal
+                                                     : obs::TraceKind::kAnnouncement;
+  obs::TraceContext trace = obs::causal_begin_trace(kind);
+  record_hop(trace, change.prefix, 0, asn, t, kind, obs::HopDecision::kOriginated);
+  return trace;
 }
 
 const Router& Simulation::router(bgp::Asn asn) const {
@@ -164,7 +196,7 @@ bool Simulation::stall_matches(netbase::TimePoint t, bgp::Asn to, bgp::Asn from,
 }
 
 void Simulation::apply_change(netbase::TimePoint t, bgp::Asn router_asn,
-                              const RibChange& change) {
+                              const RibChange& change, obs::TraceContext trace) {
   ++stats_.rib_changes;
   Router& r = router(router_asn);
 
@@ -184,7 +216,7 @@ void Simulation::apply_change(netbase::TimePoint t, bgp::Asn router_asn,
       exported.path = exported.path.prepend(router_asn);
       exported.learned = t + link_delay(router_asn, neighbor);
       push(exported.learned, AnnounceDelivery{router_asn, neighbor, change.prefix,
-                                              std::move(exported)});
+                                              std::move(exported), trace.child()});
       r.mark_advertised(neighbor, change.prefix, true);
     } else if (r.advertised_to(neighbor, change.prefix)) {
       // Either the prefix is gone, or the new best must not be
@@ -197,10 +229,12 @@ void Simulation::apply_change(netbase::TimePoint t, bgp::Asn router_asn,
         ++stats_.messages_suppressed;
         journal_fault(obs::JournalEventType::kFaultWithdrawalSuppressed, t,
                       router_asn, neighbor, &change.prefix);
+        record_hop(trace.child(), change.prefix, router_asn, neighbor, t,
+                   obs::TraceKind::kWithdrawal, obs::HopDecision::kSuppressedByFault);
         continue;
       }
       push(t + link_delay(router_asn, neighbor),
-           WithdrawDelivery{router_asn, neighbor, change.prefix});
+           WithdrawDelivery{router_asn, neighbor, change.prefix, trace.child()});
     }
   }
 }
@@ -215,7 +249,14 @@ void Simulation::readvertise_full_table(netbase::TimePoint t, bgp::Asn from, bgp
     RouteEntry exported = entry;
     exported.path = exported.path.prepend(from);
     exported.learned = t + link_delay(from, to);
-    push(exported.learned, AnnounceDelivery{from, to, prefix, std::move(exported)});
+    // Each re-advertised prefix roots a fresh (announcement-sampled)
+    // trace: a resurrection wave is a new causal story, not a
+    // continuation of whatever installed the table entry.
+    obs::TraceContext trace = obs::causal_begin_trace(obs::TraceKind::kAnnouncement);
+    record_hop(trace, prefix, 0, from, t, obs::TraceKind::kAnnouncement,
+               obs::HopDecision::kOriginated);
+    push(exported.learned,
+         AnnounceDelivery{from, to, prefix, std::move(exported), trace.child()});
     r.mark_advertised(to, prefix, true);
   }
 }
@@ -230,14 +271,27 @@ void Simulation::process(Event& event) {
       ++stats_.messages_stalled;
       journal_fault(obs::JournalEventType::kFaultReceiveStall, now_, announce->from,
                     announce->to, &announce->prefix);
+      record_hop(announce->trace, announce->prefix, announce->from, announce->to, now_,
+                 obs::TraceKind::kAnnouncement, obs::HopDecision::kStalled);
       return;
     }
     ++stats_.messages_delivered;
     ImportContext ctx{now_, roas_};
-    if (auto change =
-            router(announce->to).learn(announce->from, announce->prefix, announce->route, ctx);
-        change.has_value())
-      apply_change(now_, announce->to, *change);
+    Router::ImportVerdict verdict = Router::ImportVerdict::kAccepted;
+    if (auto change = router(announce->to)
+                          .learn(announce->from, announce->prefix, announce->route, ctx,
+                                 &verdict);
+        change.has_value()) {
+      record_hop(announce->trace, announce->prefix, announce->from, announce->to, now_,
+                 obs::TraceKind::kAnnouncement, obs::HopDecision::kForwarded);
+      apply_change(now_, announce->to, *change, announce->trace);
+    } else {
+      record_hop(announce->trace, announce->prefix, announce->from, announce->to, now_,
+                 obs::TraceKind::kAnnouncement,
+                 verdict == Router::ImportVerdict::kAccepted
+                     ? obs::HopDecision::kImplicitlyWithdrawn
+                     : obs::HopDecision::kPolicyFiltered);
+    }
     return;
   }
   if (auto* withdraw = std::get_if<WithdrawDelivery>(&event.payload)) {
@@ -246,12 +300,25 @@ void Simulation::process(Event& event) {
       ++stats_.messages_stalled;
       journal_fault(obs::JournalEventType::kFaultReceiveStall, now_, withdraw->from,
                     withdraw->to, &withdraw->prefix);
+      record_hop(withdraw->trace, withdraw->prefix, withdraw->from, withdraw->to, now_,
+                 obs::TraceKind::kWithdrawal, obs::HopDecision::kStalled);
       return;
     }
     ++stats_.messages_delivered;
     if (auto change = router(withdraw->to).unlearn(withdraw->from, withdraw->prefix);
-        change.has_value())
-      apply_change(now_, withdraw->to, *change);
+        change.has_value()) {
+      // The wave continues as withdrawals only while the withdrawn
+      // route was the best; an alternate taking over means downstream
+      // sees announcements (implicit withdrawal).
+      record_hop(withdraw->trace, withdraw->prefix, withdraw->from, withdraw->to, now_,
+                 obs::TraceKind::kWithdrawal,
+                 change->is_withdrawal() ? obs::HopDecision::kForwarded
+                                         : obs::HopDecision::kImplicitlyWithdrawn);
+      apply_change(now_, withdraw->to, *change, withdraw->trace);
+    } else {
+      record_hop(withdraw->trace, withdraw->prefix, withdraw->from, withdraw->to, now_,
+                 obs::TraceKind::kWithdrawal, obs::HopDecision::kImplicitlyWithdrawn);
+    }
     return;
   }
   if (auto* action = std::get_if<OriginateAction>(&event.payload)) {
@@ -259,7 +326,14 @@ void Simulation::process(Event& event) {
     std::optional<RibChange> change =
         action->announce ? r.originate(action->prefix, action->attributes, now_)
                          : r.withdraw_origin(action->prefix);
-    if (change.has_value()) apply_change(now_, action->origin, *change);
+    if (change.has_value()) {
+      const obs::TraceKind kind = action->announce ? obs::TraceKind::kAnnouncement
+                                                   : obs::TraceKind::kWithdrawal;
+      obs::TraceContext trace = obs::causal_begin_trace(kind);
+      record_hop(trace, action->prefix, 0, action->origin, now_, kind,
+                 obs::HopDecision::kOriginated);
+      apply_change(now_, action->origin, *change, trace);
+    }
     return;
   }
   if (auto* down = std::get_if<SessionDown>(&event.payload)) {
@@ -273,7 +347,8 @@ void Simulation::process(Event& event) {
         (void)entry;
         rx.mark_advertised(y, prefix, false);
       }
-      for (auto& change : rx.flush_neighbor(y)) apply_change(now_, x, change);
+      for (auto& change : rx.flush_neighbor(y))
+        apply_change(now_, x, change, begin_local_trace(now_, x, change));
     }
     return;
   }
@@ -294,7 +369,8 @@ void Simulation::process(Event& event) {
   if (std::get_if<RovChange>(&event.payload) != nullptr) {
     ImportContext ctx{now_, roas_};
     for (auto& [asn, r] : routers_) {
-      for (auto& change : r.revalidate(ctx)) apply_change(now_, asn, change);
+      for (auto& change : r.revalidate(ctx))
+        apply_change(now_, asn, change, begin_local_trace(now_, asn, change));
     }
     return;
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "netbase/rng.hpp"
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 #include "rpki/rov.hpp"
 #include "simnet/faults.hpp"
@@ -135,10 +136,12 @@ class Simulation {
     bgp::Asn from, to;
     netbase::Prefix prefix;
     RouteEntry route;  // path already includes `from`'s prepend
+    obs::TraceContext trace;  // causal provenance; id 0 = unsampled
   };
   struct WithdrawDelivery {
     bgp::Asn from, to;
     netbase::Prefix prefix;
+    obs::TraceContext trace;
   };
   struct OriginateAction {
     bgp::Asn origin;
@@ -176,8 +179,17 @@ class Simulation {
   void process(Event& event);
 
   /// Turns a RibChange at `router_asn` into per-neighbor export
-  /// messages + monitor notifications.
-  void apply_change(netbase::TimePoint t, bgp::Asn router_asn, const RibChange& change);
+  /// messages + monitor notifications. `trace` is the causal context
+  /// of the update that caused the change (unsampled by default);
+  /// exports continue it one hop further.
+  void apply_change(netbase::TimePoint t, bgp::Asn router_asn, const RibChange& change,
+                    obs::TraceContext trace = {});
+
+  /// Starts a causal trace rooted at `asn` for a locally-triggered
+  /// change (session flush, eviction, ROV re-validation) and records
+  /// its `originated` hop. Kind follows the change's polarity.
+  obs::TraceContext begin_local_trace(netbase::TimePoint t, bgp::Asn asn,
+                                      const RibChange& change);
 
   bool link_down(bgp::Asn a, bgp::Asn b) const;
   bool suppression_matches(netbase::TimePoint t, bgp::Asn from, bgp::Asn to,

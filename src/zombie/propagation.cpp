@@ -1,0 +1,84 @@
+#include "zombie/propagation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace zombiescope::zombie {
+
+std::vector<PropagationTrace> group_traces(const std::vector<obs::HopRecord>& records) {
+  std::map<std::uint64_t, PropagationTrace> by_id;
+  for (const obs::HopRecord& record : records) {
+    if (record.trace_id == 0) continue;
+    PropagationTrace& trace = by_id[record.trace_id];
+    if (trace.hops.empty()) {
+      trace.trace_id = record.trace_id;
+      trace.prefix = record.prefix;
+    }
+    if (record.decision == obs::HopDecision::kOriginated && !trace.root_kind.has_value()) {
+      trace.root_kind = record.kind;
+      trace.origin_asn = record.to_asn;
+    }
+    trace.hops.push_back(record);
+  }
+
+  std::vector<PropagationTrace> out;
+  out.reserve(by_id.size());
+  for (auto& [id, trace] : by_id) {
+    (void)id;
+    std::sort(trace.hops.begin(), trace.hops.end(),
+              [](const obs::HopRecord& a, const obs::HopRecord& b) {
+                if (a.hop != b.hop) return a.hop < b.hop;
+                if (a.time != b.time) return a.time < b.time;
+                return a.to_asn < b.to_asn;
+              });
+    out.push_back(std::move(trace));
+  }
+  return out;
+}
+
+FrontierResult localize_frontier(const PropagationTrace& trace) {
+  FrontierResult result;
+  result.trace_id = trace.trace_id;
+  result.prefix = trace.prefix;
+
+  std::set<std::uint32_t> reached;
+  for (const obs::HopRecord& hop : trace.hops) {
+    switch (hop.decision) {
+      case obs::HopDecision::kOriginated:
+      case obs::HopDecision::kForwarded:
+      case obs::HopDecision::kImplicitlyWithdrawn:
+      case obs::HopDecision::kPolicyFiltered:
+        // Delivered (or locally rooted): the AS saw the update, even
+        // if it chose not to act on it.
+        reached.insert(hop.to_asn);
+        break;
+      case obs::HopDecision::kSuppressedByFault:
+      case obs::HopDecision::kStalled:
+        if (hop.kind == obs::TraceKind::kWithdrawal)
+          result.culprits.push_back(
+              CulpritLink{hop.from_asn, hop.to_asn, hop.decision, hop.time});
+        break;
+    }
+  }
+  result.reached.assign(reached.begin(), reached.end());
+  std::sort(result.culprits.begin(), result.culprits.end(),
+            [](const CulpritLink& a, const CulpritLink& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.from_asn != b.from_asn) return a.from_asn < b.from_asn;
+              return a.to_asn < b.to_asn;
+            });
+  return result;
+}
+
+std::vector<FrontierResult> localize_frontiers(
+    const std::vector<obs::HopRecord>& records) {
+  std::vector<FrontierResult> out;
+  for (const PropagationTrace& trace : group_traces(records)) {
+    if (!trace.is_withdrawal_rooted()) continue;
+    out.push_back(localize_frontier(trace));
+  }
+  return out;
+}
+
+}  // namespace zombiescope::zombie

@@ -1,0 +1,76 @@
+// zombie/propagation.hpp — withdraw-propagation tree analysis over
+// causal hop records.
+//
+// The palm-tree inference (rootcause.hpp) works backwards from the
+// zombie routes' AS paths and can only name a *suspect*. This module
+// works forwards from the per-hop provenance the causal tracer
+// (obs/causal.hpp) recorded: it groups HopRecords into per-trace
+// bundles, then localizes each withdrawal wave's frontier — the exact
+// links where the withdrawal died (suppressed_by_fault / stalled),
+// separating the ASes that saw the withdraw from the ones that never
+// did. tools/zsroot drives this over journal files and scores the
+// palm-tree heuristic against it.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/causal.hpp"
+
+namespace zombiescope::zombie {
+
+/// All hop records of one trace, sorted by (hop, time, to_asn).
+struct PropagationTrace {
+  std::uint64_t trace_id = 0;
+  netbase::Prefix prefix;
+  /// Kind of the root (originated) hop; nullopt when the root record
+  /// is missing (ring overflow or a truncated journal).
+  std::optional<obs::TraceKind> root_kind;
+  /// The AS the trace is rooted at (to_asn of the originated hop).
+  std::optional<std::uint32_t> origin_asn;
+  std::vector<obs::HopRecord> hops;
+
+  bool is_withdrawal_rooted() const {
+    return root_kind == obs::TraceKind::kWithdrawal;
+  }
+};
+
+/// Groups records into traces (ordered by trace id).
+std::vector<PropagationTrace> group_traces(const std::vector<obs::HopRecord>& records);
+
+/// A link on which a withdrawal wave died, with the fault class that
+/// killed it there.
+struct CulpritLink {
+  std::uint32_t from_asn = 0;
+  std::uint32_t to_asn = 0;
+  obs::HopDecision decision = obs::HopDecision::kSuppressedByFault;
+  netbase::TimePoint time = 0;
+
+  friend bool operator==(const CulpritLink&, const CulpritLink&) = default;
+};
+
+/// The frontier of one withdrawal wave: who saw it, and where it died.
+struct FrontierResult {
+  std::uint64_t trace_id = 0;
+  netbase::Prefix prefix;
+  /// ASes the withdrawal information reached (origin + every delivered
+  /// hop, whatever its effect), ascending.
+  std::vector<std::uint32_t> reached;
+  /// Links where withdrawal hops were suppressed or stalled — the
+  /// boundary between "saw the withdraw" and "never did", and, in the
+  /// simulator, exactly the injected fault's (from_asn, to_asn).
+  std::vector<CulpritLink> culprits;
+};
+
+/// Localizes the frontier of one trace (meaningful for
+/// withdrawal-rooted traces; other traces yield no culprits unless a
+/// withdrawal hop inside them died).
+FrontierResult localize_frontier(const PropagationTrace& trace);
+
+/// Groups `records` and localizes every withdrawal-rooted trace.
+std::vector<FrontierResult> localize_frontiers(const std::vector<obs::HopRecord>& records);
+
+}  // namespace zombiescope::zombie

@@ -1,0 +1,72 @@
+// Proves ZS_CAUSAL_ENABLED=0 really compiles the causal tracer out:
+// this binary rebuilds obs/causal.cpp with the macro forced to 0 (see
+// tests/CMakeLists.txt), so the CausalTracer class and its ring do not
+// exist here — only the inline no-op hooks, the journal codec, and the
+// tree renderer (which zsroot needs even in stripped builds).
+
+#include <gtest/gtest.h>
+
+#include "obs/causal.hpp"
+
+namespace zombiescope::obs {
+namespace {
+
+static_assert(!kCausalCompiledIn,
+              "this target must compile with ZS_CAUSAL_ENABLED=0");
+static_assert(ZS_CAUSAL_ENABLED == 0, "compile definition not applied");
+
+TEST(ObsCausalCompileOut, HooksAreInertNoOps) {
+  causal_set_enabled(true);  // must be ignorable
+  causal_set_announce_sample_rate(1.0);
+  EXPECT_FALSE(causal_enabled());
+
+  const TraceContext trace = causal_begin_trace(TraceKind::kWithdrawal);
+  EXPECT_FALSE(trace.sampled());
+  EXPECT_EQ(trace.trace_id, 0u);
+
+  HopRecord record;
+  record.trace_id = 1;
+  record.prefix = netbase::Prefix::parse("203.0.113.0/24");
+  causal_record(record);  // nowhere to go; must not crash or allocate state
+}
+
+TEST(ObsCausalCompileOut, ContextArithmeticStillWorks) {
+  // TraceContext stays a plain value type: simnet keeps stamping it on
+  // deliveries even in stripped builds, it just never samples.
+  TraceContext ctx{9, 2};
+  EXPECT_TRUE(ctx.sampled());
+  const TraceContext child = ctx.child();
+  EXPECT_EQ(child.trace_id, 9u);
+  EXPECT_EQ(child.hop, 3u);
+}
+
+TEST(ObsCausalCompileOut, CodecAndRendererSurvive) {
+  // zsroot must read journals written by enabled builds regardless of
+  // how this binary was compiled.
+  HopRecord record;
+  record.trace_id = 77;
+  record.prefix = netbase::Prefix::parse("203.0.113.0/24");
+  record.from_asn = 65000;
+  record.to_asn = 65001;
+  record.time = 22'600;
+  record.hop = 1;
+  record.kind = TraceKind::kWithdrawal;
+  record.decision = HopDecision::kSuppressedByFault;
+
+  const auto back = hop_from_event(to_journal_event(record));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, record);
+
+  HopRecord root = record;
+  root.from_asn = 0;
+  root.to_asn = 65000;  // the origin; `record` then hangs off it
+  root.hop = 0;
+  root.decision = HopDecision::kOriginated;
+  const std::string tree =
+      render_propagation_tree(record.prefix, {root, record});
+  EXPECT_NE(tree.find("trace 77"), std::string::npos);
+  EXPECT_NE(tree.find("suppressed_by_fault"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zombiescope::obs

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "netbase/rng.hpp"
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
@@ -130,6 +131,73 @@ TEST_F(ObsHttp, JournalTailServesRecentEvents) {
     }
     start = end + 1;
   }
+}
+
+TEST_F(ObsHttp, JournalTailCategoryFilter) {
+  Journal& journal = Journal::global();
+  journal.reset();
+  const std::uint32_t saved = journal.enabled_categories();
+  journal.set_enabled_categories(kCatAll);
+  JournalEvent fault;
+  fault.type = JournalEventType::kFaultReceiveStall;
+  fault.a = 65001;
+  journal.emit<kCatFault>(fault);
+  JournalEvent detect;
+  detect.type = JournalEventType::kZombieDeclared;
+  journal.emit<kCatDetector>(detect);
+
+  const Response faults = http_get(server_.port(), "/journal/tail?category=fault");
+  EXPECT_EQ(faults.status, 200);
+  EXPECT_NE(faults.body.find("fault_receive_stall"), std::string::npos);
+  EXPECT_EQ(faults.body.find("zombie_declared"), std::string::npos);
+
+  // Comma lists compose; unknown names are a client error, not an
+  // empty 200 (a typo must not read as "no events").
+  const Response both =
+      http_get(server_.port(), "/journal/tail?category=fault,detector");
+  EXPECT_NE(both.body.find("fault_receive_stall"), std::string::npos);
+  EXPECT_NE(both.body.find("zombie_declared"), std::string::npos);
+  EXPECT_EQ(http_get(server_.port(), "/journal/tail?category=bogus").status, 400);
+
+  journal.set_enabled_categories(saved);
+  journal.reset();
+}
+
+TEST_F(ObsHttp, CausalEndpointServesPropagationTree) {
+  CausalTracer& tracer = CausalTracer::global();
+  tracer.reset();
+  HopRecord root;
+  root.trace_id = 21;
+  root.prefix = netbase::Prefix::parse("203.0.113.0/24");
+  root.from_asn = 0;
+  root.to_asn = 65000;
+  root.time = 1000;
+  root.hop = 0;
+  root.kind = TraceKind::kWithdrawal;
+  root.decision = HopDecision::kOriginated;
+  tracer.record(root);
+  HopRecord dead = root;
+  dead.from_asn = 65000;
+  dead.to_asn = 65001;
+  dead.hop = 1;
+  dead.decision = HopDecision::kSuppressedByFault;
+  tracer.record(dead);
+
+  // Index view lists the traced prefix.
+  const Response index = http_get(server_.port(), "/causal");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("203.0.113.0/24"), std::string::npos);
+
+  // Percent-encoded prefix query renders the tree.
+  const Response tree =
+      http_get(server_.port(), "/causal?prefix=203.0.113.0%2F24");
+  EXPECT_EQ(tree.status, 200);
+  EXPECT_NE(tree.body.find("trace 21"), std::string::npos);
+  EXPECT_NE(tree.body.find("rooted at AS65000"), std::string::npos);
+  EXPECT_NE(tree.body.find("suppressed_by_fault"), std::string::npos);
+
+  EXPECT_EQ(http_get(server_.port(), "/causal?prefix=nonsense").status, 400);
+  tracer.reset();
 }
 
 TEST_F(ObsHttp, UnknownPathIs404AndPostIs405) {

@@ -591,6 +591,57 @@ TEST(RootCause, EmptyOutbreak) {
   EXPECT_TRUE(result.chain.empty());
 }
 
+TEST(RootCause, OutbreakOverloadWithNoRoutes) {
+  // The ZombieOutbreak overload, not just the raw-paths one: an
+  // outbreak object with an empty route list must come back inert.
+  ZombieOutbreak outbreak;
+  outbreak.prefix = netbase::Prefix::parse("203.0.113.0/24");
+  auto result = infer_root_cause(outbreak);
+  EXPECT_FALSE(result.suspect.has_value());
+  EXPECT_TRUE(result.chain.empty());
+  EXPECT_FALSE(result.ambiguous);
+  EXPECT_FALSE(result.single_route);
+  EXPECT_EQ(result.common_subpath(), "");
+}
+
+TEST(RootCause, OriginDisagreementHasNoChainAndNoSuspect) {
+  // Paths that do not even share an origin (e.g. a MOAS mixup): the
+  // chain is empty, the result is ambiguous, and — unlike the
+  // branch-at-origin case — there is no suspect at all.
+  std::vector<bgp::AsPath> paths{{111, 210312}, {222, 99999}};
+  auto result = infer_root_cause(paths);
+  EXPECT_TRUE(result.ambiguous);
+  EXPECT_FALSE(result.suspect.has_value());
+  EXPECT_TRUE(result.chain.empty());
+  EXPECT_EQ(result.common_subpath(), "");
+}
+
+TEST(RootCause, AllEmptyPathsBehaveLikeEmptyOutbreak) {
+  // Routes whose AS paths flattened to nothing (a pure AS_SET path
+  // stripped by dedup, or a malformed archive) must not fabricate a
+  // suspect or claim single_route.
+  std::vector<bgp::AsPath> paths{bgp::AsPath{}, bgp::AsPath{}};
+  auto result = infer_root_cause(paths);
+  EXPECT_FALSE(result.suspect.has_value());
+  EXPECT_TRUE(result.chain.empty());
+  EXPECT_FALSE(result.ambiguous);
+  EXPECT_FALSE(result.single_route);
+}
+
+TEST(RootCause, OutbreakOverloadSingleRoute) {
+  ZombieOutbreak outbreak;
+  outbreak.prefix = netbase::Prefix::parse("203.0.113.0/24");
+  ZombieRoute route;
+  route.prefix = outbreak.prefix;
+  route.path = bgp::AsPath{9304, 6939, 210312};
+  outbreak.routes.push_back(route);
+  auto result = infer_root_cause(outbreak);
+  EXPECT_TRUE(result.single_route);
+  ASSERT_TRUE(result.suspect.has_value());
+  EXPECT_EQ(*result.suspect, 9304u);
+  EXPECT_FALSE(result.ambiguous);
+}
+
 // --- Looking glass ------------------------------------------------------------
 
 TEST(LookingGlass, LagCreatesFalsePositive) {

@@ -26,9 +26,11 @@
 //                        (analyze it with zsreport)
 //   --journal-format F   journal format: ndjson | bin (default ndjson)
 //   --journal-categories C  comma list: run,state,detector,noise,
-//                        lifespan,collector,fault,all (default all)
+//                        lifespan,collector,fault,propagation,all
+//                        (default all)
 //   --http-port N        serve /metrics /healthz /spans /journal/tail
-//                        /profile on port N while running (0 = ephemeral)
+//                        /causal /profile on port N while running
+//                        (0 = ephemeral)
 //   --profile-out FILE   sample the whole run with zsprof and write
 //                        folded stacks (flamegraph-ready) to FILE
 

@@ -5,22 +5,27 @@
 //         [--metrics-out FILE] [--trace-out FILE] [--metrics-format prom|json]
 //         [--journal-out FILE] [--journal-format ndjson|bin]
 //         [--journal-categories LIST] [--http-port N] [--profile-out FILE]
+//         [--causal-sample-rate R]
 //
 // Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
 // longlived2024). Defaults the prefix to the scenario name.
 // --metrics-out snapshots the telemetry registry after the run;
 // --trace-out dumps the per-stage span tree; --journal-out records the
-// fault-injection / collector event journal (read it with zsreport);
-// --http-port serves /metrics, /healthz, /spans, /journal/tail and
-// /profile live during the simulation; --profile-out samples the whole
-// run with zsprof and writes folded stacks (flamegraph-ready) there
-// (see DESIGN.md, "Observability").
+// fault-injection / collector event journal (read it with zsreport;
+// the `propagation` category feeds zsroot); --http-port serves
+// /metrics, /healthz, /spans, /journal/tail, /causal and /profile live
+// during the simulation; --profile-out samples the whole run with
+// zsprof and writes folded stacks (flamegraph-ready) there;
+// --causal-sample-rate sets the probability that each *announcement*
+// wave is causally traced (withdrawals are always traced; default
+// 0.01) (see DESIGN.md, "Observability").
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "mrt/codec.hpp"
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
@@ -39,7 +44,7 @@ namespace {
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--metrics-format prom|json] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE]\n",
+               "          [--http-port N] [--profile-out FILE] [--causal-sample-rate R]\n",
                argv0);
   std::exit(2);
 }
@@ -122,6 +127,12 @@ int main(int argc, char** argv) {
       http_port = std::stoi(need_value(i));
     } else if (arg == "--profile-out") {
       profile_out = need_value(i);
+    } else if (arg == "--causal-sample-rate") {
+      try {
+        obs::causal_set_announce_sample_rate(std::stod(need_value(i)));
+      } catch (const std::exception&) {
+        usage(argv[0]);
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else {
