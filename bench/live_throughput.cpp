@@ -1,0 +1,141 @@
+// live_throughput — streaming ingest throughput of the zslive sharded
+// detection service: the longlived2024 update archive replayed at
+// maximum speed through 1/2/4/8 shard workers.
+//
+// Two rates are reported per shard count:
+//
+//   wall updates/s      records / wall-clock seconds of the replay —
+//                       honest end-to-end, but on a box with fewer
+//                       cores than shards the workers time-slice one
+//                       CPU and the wall rate cannot scale;
+//   capacity updates/s  records / max per-shard worker CPU seconds
+//                       (CLOCK_THREAD_CPUTIME_ID; blocked waits do not
+//                       accrue). This is the rate the slowest shard
+//                       could sustain given a core of its own, so it
+//                       is the scaling headline: partitioning the
+//                       prefix space must cut the busiest worker's CPU
+//                       share roughly linearly.
+//
+// Drops must be zero (the bench replays with block_on_full, the
+// lossless backpressure mode), and every shard count must produce the
+// same emerged zombie count — throughput that changed the answer would
+// be meaningless.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "live/feed.hpp"
+#include "live/service.hpp"
+#include "obs/metrics.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+struct RunResult {
+  double wall_ups = 0.0;
+  double capacity_ups = 0.0;
+  double p99_lag_us = 0.0;
+  std::uint64_t drops = 0;
+  std::uint64_t emerged = 0;
+};
+
+RunResult replay_once(const scenarios::LongLived2024Output& data,
+                      std::size_t shards) {
+  live::LiveConfig config;
+  config.shards = shards;
+  config.block_on_full = true;
+  live::LiveService service(config);
+  service.start();
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& event : data.events) service.expect(event);
+  live::ReplayFeedSource feed(data.updates, /*speed=*/0.0);
+  feed.run(service);
+  service.finalize();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunResult r;
+  const auto records = static_cast<double>(data.updates.size());
+  r.wall_ups = wall > 0 ? records / wall : 0.0;
+  const double busy = service.max_worker_busy_seconds();
+  r.capacity_ups = busy > 0 ? records / busy : 0.0;
+  auto lags = service.lag_samples();
+  if (!lags.empty()) {
+    std::sort(lags.begin(), lags.end());
+    r.p99_lag_us = lags[lags.size() * 99 / 100 >= lags.size()
+                            ? lags.size() - 1
+                            : lags.size() * 99 / 100] *
+                   1e6;
+  }
+  r.drops = service.drops();
+  r.emerged = static_cast<std::uint64_t>(service.emerged_pairs().size());
+  service.stop();
+  return r;
+}
+
+void print_table() {
+  bench::print_header(
+      "zslive ingest throughput — longlived2024 replayed at max speed",
+      "live detection service (§6 real-time detection at scale)");
+  const auto data = bench::load_longlived2024();
+  std::printf("  %zu update records, %zu beacon events\n\n",
+              data.updates.size(), data.events.size());
+  std::printf("  %-7s %14s %18s %12s %8s %9s\n", "shards", "wall upd/s",
+              "capacity upd/s", "p99 lag us", "drops", "emerged");
+
+  auto& registry = obs::Registry::global();
+  double capacity_1 = 0.0;
+  double capacity_4 = 0.0;
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult r = replay_once(data, shards);
+    std::printf("  %-7zu %14.0f %18.0f %12.1f %8llu %9llu\n", shards,
+                r.wall_ups, r.capacity_ups, r.p99_lag_us,
+                static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.emerged));
+    const std::string suffix = "_shards" + std::to_string(shards);
+    registry.gauge("zs_bench_live_wall_ups" + suffix)
+        .set(static_cast<std::int64_t>(r.wall_ups));
+    registry.gauge("zs_bench_live_capacity_ups" + suffix)
+        .set(static_cast<std::int64_t>(r.capacity_ups));
+    registry.gauge("zs_bench_live_p99_lag_us" + suffix)
+        .set(static_cast<std::int64_t>(r.p99_lag_us));
+    registry.gauge("zs_bench_live_drops" + suffix)
+        .set(static_cast<std::int64_t>(r.drops));
+    registry.gauge("zs_bench_live_emerged" + suffix)
+        .set(static_cast<std::int64_t>(r.emerged));
+    if (shards == 1) capacity_1 = r.capacity_ups;
+    if (shards == 4) capacity_4 = r.capacity_ups;
+  }
+  const double scaling = capacity_1 > 0 ? capacity_4 / capacity_1 : 0.0;
+  registry.gauge("zs_bench_live_capacity_scaling_1to4_x100")
+      .set(static_cast<std::int64_t>(scaling * 100));
+  std::printf("\n  capacity scaling 1 -> 4 shards: %.2fx (target >= 1.50x)\n",
+              scaling);
+}
+
+void BM_LiveReplayShards4(benchmark::State& state) {
+  const auto data = bench::load_longlived2024();
+  for (auto _ : state) {
+    const RunResult r = replay_once(data, 4);
+    benchmark::DoNotOptimize(r.emerged);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.updates.size()));
+}
+BENCHMARK(BM_LiveReplayShards4)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,9 +4,12 @@
 # metrics cells, the span ring, the journal MPSC ring, the causal
 # tracer's hop ring, and the zsprof sample rings + SIGPROF handler —
 # are the only code that promises
-# lock-free cross-thread use) and under AddressSanitizer+UBSan (the
-# journal codec and the HTTP server parse external bytes; the zsprof
-# stack walk reads raw stack memory).
+# lock-free cross-thread use — plus zslive's MPSC shard queues, epoch
+# snapshots, and SSE fanout) and under AddressSanitizer+UBSan (the
+# journal codec, the HTTP server, and the NDJSON feed parse external
+# bytes; the zsprof stack walk reads raw stack memory). Each sanitizer
+# leg ends with a 30-second zslived tap-demo soak under concurrent
+# curl clients.
 #
 # Usage: scripts/run_tier1.sh [build-dir]   (default: build)
 
@@ -23,18 +26,83 @@ cmake --build "${BUILD_DIR}" -j
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
 OBS_TARGETS="obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test \
-  causal_test causal_e2e_test causal_compileout_test"
+  causal_test causal_e2e_test causal_compileout_test live_test zslived"
+
+# A 30-second zslived soak under the instrumented build: the tap demo
+# feeds a live simulation through the sharded service while curl
+# clients hammer all three /live endpoints — the exact concurrent
+# surface (MPSC queues, snapshot publication, SSE fanout) the
+# sanitizers exist to check. Fails on a nonzero daemon exit (sanitizer
+# reports make the runtime exit nonzero), on any report text in the
+# logs, or if a /live/zombies epoch ever moves backwards.
+soak_zslived() {
+  local build_dir="$1" label="$2"
+  local log="${build_dir}/zslived-soak.stderr"
+  echo "== tier-1: zslived 30s tap-demo soak (${label})"
+  "${build_dir}/tools/zslived" --tap-demo --speed 120 --duration 30 \
+    --http-port 0 >"${build_dir}/zslived-soak.stdout" 2>"${log}" &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's|^serving http://127.0.0.1:\([0-9]*\)/.*|\1|p' "${log}" | head -1)
+    [ -n "${port}" ] && break
+    sleep 0.2
+  done
+  if [ -z "${port}" ]; then
+    echo "zslived (${label}) never started serving"; cat "${log}"
+    kill "${pid}" 2>/dev/null || true
+    exit 1
+  fi
+  curl -sN --max-time 28 "http://127.0.0.1:${port}/live/events" \
+    >"${build_dir}/zslived-soak.events" || true &
+  local sse_pid=$!
+  local last_epoch=0 epoch
+  for _ in $(seq 1 25); do
+    epoch=$(curl -s --max-time 5 "http://127.0.0.1:${port}/live/zombies" |
+      sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
+    curl -s --max-time 5 "http://127.0.0.1:${port}/live/stats" >/dev/null || true
+    if [ -n "${epoch}" ]; then
+      if [ "${epoch}" -lt "${last_epoch}" ]; then
+        echo "zslived (${label}) epoch moved backwards: ${last_epoch} -> ${epoch}"
+        kill "${pid}" 2>/dev/null || true
+        exit 1
+      fi
+      last_epoch="${epoch}"
+    fi
+    sleep 1
+  done
+  wait "${sse_pid}" || true
+  if ! wait "${pid}"; then
+    echo "zslived (${label}) exited nonzero"; cat "${log}"
+    exit 1
+  fi
+  if grep -E 'ThreadSanitizer|AddressSanitizer|LeakSanitizer|runtime error' \
+    "${log}" "${build_dir}/zslived-soak.stdout"; then
+    echo "zslived (${label}) soak produced sanitizer reports"
+    exit 1
+  fi
+  if [ "${last_epoch}" -eq 0 ]; then
+    echo "zslived (${label}) served no snapshot epochs"; exit 1
+  fi
+  if ! grep -q 'event: emerge' "${build_dir}/zslived-soak.events"; then
+    echo "zslived (${label}) SSE stream carried no emerge events"
+    exit 1
+  fi
+  echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch})"
+}
 
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
 # shellcheck disable=SC2086
 cmake --build "${TSAN_DIR}" -j --target ${OBS_TARGETS}
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
+soak_zslived "${TSAN_DIR}" "tsan"
 
 echo "== tier-1: obs tests under ASan+UBSan (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DZS_SANITIZE=address,undefined
 # shellcheck disable=SC2086
 cmake --build "${ASAN_DIR}" -j --target ${OBS_TARGETS}
 ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs'
+soak_zslived "${ASAN_DIR}" "asan"
 
 echo "== tier-1: OK"

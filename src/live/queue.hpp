@@ -1,0 +1,170 @@
+// live/queue.hpp — the bounded MPSC ring between feed sources and
+// shard workers.
+//
+// The Vyukov sequence-number ring journal.cpp uses, generalized to
+// movable element types (a queued MrtRecord owns prefix vectors): each
+// slot carries an atomic sequence that hands the slot back and forth
+// between producers and the single consumer, so the fast path is two
+// atomic ops per push/pop and never allocates.
+//
+// Blocking is deliberately layered *around* the lock-free ring, not
+// inside it: try_push/try_pop never wait, and the condvar pair is only
+// touched when one side has announced (via an atomic flag) that it is
+// parked. Live feeds use try_push and count the drop when a shard is
+// saturated (backpressure must never slow the wire); replay and bench
+// producers use push_blocking, which turns a full queue into
+// backpressure instead of data loss — that is why the throughput
+// bench reports zero drops by construction.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace zombiescope::live {
+
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit BoundedMpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    slots_ = std::make_unique<Slot[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Non-blocking push; false when the ring is full or closed.
+  bool try_push(T&& item) {
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & (capacity_ - 1)];
+      const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          slot.value = std::move(item);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          if (consumer_parked_.load(std::memory_order_acquire)) {
+            std::lock_guard<std::mutex> lock(wait_mutex_);
+            not_empty_.notify_one();
+          }
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Waits for space instead of dropping. Returns false only when the
+  /// queue is closed.
+  bool push_blocking(T&& item) {
+    while (!try_push(std::move(item))) {
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      producer_parked_.fetch_add(1, std::memory_order_release);
+      // Bounded wait: a missed notify costs one timeout, never a hang.
+      not_full_.wait_for(lock, std::chrono::milliseconds(10));
+      producer_parked_.fetch_sub(1, std::memory_order_release);
+    }
+    return true;
+  }
+
+  /// Single-consumer pop; false when empty.
+  bool try_pop(T& out) {
+    const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & (capacity_ - 1)];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;
+    }
+    out = std::move(slot.value);
+    slot.value = T{};  // release owned resources while the slot idles
+    slot.seq.store(pos + capacity_, std::memory_order_release);
+    dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer-side wait-for-item with a bounded timeout; false on
+  /// timeout (call again) or when closed and drained.
+  bool pop_wait(T& out, std::chrono::milliseconds timeout) {
+    if (try_pop(out)) return true;
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    consumer_parked_.store(true, std::memory_order_release);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    bool got = false;
+    while (!(got = try_pop(out))) {
+      if (closed_.load(std::memory_order_relaxed)) {
+        got = try_pop(out);  // final drain race
+        break;
+      }
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        got = try_pop(out);
+        break;
+      }
+    }
+    consumer_parked_.store(false, std::memory_order_release);
+    return got;
+  }
+
+  /// Consumer calls this after draining a batch so parked producers
+  /// re-check for space.
+  void notify_space() {
+    if (producer_parked_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      not_full_.notify_all();
+    }
+  }
+
+  /// Marks the queue closed: pushes start failing, parked threads wake.
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+  bool closed() const { return closed_.load(std::memory_order_relaxed); }
+
+  /// Approximate fill (racy by nature; for gauges and stats).
+  std::size_t approx_size() const {
+    const std::uint64_t enq = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::uint64_t deq = dequeue_pos_.load(std::memory_order_relaxed);
+    return enq >= deq ? static_cast<std::size_t>(enq - deq) : 0;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::size_t capacity_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> consumer_parked_{false};
+  std::atomic<int> producer_parked_{0};
+  std::mutex wait_mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+};
+
+}  // namespace zombiescope::live

@@ -1,0 +1,670 @@
+#include "live/service.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <variant>
+
+#include "obs/causal.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
+namespace zombiescope::live {
+
+namespace {
+
+using obs::Journal;
+using obs::JournalEvent;
+using obs::JournalEventType;
+
+/// CPU time this thread has consumed. Blocked waits don't accrue, so
+/// for a shard worker this is pure processing cost — the number the
+/// throughput bench needs on a box with fewer cores than shards.
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void append_kv(std::string& out, std::string_view key, std::string_view value,
+               bool quote) {
+  out += '"';
+  out += key;
+  out += "\":";
+  if (quote) out += '"';
+  out += value;
+  if (quote) out += '"';
+}
+
+std::string transition_json(std::string_view type, const netbase::Prefix& prefix,
+                            const zombie::PeerKey& peer,
+                            netbase::TimePoint withdrawn_at, netbase::TimePoint at,
+                            netbase::Duration stuck_for) {
+  std::string out = "{";
+  append_kv(out, "type", type, true);
+  out += ',';
+  append_kv(out, "prefix", prefix.to_string(), true);
+  out += ',';
+  append_kv(out, "peer_asn", std::to_string(peer.asn), false);
+  out += ',';
+  append_kv(out, "peer_address", peer.address.to_string(), true);
+  out += ',';
+  append_kv(out, "withdrawn_at", std::to_string(withdrawn_at), false);
+  out += ',';
+  append_kv(out, type == "die" ? "resolved_at" : "raised_at", std::to_string(at),
+            false);
+  if (type == "die") {
+    out += ',';
+    append_kv(out, "stuck_seconds", std::to_string(stuck_for), false);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::size_t shard_for(const netbase::Prefix& prefix, std::size_t shards) {
+  // FNV-1a, not std::hash: the mapping must be identical across
+  // processes so per-shard stats line up between a daemon and an
+  // offline replay of the same feed.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  const netbase::IpAddress& address = prefix.address();
+  mix(static_cast<std::uint8_t>(address.family()));
+  for (int i = 0; i < address.byte_length(); ++i) {
+    mix(address.bytes()[static_cast<std::size_t>(i)]);
+  }
+  mix(static_cast<std::uint8_t>(prefix.length()));
+  return shards == 0 ? 0 : static_cast<std::size_t>(h % shards);
+}
+
+LiveService::LiveService(LiveConfig config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  auto& registry = obs::Registry::global();
+  m_records_ = registry.counter("zs_live_records_total");
+  m_drops_ = registry.counter("zs_live_ingest_dropped_total");
+  m_transitions_ = registry.counter("zs_live_transitions_total");
+  m_lag_ = registry.histogram(
+      "zs_live_ingest_lag_seconds",
+      {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25,
+       0.5, 1.0, 2.5, 5.0});
+}
+
+LiveService::~LiveService() { stop(); }
+
+void LiveService::resize(std::size_t shards) {
+  if (started_) {
+    throw std::logic_error(
+        "zslive: cannot reshard a started service — withdrawal-phase state "
+        "would tear mid-interval; restart with --shards");
+  }
+  config_.shards = shards == 0 ? 1 : shards;
+}
+
+void LiveService::start() {
+  if (started_) throw std::logic_error("LiveService::start called twice");
+  started_ = true;
+  auto& registry = obs::Registry::global();
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(config_.queue_depth);
+    shard->lags = std::make_unique<std::atomic<double>[]>(Shard::kLagRing);
+    shard->m_depth =
+        registry.gauge("zs_live_queue_depth_shard" + std::to_string(i));
+    shard->m_active =
+        registry.gauge("zs_live_active_zombies_shard" + std::to_string(i));
+    shard->snap = std::make_shared<const ShardSnapshot>();
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+void LiveService::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+bool LiveService::push_to(std::size_t shard, ShardItem&& item) {
+  Shard& s = *shards_[shard];
+  const bool is_record = item.kind == ShardItem::Kind::kRecord;
+  const netbase::TimePoint ts =
+      is_record ? mrt::record_timestamp(item.record) : item.advance_to;
+  item.enqueued = std::chrono::steady_clock::now();
+  if (is_record) s.submitted.fetch_add(1, std::memory_order_relaxed);
+  const bool ok = config_.block_on_full || !is_record
+                      ? s.queue.push_blocking(std::move(item))
+                      : s.queue.try_push(std::move(item));
+  if (ok) return true;
+  const std::uint64_t total = s.dropped.fetch_add(1, std::memory_order_relaxed) + 1;
+  m_drops_.inc();
+  auto& journal = Journal::global();
+  // Sampled: the first drop and every 1024th after — a saturated feed
+  // must not saturate the journal too.
+  if (journal.enabled(obs::kCatLive) && (total == 1 || (total & 1023u) == 0)) {
+    JournalEvent ev;
+    ev.type = JournalEventType::kLiveIngestDropped;
+    ev.time = ts;
+    ev.a = static_cast<std::int64_t>(shard);
+    ev.b = static_cast<std::int64_t>(total);
+    journal.emit<obs::kCatLive>(ev);
+  }
+  return false;
+}
+
+bool LiveService::submit(const mrt::MrtRecord& record) {
+  if (!started_) throw std::logic_error("LiveService::submit before start()");
+  const auto push_record = [this](std::size_t shard, mrt::MrtRecord&& copy) {
+    ShardItem item;
+    item.kind = ShardItem::Kind::kRecord;
+    item.record = std::move(copy);
+    return push_to(shard, std::move(item));
+  };
+
+  if (const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&record)) {
+    const std::size_t prefixes =
+        msg->update.announced.size() + msg->update.withdrawn.size();
+    if (config_.shards == 1 || prefixes <= 1) {
+      std::size_t shard = 0;
+      if (!msg->update.withdrawn.empty()) {
+        shard = shard_for(msg->update.withdrawn.front(), config_.shards);
+      } else if (!msg->update.announced.empty()) {
+        shard = shard_for(msg->update.announced.front(), config_.shards);
+      }
+      return push_record(shard, mrt::MrtRecord{record});
+    }
+    // The message's prefixes may span shards: split it into per-shard
+    // copies carrying only that shard's prefixes, so each detector
+    // sees exactly its partition and nothing else.
+    std::vector<std::vector<netbase::Prefix>> announced(config_.shards);
+    std::vector<std::vector<netbase::Prefix>> withdrawn(config_.shards);
+    for (const auto& prefix : msg->update.announced) {
+      announced[shard_for(prefix, config_.shards)].push_back(prefix);
+    }
+    for (const auto& prefix : msg->update.withdrawn) {
+      withdrawn[shard_for(prefix, config_.shards)].push_back(prefix);
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      if (announced[i].empty() && withdrawn[i].empty()) continue;
+      mrt::Bgp4mpMessage piece = *msg;
+      piece.update.announced = std::move(announced[i]);
+      piece.update.withdrawn = std::move(withdrawn[i]);
+      ok = push_record(i, mrt::MrtRecord{std::move(piece)}) && ok;
+    }
+    return ok;
+  }
+  if (const auto* rib = std::get_if<mrt::RibEntryRecord>(&record)) {
+    return push_record(shard_for(rib->prefix, config_.shards),
+                       mrt::MrtRecord{record});
+  }
+  // State changes and peer index tables concern every shard: a session
+  // reset clears that peer's watches wherever its prefixes live.
+  bool ok = true;
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    ok = push_record(i, mrt::MrtRecord{record}) && ok;
+  }
+  return ok;
+}
+
+void LiveService::expect(const beacon::BeaconEvent& event) {
+  if (!started_) throw std::logic_error("LiveService::expect before start()");
+  const netbase::TimePoint deadline =
+      event.withdraw_time + config_.detector.threshold;
+  netbase::TimePoint cur = max_deadline_.load(std::memory_order_relaxed);
+  while (deadline > cur && !max_deadline_.compare_exchange_weak(
+                               cur, deadline, std::memory_order_relaxed)) {
+  }
+  ShardItem item;
+  item.kind = ShardItem::Kind::kExpect;
+  item.event = event;
+  push_to(shard_for(event.prefix, config_.shards), std::move(item));
+}
+
+void LiveService::finalize(netbase::TimePoint at) {
+  if (!started_) return;
+  if (at == 0) at = max_deadline_.load(std::memory_order_relaxed) + 1;
+  std::vector<std::uint64_t> want(config_.shards, 0);
+  std::vector<bool> delivered(config_.shards, false);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    want[i] = shards_[i]->finalize_acks.load(std::memory_order_acquire) + 1;
+    ShardItem item;
+    item.kind = ShardItem::Kind::kAdvance;
+    item.advance_to = at;
+    delivered[i] = shards_[i]->queue.push_blocking(std::move(item));
+  }
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    if (!delivered[i]) continue;  // queue closed under us; worker is gone
+    while (shards_[i]->finalize_acks.load(std::memory_order_acquire) < want[i]) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void LiveService::worker_loop(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  zombie::RealTimeZombieDetector detector(config_.detector);
+  std::set<std::pair<netbase::Prefix, zombie::PeerKey>> resurrected_keys;
+  std::set<std::pair<netbase::Prefix, zombie::PeerKey>> emerged;
+  std::uint64_t emerged_n = 0;
+  std::uint64_t resurrected_n = 0;
+  std::uint64_t died_n = 0;
+  std::uint64_t epoch = 0;
+  netbase::TimePoint clock = 0;
+  bool dirty = false;
+  auto& journal = Journal::global();
+  const netbase::Duration threshold = config_.detector.threshold;
+
+  // Expect events are buffered and handed to the detector in stream
+  // order, not registration order: the detector keeps one watch per
+  // prefix and a new expect() supersedes the old one (prefix recycled),
+  // so registering a whole beacon schedule upfront would wipe every
+  // cycle's watch except the last before its deadline could fire. Each
+  // event is released only once the shard's stream time reaches its
+  // announce_time, after advancing the detector there so the previous
+  // cycle's deadline fires first.
+  struct PendingExpect {
+    beacon::BeaconEvent event;
+    std::uint64_t seq = 0;  // registration order breaks announce_time ties
+  };
+  const auto later = [](const PendingExpect& a, const PendingExpect& b) {
+    if (a.event.announce_time != b.event.announce_time)
+      return a.event.announce_time > b.event.announce_time;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<PendingExpect, std::vector<PendingExpect>, decltype(later)>
+      pending(later);
+  std::uint64_t pending_seq = 0;
+  const auto deliver_expects_until = [&](netbase::TimePoint t) {
+    while (!pending.empty() && pending.top().event.announce_time <= t) {
+      const beacon::BeaconEvent event = pending.top().event;
+      pending.pop();
+      detector.advance(event.announce_time);
+      detector.expect(event);
+    }
+  };
+
+  detector.on_alert([&](const zombie::ZombieAlert& alert) {
+    // The deadline check always stamps raised_at = withdrawn_at +
+    // threshold; anything later is a route that came back *after* the
+    // interval had already passed clean — live-only, excluded from the
+    // batch-equivalent emerge set.
+    const bool resurrect = alert.raised_at > alert.withdrawn_at + threshold;
+    const auto key = std::make_pair(alert.prefix, alert.peer);
+    if (resurrect) {
+      resurrected_keys.insert(key);
+      ++resurrected_n;
+    } else {
+      emerged.insert(key);
+      ++emerged_n;
+    }
+    m_transitions_.inc();
+    if (journal.enabled(obs::kCatLive)) {
+      JournalEvent ev;
+      ev.type = resurrect ? JournalEventType::kLiveZombieResurrected
+                          : JournalEventType::kLiveZombieEmerged;
+      ev.time = alert.raised_at;
+      ev.has_prefix = true;
+      ev.prefix = alert.prefix;
+      ev.has_peer = true;
+      ev.peer_asn = alert.peer.asn;
+      ev.peer_address = alert.peer.address;
+      ev.a = resurrect ? alert.raised_at : threshold;
+      ev.b = alert.withdrawn_at;
+      journal.emit<obs::kCatLive>(ev);
+    }
+    events_.publish(resurrect ? "resurrect" : "emerge",
+                    transition_json(resurrect ? "resurrect" : "emerge",
+                                    alert.prefix, alert.peer,
+                                    alert.withdrawn_at, alert.raised_at, 0));
+    dirty = true;
+  });
+  detector.on_resolution([&](const zombie::ZombieResolution& resolution) {
+    ++died_n;
+    resurrected_keys.erase({resolution.prefix, resolution.peer});
+    m_transitions_.inc();
+    if (journal.enabled(obs::kCatLive)) {
+      JournalEvent ev;
+      ev.type = JournalEventType::kLiveZombieDied;
+      ev.time = resolution.resolved_at;
+      ev.has_prefix = true;
+      ev.prefix = resolution.prefix;
+      ev.has_peer = true;
+      ev.peer_asn = resolution.peer.asn;
+      ev.peer_address = resolution.peer.address;
+      ev.a = resolution.withdrawn_at;
+      ev.b = resolution.stuck_for();
+      journal.emit<obs::kCatLive>(ev);
+    }
+    events_.publish("die", transition_json("die", resolution.prefix,
+                                           resolution.peer,
+                                           resolution.withdrawn_at,
+                                           resolution.resolved_at,
+                                           resolution.stuck_for()));
+    dirty = true;
+  });
+
+  const auto publish = [&] {
+    auto next = std::make_shared<ShardSnapshot>();
+    next->epoch = ++epoch;
+    next->clock = clock;
+    for (const auto& alert : detector.active_zombies()) {
+      next->zombies.push_back(
+          {alert, resurrected_keys.contains({alert.prefix, alert.peer})});
+    }
+    next->emerged_pairs.assign(emerged.begin(), emerged.end());
+    next->processed = s.processed.load(std::memory_order_relaxed);
+    next->emerged = emerged_n;
+    next->resurrected = resurrected_n;
+    next->died = died_n;
+    s.m_active.set(static_cast<std::int64_t>(next->zombies.size()));
+    {
+      const std::lock_guard<std::mutex> lock(s.snap_mu);
+      s.snap = std::shared_ptr<const ShardSnapshot>(std::move(next));
+    }
+    dirty = false;
+  };
+  publish();
+
+  const auto process = [&](ShardItem& item) {
+    const double lag =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      item.enqueued)
+            .count();
+    m_lag_.observe(lag);
+    const std::uint64_t n = s.lag_count.fetch_add(1, std::memory_order_relaxed);
+    s.lags[n & (Shard::kLagRing - 1)].store(lag, std::memory_order_relaxed);
+    switch (item.kind) {
+      case ShardItem::Kind::kExpect:
+        pending.push({item.event, pending_seq++});
+        deliver_expects_until(clock);  // late registration: already due
+        break;
+      case ShardItem::Kind::kAdvance:
+        deliver_expects_until(item.advance_to);
+        clock = std::max(clock, item.advance_to);
+        detector.advance(item.advance_to);
+        publish();  // finalize() waits on the ack; snapshot must be current
+        s.finalize_acks.fetch_add(1, std::memory_order_release);
+        break;
+      case ShardItem::Kind::kRecord: {
+        if (obs::causal_enabled()) {
+          // Replayed withdrawals get a trace root, so GET /causal and
+          // zsroot see live-feed waves the same way they see simnet's.
+          if (const auto* msg =
+                  std::get_if<mrt::Bgp4mpMessage>(&item.record)) {
+            for (const auto& prefix : msg->update.withdrawn) {
+              const obs::TraceContext ctx =
+                  obs::causal_begin_trace(obs::TraceKind::kWithdrawal);
+              if (ctx.sampled()) {
+                obs::causal_record({ctx.trace_id, prefix, msg->peer_asn,
+                                    msg->local_asn, msg->timestamp, 0,
+                                    obs::TraceKind::kWithdrawal,
+                                    obs::HopDecision::kOriginated});
+              }
+            }
+          }
+        }
+        deliver_expects_until(mrt::record_timestamp(item.record));
+        clock = std::max(clock, mrt::record_timestamp(item.record));
+        detector.ingest(item.record);
+        s.processed.fetch_add(1, std::memory_order_relaxed);
+        m_records_.inc();
+        break;
+      }
+    }
+  };
+
+  ShardItem item;
+  while (true) {
+    if (!s.queue.pop_wait(item, std::chrono::milliseconds(50))) {
+      if (s.queue.closed()) break;
+      if (dirty) publish();
+      s.m_depth.set(0);
+      continue;
+    }
+    obs::ScopedSpan span("live.shard_batch");
+    std::size_t batch = 0;
+    do {
+      process(item);
+      ++batch;
+    } while (batch < 256 && s.queue.try_pop(item));
+    s.queue.notify_space();
+    s.busy_ns.store(static_cast<std::uint64_t>(thread_cpu_seconds() * 1e9),
+                    std::memory_order_relaxed);
+    s.m_depth.set(static_cast<std::int64_t>(s.queue.approx_size()));
+    // Publish after every batch, not only on transitions: pollers see
+    // the stream clock and processed count move, and the epoch in
+    // /live/zombies' ETag advances whenever state may have.
+    publish();
+  }
+  if (dirty) publish();
+}
+
+std::shared_ptr<const ShardSnapshot> LiveService::snapshot(
+    std::size_t shard) const {
+  if (shard >= shards_.size()) return nullptr;
+  const std::lock_guard<std::mutex> lock(shards_[shard]->snap_mu);
+  return shards_[shard]->snap;
+}
+
+std::uint64_t LiveService::epoch() const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (const auto snap = snapshot(i)) sum += snap->epoch;
+  }
+  return sum;
+}
+
+std::vector<LiveZombie> LiveService::zombies() const {
+  std::vector<LiveZombie> out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (const auto snap = snapshot(i)) {
+      out.insert(out.end(), snap->zombies.begin(), snap->zombies.end());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<netbase::Prefix, zombie::PeerKey>>
+LiveService::emerged_pairs() const {
+  std::set<std::pair<netbase::Prefix, zombie::PeerKey>> merged;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (const auto snap = snapshot(i)) {
+      merged.insert(snap->emerged_pairs.begin(), snap->emerged_pairs.end());
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::vector<ShardStats> LiveService::stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    ShardStats st;
+    st.id = i;
+    st.queue_depth = s.queue.approx_size();
+    st.queue_capacity = s.queue.capacity();
+    st.submitted = s.submitted.load(std::memory_order_relaxed);
+    st.processed = s.processed.load(std::memory_order_relaxed);
+    st.dropped = s.dropped.load(std::memory_order_relaxed);
+    st.busy_seconds =
+        static_cast<double>(s.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    if (const auto snap = snapshot(i)) {
+      st.epoch = snap->epoch;
+      st.active_zombies = snap->zombies.size();
+    }
+    out.push_back(st);
+  }
+  return out;
+}
+
+std::uint64_t LiveService::drops() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->dropped.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t LiveService::submitted() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->submitted.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t LiveService::processed() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) {
+    sum += shard->processed.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double LiveService::max_worker_busy_seconds() const {
+  double max_busy = 0.0;
+  for (const auto& shard : shards_) {
+    max_busy = std::max(
+        max_busy,
+        static_cast<double>(shard->busy_ns.load(std::memory_order_relaxed)) *
+            1e-9);
+  }
+  return max_busy;
+}
+
+std::vector<double> LiveService::lag_samples() const {
+  std::vector<double> out;
+  for (const auto& shard : shards_) {
+    if (!shard->lags) continue;
+    const std::uint64_t count =
+        shard->lag_count.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(count, Shard::kLagRing);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.push_back(shard->lags[i].load(std::memory_order_relaxed));
+    }
+  }
+  return out;
+}
+
+void LiveService::attach_http(obs::HttpServer& server) {
+  server.add_endpoint("/live/zombies", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.etag = "zslive-epoch-" + std::to_string(epoch());
+    response.body = zombies_json();
+    return response;
+  });
+  server.add_endpoint("/live/stats", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = stats_json();
+    return response;
+  });
+  server.add_stream("/live/events", &events_);
+}
+
+std::string LiveService::zombies_json() const {
+  std::uint64_t emerged_total = 0;
+  std::uint64_t resurrected_total = 0;
+  std::uint64_t died_total = 0;
+  netbase::TimePoint clock = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (const auto snap = snapshot(i)) {
+      emerged_total += snap->emerged;
+      resurrected_total += snap->resurrected;
+      died_total += snap->died;
+      clock = std::max(clock, snap->clock);
+    }
+  }
+  std::string out = "{";
+  append_kv(out, "epoch", std::to_string(epoch()), false);
+  out += ',';
+  append_kv(out, "shards", std::to_string(shards_.size()), false);
+  out += ',';
+  append_kv(out, "clock", std::to_string(clock), false);
+  out += ',';
+  append_kv(out, "emerged_total", std::to_string(emerged_total), false);
+  out += ',';
+  append_kv(out, "resurrected_total", std::to_string(resurrected_total), false);
+  out += ',';
+  append_kv(out, "died_total", std::to_string(died_total), false);
+  out += ",\"zombies\":[";
+  bool first = true;
+  for (const auto& z : zombies()) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_kv(out, "prefix", z.alert.prefix.to_string(), true);
+    out += ',';
+    append_kv(out, "peer_asn", std::to_string(z.alert.peer.asn), false);
+    out += ',';
+    append_kv(out, "peer_address", z.alert.peer.address.to_string(), true);
+    out += ',';
+    append_kv(out, "withdrawn_at", std::to_string(z.alert.withdrawn_at), false);
+    out += ',';
+    append_kv(out, "raised_at", std::to_string(z.alert.raised_at), false);
+    out += ',';
+    append_kv(out, "resurrected", z.resurrected ? "true" : "false", false);
+    out += ',';
+    append_kv(out, "stuck_path", z.alert.stuck_path.to_string(), true);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LiveService::stats_json() const {
+  std::string out = "{";
+  append_kv(out, "epoch", std::to_string(epoch()), false);
+  out += ',';
+  append_kv(out, "submitted", std::to_string(submitted()), false);
+  out += ',';
+  append_kv(out, "processed", std::to_string(processed()), false);
+  out += ',';
+  append_kv(out, "drops_total", std::to_string(drops()), false);
+  out += ',';
+  append_kv(out, "sse_published", std::to_string(events_.published()), false);
+  out += ",\"shards\":[";
+  bool first = true;
+  for (const auto& st : stats()) {
+    if (!first) out += ',';
+    first = false;
+    out += '{';
+    append_kv(out, "id", std::to_string(st.id), false);
+    out += ',';
+    append_kv(out, "queue_depth", std::to_string(st.queue_depth), false);
+    out += ',';
+    append_kv(out, "queue_capacity", std::to_string(st.queue_capacity), false);
+    out += ',';
+    append_kv(out, "submitted", std::to_string(st.submitted), false);
+    out += ',';
+    append_kv(out, "processed", std::to_string(st.processed), false);
+    out += ',';
+    append_kv(out, "dropped", std::to_string(st.dropped), false);
+    out += ',';
+    append_kv(out, "epoch", std::to_string(st.epoch), false);
+    out += ',';
+    append_kv(out, "active_zombies", std::to_string(st.active_zombies), false);
+    out += ',';
+    append_kv(out, "busy_seconds", std::to_string(st.busy_seconds), false);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zombiescope::live

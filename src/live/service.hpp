@@ -1,0 +1,248 @@
+// live/service.hpp — the sharded live zombie-detection service.
+//
+// §6 of the paper sketches real-time detection; zslive is that sketch
+// built as a service. A stream of MRT records (from a simnet tap, an
+// MRT file replay, or a RIS-Live-style NDJSON feed — live/feed.hpp)
+// is partitioned by prefix hash across N shard workers. Each worker
+// owns a private zombie::RealTimeZombieDetector plus the
+// withdrawal-phase state for its prefixes, so detection needs no
+// cross-shard locks; the only sharing is downstream, where each shard
+// publishes an epoch-versioned immutable snapshot that the HTTP
+// serving layer reads with a single uncontended pointer copy.
+//
+// Transition vocabulary (what /live/events streams and the journal's
+// `live` category records):
+//   emerge     the detector's deadline check fired: the route was still
+//              announced `threshold` after its withdrawal. raised_at is
+//              exactly withdrawn_at + threshold, which makes the
+//              cumulative emerge set provably equal to what batch
+//              zsdetect computes from the same records
+//              (tests/live_e2e_test.cpp asserts this).
+//   resurrect  a zombie came back *after* the deadline had already
+//              passed clean — a live-only phenomenon batch detection
+//              folds into the same outbreak (raised_at > deadline).
+//   die        a stuck route finally cleared (withdrawal, session
+//              flush, or the next beacon announcement superseding it).
+//
+// Journal aux fields for the kCatLive events:
+//   live_zombie_emerged      a = threshold, b = withdraw time
+//   live_zombie_resurrected  a = raised at, b = withdraw time
+//   live_zombie_died         a = withdraw time, b = stuck seconds
+//   live_ingest_dropped      a = shard, b = total drops so far
+//
+// Shard routing uses a private FNV-1a over the prefix bytes, NOT
+// std::hash — the shard a prefix maps to must be stable across
+// processes and runs, because operators correlate per-shard stats
+// between a live daemon and an offline replay of the same feed. The
+// shard count is frozen at start(): resharding a running service
+// would tear withdrawal-phase state mid-interval, so resize() throws
+// once workers exist (restart with --shards to change it).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "live/queue.hpp"
+#include "mrt/record.hpp"
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+#include "obs/http.hpp"
+#include "obs/metrics.hpp"
+#include "zombie/realtime.hpp"
+
+namespace zombiescope::live {
+
+struct LiveConfig {
+  std::size_t shards = 4;
+  std::size_t queue_depth = 8192;
+  /// false: a full shard queue drops the record and counts it (live
+  /// feeds must never slow the wire). true: submit() blocks until the
+  /// shard has space (replay and bench — zero loss by construction).
+  bool block_on_full = false;
+  zombie::RealTimeConfig detector;
+};
+
+/// The stable prefix → shard mapping (FNV-1a over family, address
+/// bytes, and length). Identical across processes, platforms, and
+/// runs; exposed so tests can assert the partitioning invariants.
+std::size_t shard_for(const netbase::Prefix& prefix, std::size_t shards);
+
+/// One currently-stuck route in a snapshot, with its live
+/// classification.
+struct LiveZombie {
+  zombie::ZombieAlert alert;
+  bool resurrected = false;  // raised after the deadline (live-only)
+};
+
+/// What a shard worker publishes after each batch: an immutable value
+/// readers access via atomic shared_ptr, never a lock. `epoch`
+/// increments on every publish, so pollers can cheaply detect change
+/// (the /live/zombies ETag is the sum of shard epochs).
+struct ShardSnapshot {
+  std::uint64_t epoch = 0;
+  netbase::TimePoint clock = 0;  // detector's stream clock
+  std::vector<LiveZombie> zombies;
+  /// Cumulative (prefix, peer) pairs that ever emerged on this shard —
+  /// the batch-equivalent set (resurrections excluded by definition).
+  std::vector<std::pair<netbase::Prefix, zombie::PeerKey>> emerged_pairs;
+  std::uint64_t processed = 0;
+  std::uint64_t emerged = 0;
+  std::uint64_t resurrected = 0;
+  std::uint64_t died = 0;
+};
+
+struct ShardStats {
+  std::size_t id = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t processed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t epoch = 0;
+  std::size_t active_zombies = 0;
+  /// CPU seconds this shard's worker thread has consumed
+  /// (CLOCK_THREAD_CPUTIME_ID — excludes blocked waits, so it is the
+  /// shard's genuine processing cost even on a one-core box).
+  double busy_seconds = 0.0;
+};
+
+class LiveService {
+ public:
+  explicit LiveService(LiveConfig config);
+  ~LiveService();
+  LiveService(const LiveService&) = delete;
+  LiveService& operator=(const LiveService&) = delete;
+
+  /// Spawns the shard workers and freezes the shard count.
+  void start();
+  /// Closes the queues, joins the workers. Idempotent.
+  void stop();
+  bool running() const { return started_ && !stopped_; }
+
+  std::size_t shards() const { return config_.shards; }
+  const LiveConfig& config() const { return config_; }
+
+  /// Changing the shard count is only legal before start(); throws
+  /// std::logic_error afterwards (see file header).
+  void resize(std::size_t shards);
+
+  // --- producers (any thread, after start()) -------------------------
+
+  /// Routes the record to its shard(s): BGP4MP messages are split per
+  /// shard when their prefixes span several, state changes and peer
+  /// index tables broadcast to every shard (a session reset clears
+  /// watches everywhere), RIB entries route by prefix. Returns false
+  /// if any per-shard piece was dropped (never with block_on_full).
+  bool submit(const mrt::MrtRecord& record);
+
+  /// Registers an upcoming beacon announce/withdraw pair with the
+  /// shard owning the prefix. A whole schedule may be registered
+  /// upfront: the shard buffers events and releases each to its
+  /// detector only when the stream clock reaches the event's
+  /// announce_time, so a later cycle cannot supersede an earlier one
+  /// before the earlier deadline fires.
+  void expect(const beacon::BeaconEvent& event);
+
+  /// Drains every shard and advances all detectors to `at` (0 = one
+  /// second past the latest expected deadline), firing any outstanding
+  /// alerts; blocks until every shard acknowledged. Call after a
+  /// replay's EOF so the live result is complete.
+  void finalize(netbase::TimePoint at = 0);
+
+  // --- readers (any thread; cost is one brief pointer-copy lock) -----
+
+  std::shared_ptr<const ShardSnapshot> snapshot(std::size_t shard) const;
+  /// Sum of shard epochs — changes whenever any shard republished.
+  std::uint64_t epoch() const;
+  /// All currently-stuck routes across shards.
+  std::vector<LiveZombie> zombies() const;
+  /// Cumulative batch-equivalent emerge set across shards, sorted.
+  std::vector<std::pair<netbase::Prefix, zombie::PeerKey>> emerged_pairs() const;
+  std::vector<ShardStats> stats() const;
+  std::uint64_t drops() const;
+  std::uint64_t submitted() const;
+  std::uint64_t processed() const;
+  /// Largest per-shard worker CPU time — the critical-path cost a
+  /// throughput bench divides records by to get capacity updates/sec
+  /// on machines with fewer cores than shards.
+  double max_worker_busy_seconds() const;
+  /// Recent ingest→detector latencies in seconds (bounded reservoir
+  /// per shard; the bench computes its p99 from this).
+  std::vector<double> lag_samples() const;
+
+  // --- serving --------------------------------------------------------
+
+  /// The /live/events SSE hub (exposed for tests; publish() is done by
+  /// the shard workers).
+  obs::SseChannel& events() { return events_; }
+
+  /// Registers /live/zombies, /live/stats, and /live/events on the
+  /// server. Must be called before server.start(); the service must
+  /// outlive the server.
+  void attach_http(obs::HttpServer& server);
+
+  /// JSON bodies of the two snapshot endpoints (exposed so the daemon's
+  /// --print-zombies exit dump and the tests share the serializer).
+  std::string zombies_json() const;
+  std::string stats_json() const;
+
+ private:
+  struct ShardItem {
+    enum class Kind : std::uint8_t { kRecord, kExpect, kAdvance };
+    Kind kind = Kind::kRecord;
+    mrt::MrtRecord record;
+    beacon::BeaconEvent event;
+    netbase::TimePoint advance_to = 0;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t depth) : queue(depth) {}
+    BoundedMpscQueue<ShardItem> queue;
+    std::thread worker;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> finalize_acks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+    /// Published snapshot. A plain mutex around a shared_ptr swap, not
+    /// std::atomic<shared_ptr>: libstdc++'s _Sp_atomic guards its
+    /// pointer with a lock bit TSan cannot model, so every load/store
+    /// pair reports a false race. Readers hold the lock only for the
+    /// pointer copy; the snapshot itself is immutable.
+    mutable std::mutex snap_mu;
+    std::shared_ptr<const ShardSnapshot> snap;
+    /// Bounded latency reservoir (lock-free ring of atomics so the
+    /// TSan soak tolerates concurrent readers).
+    static constexpr std::size_t kLagRing = 1u << 14;
+    std::unique_ptr<std::atomic<double>[]> lags;
+    std::atomic<std::uint64_t> lag_count{0};
+    obs::Gauge m_depth;
+    obs::Gauge m_active;
+  };
+
+  bool push_to(std::size_t shard, ShardItem&& item);
+  void worker_loop(std::size_t shard);
+
+  LiveConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<netbase::TimePoint> max_deadline_{0};
+  obs::SseChannel events_;
+  obs::Counter m_records_;
+  obs::Counter m_drops_;
+  obs::Counter m_transitions_;
+  obs::Histogram m_lag_;
+};
+
+}  // namespace zombiescope::live

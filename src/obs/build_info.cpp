@@ -87,6 +87,25 @@ std::string build_info_json() {
          "\"}";
 }
 
+std::string identity_line(std::string_view tool) {
+  const BuildInfo& b = build_info();
+  std::string line;
+  line += tool;
+  line += " (zombiescope) ";
+  line += b.git_sha;
+  line += ' ';
+  line += b.compiler;
+  line += ' ';
+  line += b.build_type;
+  line += ' ';
+  line += b.arch;
+  if (!b.sanitizer.empty()) {
+    line += " sanitizer=";
+    line += b.sanitizer;
+  }
+  return line;
+}
+
 bool builds_comparable(const BuildInfo& a, const BuildInfo& b) {
   return a.compiler == b.compiler && a.build_type == b.build_type &&
          a.sanitizer == b.sanitizer && a.arch == b.arch;

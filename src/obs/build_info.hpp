@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 namespace zombiescope::obs {
 
@@ -28,6 +29,12 @@ const BuildInfo& build_info();
 /// The build info as a JSON object (the "build_info" section of the
 /// zsobs-v1 snapshot).
 std::string build_info_json();
+
+/// The one-line identity every tool prints for --version, e.g.
+///   zsdetect (zombiescope) a1b2c3d4e5f6 gcc 12.2.0 Release x86_64
+/// with " sanitizer=<flags>" appended for instrumented builds. One
+/// format across tools so scripts can parse any of them.
+std::string identity_line(std::string_view tool);
 
 /// True when two builds' numbers are comparable: same compiler, build
 /// type, sanitizer flags, and architecture (the git sha may differ —

@@ -1,5 +1,6 @@
 #include "obs/http.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -7,9 +8,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
-#include <string_view>
+#include <ctime>
 #include <thread>
 
 #include "obs/causal.hpp"
@@ -23,14 +26,17 @@ namespace zombiescope::obs {
 namespace {
 
 constexpr int kPollIntervalMs = 100;
+// Streaming connections poll faster so a published SSE frame reaches
+// subscribers promptly even when no socket is otherwise ready.
+constexpr int kStreamPollIntervalMs = 25;
 constexpr int kRequestTimeoutMs = 2000;
+// A queued (non-streaming) response must drain within this bound; a
+// client that stops reading is closed when it expires.
+constexpr int kFlushTimeoutMs = 30'000;
 constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr std::size_t kMaxConnections = 64;
 
-struct Response {
-  int status = 200;
-  std::string_view content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
+using Clock = std::chrono::steady_clock;
 
 std::string_view status_text(int status) {
   switch (status) {
@@ -43,7 +49,128 @@ std::string_view status_text(int status) {
   }
 }
 
-// Parses "?key=123" style query values; fallback on anything malformed.
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// One HTTP/1.1 chunk (streams use chunked transfer coding).
+std::string chunk(std::string_view payload) {
+  char head[16];
+  std::snprintf(head, sizeof(head), "%zx\r\n", payload.size());
+  std::string out = head;
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+HttpResponse route(std::string_view method, std::string_view target) {
+  const std::string_view path = target.substr(0, target.find('?'));
+  if (method != "GET") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n", {}};
+  }
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            to_prometheus(Registry::global().snapshot()), {}};
+  }
+  if (path == "/healthz") {
+    std::string body = "{\"status\":\"ok\",\"spans_recorded\":" +
+                       std::to_string(Tracer::global().total_recorded()) +
+                       ",\"journal_emitted\":" +
+                       std::to_string(Journal::global().emitted()) +
+                       ",\"journal_dropped\":" +
+                       std::to_string(Journal::global().dropped()) + "}\n";
+    return {200, "application/json", std::move(body), {}};
+  }
+  if (path == "/spans") {
+    return {200, "application/json", trace_to_json(Tracer::global().snapshot()),
+            {}};
+  }
+  if (path == "/journal/tail") {
+    const std::size_t n = query_uint(target, "n", 256);
+    std::uint32_t category_mask = kCatAll;
+    if (const std::string categories = query_string(target, "category");
+        !categories.empty()) {
+      const auto parsed = parse_categories(categories);
+      if (!parsed.has_value()) {
+        return {400, "text/plain; charset=utf-8",
+                "unknown category in ?category=" + categories + "\n", {}};
+      }
+      category_mask = *parsed;
+    }
+    std::string body;
+    for (const JournalEvent& event : Journal::global().tail(n)) {
+      if ((category_of(event.type) & category_mask) == 0) continue;
+      body += to_ndjson(event);
+      body += '\n';
+    }
+    return {200, "application/x-ndjson", std::move(body), {}};
+  }
+  if (path == "/causal") {
+    // Preprocessor guard (not if constexpr): the CausalTracer type
+    // itself only exists when the tracer is compiled in.
+#if !ZS_CAUSAL_ENABLED
+    return {501, "text/plain; charset=utf-8",
+            "causal tracer compiled out (ZS_CAUSAL_ENABLED=0)\n", {}};
+#else
+    {
+      const std::string prefix_text = query_string(target, "prefix");
+      CausalTracer& tracer = CausalTracer::global();
+      tracer.drain();
+      if (prefix_text.empty()) {
+        // Index: which prefixes have traces buffered.
+        std::string body;
+        for (const netbase::Prefix& prefix : tracer.traced_prefixes()) {
+          body += prefix.to_string();
+          body += '\n';
+        }
+        if (body.empty()) body = "no traced prefixes\n";
+        return {200, "text/plain; charset=utf-8", std::move(body), {}};
+      }
+      const auto prefix = netbase::Prefix::try_parse(prefix_text);
+      if (!prefix.has_value()) {
+        return {400, "text/plain; charset=utf-8",
+                "bad ?prefix=" + prefix_text + "\n", {}};
+      }
+      const std::size_t max_traces = query_uint(target, "max_traces", 8);
+      return {200, "text/plain; charset=utf-8",
+              render_propagation_tree(*prefix, tracer.records_for(*prefix),
+                                      max_traces),
+              {}};
+    }
+#endif
+  }
+  if (path == "/profile") {
+    if constexpr (!kProfCompiledIn) {
+      return {501, "text/plain; charset=utf-8",
+              "profiler compiled out (ZS_PROF_ENABLED=0)\n", {}};
+    }
+    // On-demand CPU profile: sample for ?seconds=N (default 5, cap 60)
+    // and reply with the folded-stack text. Blocking the serving thread
+    // is acceptable — /profile is an operator action, not a scrape
+    // target — but it does stall other clients for the window.
+    const std::size_t seconds =
+        std::min<std::size_t>(query_uint(target, "seconds", 5), 60);
+    Profiler& profiler = Profiler::global();
+    if (!profiler.start()) {
+      return {409, "text/plain; charset=utf-8",
+              "profiler already running (another /profile or --profile-out "
+              "session is active)\n",
+              {}};
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    const ProfileReport report = profiler.stop();
+    std::string body = "# zsprof folded stacks; rate " +
+                       std::to_string(report.rate_hz) + " Hz, " +
+                       std::to_string(report.samples) + " samples over " +
+                       std::to_string(seconds) + "s\n" + report.to_folded();
+    return {200, "text/plain; charset=utf-8", std::move(body), {}};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n", {}};
+}
+
+}  // namespace
+
 std::size_t query_uint(std::string_view target, std::string_view key,
                        std::size_t fallback) {
   const std::size_t q = target.find('?');
@@ -67,8 +194,6 @@ std::size_t query_uint(std::string_view target, std::string_view key,
   return fallback;
 }
 
-// Raw "?key=value" query lookup (with %xx decoding, so an encoded
-// prefix like 203.0.113.0%2F24 works). Empty if absent.
 std::string query_string(std::string_view target, std::string_view key) {
   const std::size_t q = target.find('?');
   if (q == std::string_view::npos) return {};
@@ -106,121 +231,90 @@ std::string query_string(std::string_view target, std::string_view key) {
   return {};
 }
 
-Response route(std::string_view method, std::string_view target) {
-  const std::string_view path = target.substr(0, target.find('?'));
-  if (method != "GET") {
-    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+// --- SseChannel ------------------------------------------------------
+
+SseChannel::SseChannel(std::size_t max_frames)
+    : max_frames_(max_frames == 0 ? 1 : max_frames) {}
+
+std::string SseChannel::frame(std::string_view event, std::string_view data,
+                              std::uint64_t id) {
+  std::string f;
+  f.reserve(event.size() + data.size() + 48);
+  f += "event: ";
+  f += event;
+  f += '\n';
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t nl = data.find('\n', pos);
+    f += "data: ";
+    f += data.substr(pos, nl == std::string_view::npos ? std::string_view::npos
+                                                       : nl - pos);
+    f += '\n';
+    if (nl == std::string_view::npos || nl + 1 >= data.size()) break;
+    pos = nl + 1;
   }
-  if (path == "/metrics") {
-    return {200, "text/plain; version=0.0.4; charset=utf-8",
-            to_prometheus(Registry::global().snapshot())};
-  }
-  if (path == "/healthz") {
-    std::string body = "{\"status\":\"ok\",\"spans_recorded\":" +
-                       std::to_string(Tracer::global().total_recorded()) +
-                       ",\"journal_emitted\":" +
-                       std::to_string(Journal::global().emitted()) +
-                       ",\"journal_dropped\":" +
-                       std::to_string(Journal::global().dropped()) + "}\n";
-    return {200, "application/json", std::move(body)};
-  }
-  if (path == "/spans") {
-    return {200, "application/json",
-            trace_to_json(Tracer::global().snapshot())};
-  }
-  if (path == "/journal/tail") {
-    const std::size_t n = query_uint(target, "n", 256);
-    std::uint32_t category_mask = kCatAll;
-    if (const std::string categories = query_string(target, "category");
-        !categories.empty()) {
-      const auto parsed = parse_categories(categories);
-      if (!parsed.has_value()) {
-        return {400, "text/plain; charset=utf-8",
-                "unknown category in ?category=" + categories + "\n"};
-      }
-      category_mask = *parsed;
-    }
-    std::string body;
-    for (const JournalEvent& event : Journal::global().tail(n)) {
-      if ((category_of(event.type) & category_mask) == 0) continue;
-      body += to_ndjson(event);
-      body += '\n';
-    }
-    return {200, "application/x-ndjson", std::move(body)};
-  }
-  if (path == "/causal") {
-    // Preprocessor guard (not if constexpr): the CausalTracer type
-    // itself only exists when the tracer is compiled in.
-#if !ZS_CAUSAL_ENABLED
-    return {501, "text/plain; charset=utf-8",
-            "causal tracer compiled out (ZS_CAUSAL_ENABLED=0)\n"};
-#else
-    {
-      const std::string prefix_text = query_string(target, "prefix");
-      CausalTracer& tracer = CausalTracer::global();
-      tracer.drain();
-      if (prefix_text.empty()) {
-        // Index: which prefixes have traces buffered.
-        std::string body;
-        for (const netbase::Prefix& prefix : tracer.traced_prefixes()) {
-          body += prefix.to_string();
-          body += '\n';
-        }
-        if (body.empty()) body = "no traced prefixes\n";
-        return {200, "text/plain; charset=utf-8", std::move(body)};
-      }
-      const auto prefix = netbase::Prefix::try_parse(prefix_text);
-      if (!prefix.has_value()) {
-        return {400, "text/plain; charset=utf-8",
-                "bad ?prefix=" + prefix_text + "\n"};
-      }
-      const std::size_t max_traces = query_uint(target, "max_traces", 8);
-      return {200, "text/plain; charset=utf-8",
-              render_propagation_tree(*prefix, tracer.records_for(*prefix),
-                                      max_traces)};
-    }
-#endif
-  }
-  if (path == "/profile") {
-    if constexpr (!kProfCompiledIn) {
-      return {501, "text/plain; charset=utf-8",
-              "profiler compiled out (ZS_PROF_ENABLED=0)\n"};
-    }
-    // On-demand CPU profile: sample for ?seconds=N (default 5, cap 60)
-    // and reply with the folded-stack text. Blocking the serving thread
-    // is fine — the server is sequential by design, and /profile is an
-    // operator action, not a scrape target.
-    const std::size_t seconds = std::min<std::size_t>(
-        query_uint(target, "seconds", 5), 60);
-    Profiler& profiler = Profiler::global();
-    if (!profiler.start()) {
-      return {409, "text/plain; charset=utf-8",
-              "profiler already running (another /profile or --profile-out "
-              "session is active)\n"};
-    }
-    std::this_thread::sleep_for(std::chrono::seconds(seconds));
-    const ProfileReport report = profiler.stop();
-    std::string body = "# zsprof folded stacks; rate " +
-                       std::to_string(report.rate_hz) + " Hz, " +
-                       std::to_string(report.samples) + " samples over " +
-                       std::to_string(seconds) + "s\n" +
-                       report.to_folded();
-    return {200, "text/plain; charset=utf-8", std::move(body)};
-  }
-  return {404, "text/plain; charset=utf-8", "not found\n"};
+  f += "id: ";
+  f += std::to_string(id);
+  f += "\n\n";
+  return f;
 }
 
-void send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
+void SseChannel::publish(std::string_view event, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  frames_.push_back(frame(event, data, next_seq_));
+  ++next_seq_;
+  if (frames_.size() > max_frames_) {
+    frames_.pop_front();
+    ++first_seq_;
   }
+  published_.fetch_add(1, std::memory_order_relaxed);
 }
 
-}  // namespace
+std::uint64_t SseChannel::head() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+std::uint64_t SseChannel::collect(std::uint64_t cursor, std::string& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cursor == 0) {
+    cursor = first_seq_;  // ?since=0 style "replay everything retained"
+  } else if (cursor < first_seq_) {
+    out += ": missed " + std::to_string(first_seq_ - cursor) + " events\n\n";
+    cursor = first_seq_;
+  }
+  for (std::uint64_t seq = cursor; seq < next_seq_; ++seq) {
+    out += frames_[static_cast<std::size_t>(seq - first_seq_)];
+  }
+  return next_seq_;
+}
+
+// --- HttpServer ------------------------------------------------------
+
+struct HttpServer::Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_off = 0;
+  bool responded = false;  // request routed, response or stream head queued
+  bool streaming = false;
+  SseChannel* channel = nullptr;
+  std::uint64_t cursor = 0;
+  Clock::time_point read_deadline{};
+  Clock::time_point flush_deadline{};  // non-streaming responses only
+  Clock::time_point last_beat{};
+  bool dead = false;
+};
+
+void HttpServer::add_endpoint(std::string path, Handler handler) {
+  if (running()) return;  // registration is a startup-time operation
+  routes_.push_back({std::move(path), Route{std::move(handler), nullptr}});
+}
+
+void HttpServer::add_stream(std::string path, SseChannel* channel) {
+  if (running() || channel == nullptr) return;
+  routes_.push_back({std::move(path), Route{nullptr, channel}});
+}
 
 bool HttpServer::start(std::uint16_t port) {
   if (listen_fd_ >= 0) return false;
@@ -235,7 +329,7 @@ bool HttpServer::start(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, 16) != 0 || !set_nonblocking(fd)) {
     ::close(fd);
     return false;
   }
@@ -249,7 +343,11 @@ bool HttpServer::start(std::uint16_t port) {
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
   stop_.store(false, std::memory_order_relaxed);
-  m_requests_ = Registry::global().counter("zs_http_requests_total");
+  Registry& reg = Registry::global();
+  m_requests_ = reg.counter("zs_http_requests_total");
+  m_evictions_ = reg.counter("zs_http_slow_clients_evicted_total");
+  m_open_conns_ = reg.gauge("zs_http_open_connections");
+  m_sse_clients_ = reg.gauge("zs_http_sse_clients");
   thread_ = std::thread([this] { serve_loop(); });
   return true;
 }
@@ -264,59 +362,247 @@ void HttpServer::stop() {
 }
 
 void HttpServer::serve_loop() {
+  std::vector<pollfd> pfds;
   while (!stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    bool any_stream = false;
+    for (const Conn* c : conns_) {
+      short events = POLLIN;  // always watch for data / orderly close
+      if (c->out_off < c->out.size()) events |= POLLOUT;
+      if (c->streaming) any_stream = true;
+      pfds.push_back({c->fd, events, 0});
+    }
+    ::poll(pfds.data(), pfds.size(),
+           any_stream ? kStreamPollIntervalMs : kPollIntervalMs);
+    if (stop_.load(std::memory_order_relaxed)) break;
+
+    // Process the connections that were polled (accept afterwards, so
+    // pfds and conns_ stay index-aligned here).
+    const std::size_t polled = pfds.size() - 1;
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& c = *conns_[i];
+      const short re = pfds[i + 1].revents;
+      if ((re & (POLLERR | POLLNVAL)) != 0) c.dead = true;
+      if (!c.dead && (re & (POLLIN | POLLHUP)) != 0) read_ready(c);
+      if (!c.dead && c.streaming) pump_stream(c);
+      if (!c.dead && c.out_off < c.out.size()) flush_out(c);
+      if (!c.dead && !c.responded && now > c.read_deadline) c.dead = true;
+      if (!c.dead && c.responded && !c.streaming &&
+          c.out_off < c.out.size() && now > c.flush_deadline) {
+        c.dead = true;
+      }
+    }
+
+    // Reap closed connections.
+    for (std::size_t i = conns_.size(); i-- > 0;) {
+      Conn* c = conns_[i];
+      if (!c->dead) continue;
+      if (c->streaming) m_sse_clients_.add(-1);
+      m_open_conns_.add(-1);
+      ::close(c->fd);
+      delete c;
+      conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) accept_ready();
+  }
+
+  for (Conn* c : conns_) {
+    if (c->streaming) m_sse_clients_.add(-1);
+    m_open_conns_.add(-1);
+    ::close(c->fd);
+    delete c;
+  }
+  conns_.clear();
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    handle_connection(fd);
-    ::close(fd);
+    if (fd < 0) break;
+    if (conns_.size() >= kMaxConnections || !set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    auto* c = new Conn;
+    c->fd = fd;
+    c->read_deadline =
+        Clock::now() + std::chrono::milliseconds(kRequestTimeoutMs);
+    conns_.push_back(c);
+    m_open_conns_.add(1);
   }
 }
 
-void HttpServer::handle_connection(int fd) {
-  // Read until the end of the request head, a poll-sliced deadline so a
-  // stalled client cannot wedge the serving thread.
-  std::string request;
-  int waited_ms = 0;
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes && waited_ms < kRequestTimeoutMs &&
-         !stop_.load(std::memory_order_relaxed)) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
-    waited_ms += kPollIntervalMs;
-    if (ready <= 0) continue;
-    char buf[2048];
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return;
-    request.append(buf, static_cast<std::size_t>(n));
+void HttpServer::read_ready(Conn& c) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!c.responded) {
+        c.in.append(buf, static_cast<std::size_t>(n));
+        if (c.in.size() > kMaxRequestBytes) {
+          c.dead = true;
+          return;
+        }
+      }
+      // Bytes after the routed request are ignored (Connection: close).
+      continue;
+    }
+    if (n == 0) {
+      // Orderly close from the client. A streaming subscriber is gone;
+      // a plain response still in flight may finish draining (bounded
+      // by the flush deadline).
+      if (!c.responded || c.streaming || c.out_off >= c.out.size()) {
+        c.dead = true;
+      }
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c.dead = true;
+    return;
   }
-  const std::size_t head_end = request.find("\r\n\r\n");
+  if (c.responded) return;
+
+  const std::size_t head_end = c.in.find("\r\n\r\n");
   if (head_end == std::string::npos) return;
 
   // Request line: METHOD SP TARGET SP VERSION
-  const std::size_t line_end = request.find("\r\n");
-  std::string_view line(request.data(), line_end);
+  const std::size_t line_end = c.in.find("\r\n");
+  std::string_view line(c.in.data(), line_end);
   const std::size_t sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return;
+  if (sp1 == std::string_view::npos) {
+    c.dead = true;
+    return;
+  }
   const std::size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp2 == std::string_view::npos) return;
+  if (sp2 == std::string_view::npos) {
+    c.dead = true;
+    return;
+  }
   const std::string_view method = line.substr(0, sp1);
   const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  dispatch(c, method, target);
+  c.in.clear();
+}
 
-  Response response = route(method, target);
+void HttpServer::dispatch(Conn& c, std::string_view method,
+                          std::string_view target) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   m_requests_.inc();
+  c.responded = true;
+
+  const std::string_view path = target.substr(0, target.find('?'));
+  const Route* matched = nullptr;
+  for (const auto& [route_path, route] : routes_) {
+    if (route_path == path) {
+      matched = &route;
+      break;
+    }
+  }
+
+  if (matched != nullptr && matched->channel != nullptr && method == "GET") {
+    // SSE subscription: chunked stream, one chunk per frame/heartbeat.
+    c.out +=
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-cache\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "Connection: close\r\n\r\n";
+    c.streaming = true;
+    c.channel = matched->channel;
+    // ?since=SEQ replays retained frames from SEQ (0 = everything
+    // retained); without the parameter a subscriber starts at head —
+    // only events published after subscription.
+    c.cursor = query_string(target, "since").empty()
+                   ? c.channel->head()
+                   : query_uint(target, "since", 0);
+    c.last_beat = Clock::now();
+    m_sse_clients_.add(1);
+    pump_stream(c);
+    flush_out(c);
+    return;
+  }
+
+  HttpResponse response;
+  if (matched != nullptr && matched->handler != nullptr) {
+    response = method == "GET"
+                   ? matched->handler(target)
+                   : HttpResponse{405, "text/plain; charset=utf-8",
+                                  "method not allowed\n", {}};
+  } else {
+    response = route(method, target);
+  }
 
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                      std::string(status_text(response.status)) + "\r\n";
-  head += "Content-Type: " + std::string(response.content_type) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!response.etag.empty()) head += "ETag: \"" + response.etag + "\"\r\n";
   head += "Connection: close\r\n\r\n";
-  send_all(fd, head);
-  send_all(fd, response.body);
-  ::shutdown(fd, SHUT_WR);
+  c.out += head;
+  c.out += response.body;
+  c.flush_deadline = Clock::now() + std::chrono::milliseconds(kFlushTimeoutMs);
+  flush_out(c);
+}
+
+void HttpServer::pump_stream(Conn& c) {
+  std::string fresh;
+  c.cursor = c.channel->collect(c.cursor, fresh);
+  const Clock::time_point now = Clock::now();
+  if (!fresh.empty()) {
+    c.out += chunk(fresh);
+    c.last_beat = now;
+  } else if (now - c.last_beat >=
+             std::chrono::milliseconds(heartbeat_ms_)) {
+    c.out += chunk(": hb\n\n");
+    c.last_beat = now;
+  }
+  const std::size_t backlog = c.out.size() - c.out_off;
+  if (backlog > max_client_buffer_) {
+    // Slow-client eviction: the subscriber is not draining its socket
+    // and its backlog passed the bound; drop it rather than grow.
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    m_evictions_.inc();
+    Journal& journal = Journal::global();
+    if (journal.enabled(kCatLive)) {
+      JournalEvent ev;
+      ev.type = JournalEventType::kLiveClientEvicted;
+      ev.time = static_cast<netbase::TimePoint>(std::time(nullptr));
+      ev.a = static_cast<std::int64_t>(backlog);
+      journal.emit_runtime(kCatLive, ev);
+    }
+    c.dead = true;
+  }
+}
+
+void HttpServer::flush_out(Conn& c) {
+  while (c.out_off < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                             c.out.size() - c.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    c.dead = true;
+    return;
+  }
+  if (c.out_off == c.out.size()) {
+    c.out.clear();
+    c.out_off = 0;
+    if (c.responded && !c.streaming) {
+      // Response fully flushed: half-close so the client sees EOF.
+      ::shutdown(c.fd, SHUT_WR);
+      c.dead = true;
+    }
+  } else if (c.out_off > 65536) {
+    c.out.erase(0, c.out_off);
+    c.out_off = 0;
+  }
 }
 
 }  // namespace zombiescope::obs

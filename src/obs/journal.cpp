@@ -21,6 +21,7 @@ constexpr CategoryName kCategoryNames[] = {
     {kCatDetector, "detector"}, {kCatNoise, "noise"},
     {kCatLifespan, "lifespan"}, {kCatCollector, "collector"},
     {kCatFault, "fault"},       {kCatPropagation, "propagation"},
+    {kCatLive, "live"},
 };
 
 }  // namespace
@@ -88,6 +89,11 @@ constexpr EventTypeName kEventTypeNames[] = {
     {JournalEventType::kSimSessionUp, "sim_session_up", kCatFault},
     {JournalEventType::kPrefixEvicted, "prefix_evicted", kCatFault},
     {JournalEventType::kPropagationHop, "propagation_hop", kCatPropagation},
+    {JournalEventType::kLiveZombieEmerged, "live_zombie_emerged", kCatLive},
+    {JournalEventType::kLiveZombieResurrected, "live_zombie_resurrected", kCatLive},
+    {JournalEventType::kLiveZombieDied, "live_zombie_died", kCatLive},
+    {JournalEventType::kLiveIngestDropped, "live_ingest_dropped", kCatLive},
+    {JournalEventType::kLiveClientEvicted, "live_client_evicted", kCatLive},
 };
 
 }  // namespace

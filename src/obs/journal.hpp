@@ -67,7 +67,8 @@ enum JournalCategory : std::uint32_t {
   kCatCollector = 1u << 5,  // collector session lifecycle
   kCatFault = 1u << 6,        // simnet fault injections
   kCatPropagation = 1u << 7,  // causal per-hop update provenance
-  kCatAll = (1u << 8) - 1,
+  kCatLive = 1u << 8,         // zslive streaming service transitions
+  kCatAll = (1u << 9) - 1,
 };
 
 /// One name per bit ("run", "state", ...). Empty for unknown bits.
@@ -111,6 +112,13 @@ enum class JournalEventType : std::uint16_t {
   // b = from/to ASNs, c = hop + kind + decision — use
   // to_journal_event / hop_from_event, never the raw fields)
   kPropagationHop = 40,
+  // kCatLive (zslive service; a/b per transition comments in
+  // live/service.hpp)
+  kLiveZombieEmerged = 50,      // a = threshold, b = withdraw time
+  kLiveZombieResurrected = 51,  // a = raised at, b = withdraw time
+  kLiveZombieDied = 52,         // a = withdraw time, b = stuck seconds
+  kLiveIngestDropped = 53,      // a = shard, b = total drops so far
+  kLiveClientEvicted = 54,      // a = buffered bytes at eviction
 };
 
 /// Snake-case wire name ("zombie_declared"). Used by both serializers.

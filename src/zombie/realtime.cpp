@@ -28,8 +28,17 @@ void journal_transition(obs::JournalEventType type, const netbase::Prefix& prefi
 
 void RealTimeZombieDetector::expect(const beacon::BeaconEvent& event) {
   if (event.superseded) return;
-  // A recycled prefix supersedes the previous watch: its zombies (if
-  // any) are wiped by the new announcement, as with real beacons.
+  // A recycled prefix supersedes the previous watch. Any zombie the old
+  // watch had raised is resolved at the recycle instant: the fresh
+  // announcement replaces the stuck route, so the route is no longer
+  // stale even though no withdrawal ever cleared it.
+  auto it = watches_.find(event.prefix);
+  if (it != watches_.end()) {
+    for (auto& [peer, state] : it->second.peers) {
+      (void)state;
+      resolve(it->second, peer, event.announce_time);
+    }
+  }
   Watch watch;
   watch.event = event;
   watches_[event.prefix] = std::move(watch);

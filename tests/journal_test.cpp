@@ -48,7 +48,11 @@ TEST(ObsJournalCodec, EventTypeNamesRoundTrip) {
                     JournalEventType::kCollectorSessionDown, JournalEventType::kCollectorSessionUp,
                     JournalEventType::kFaultWithdrawalSuppressed,
                     JournalEventType::kFaultReceiveStall, JournalEventType::kSimSessionDown,
-                    JournalEventType::kSimSessionUp, JournalEventType::kPrefixEvicted}) {
+                    JournalEventType::kSimSessionUp, JournalEventType::kPrefixEvicted,
+                    JournalEventType::kLiveZombieEmerged,
+                    JournalEventType::kLiveZombieResurrected, JournalEventType::kLiveZombieDied,
+                    JournalEventType::kLiveIngestDropped,
+                    JournalEventType::kLiveClientEvicted}) {
     const auto name = to_string(type);
     EXPECT_NE(name, "unknown");
     const auto parsed = parse_event_type(name);
@@ -66,7 +70,9 @@ TEST(ObsJournalCodec, CategoryNamesParse) {
             kCatDetector | kCatFault | kCatLifespan);
   EXPECT_EQ(parse_categories(""), 0u);
   EXPECT_FALSE(parse_categories("detector,bogus").has_value());
+  EXPECT_EQ(parse_categories("live"), kCatLive);
   EXPECT_EQ(category_name(kCatFault), "fault");
+  EXPECT_EQ(category_name(kCatLive), "live");
   EXPECT_EQ(category_name(0x80000000u), "");
 }
 

@@ -1,0 +1,136 @@
+// End-to-end equivalence for the zslive service: replaying the
+// longlived2024 scenario's update archives through the sharded live
+// pipeline must produce exactly the zombie set the batch detector
+// (zsdetect's LongLivedZombieDetector) finds over the same archives —
+// independent of shard count and of replay pacing. This is the
+// contract that makes the live daemon trustworthy: an operator watching
+// /live/events sees the same outbreaks a forensic batch run would
+// reconstruct later.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "live/feed.hpp"
+#include "live/service.hpp"
+#include "scenarios/longlived2024.hpp"
+#include "zombie/longlived.hpp"
+
+namespace zombiescope::live {
+namespace {
+
+using netbase::Prefix;
+using netbase::TimePoint;
+using zombie::PeerKey;
+
+using PairSet = std::vector<std::pair<Prefix, PeerKey>>;
+
+/// The batch reference: every (prefix, peer) the LongLivedZombieDetector
+/// reports stuck at withdrawal + threshold, deduplicated across
+/// intervals — the same key space LiveService::emerged_pairs() uses.
+PairSet batch_pairs(const scenarios::LongLived2024Output& out,
+                    netbase::Duration threshold) {
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto result = detector.detect(out.updates, out.events, threshold);
+  std::set<std::pair<Prefix, PeerKey>> merged;
+  for (const auto& outbreak : result.outbreaks) {
+    for (const auto& route : outbreak.routes) {
+      merged.insert({outbreak.prefix, route.peer});
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+PairSet live_pairs(const scenarios::LongLived2024Output& out,
+                   netbase::Duration threshold, std::size_t shards,
+                   double speed) {
+  LiveConfig config;
+  config.shards = shards;
+  config.block_on_full = true;  // equivalence demands zero drops
+  config.detector.threshold = threshold;
+  LiveService service(config);
+  service.start();
+  for (const auto& event : out.events) service.expect(event);
+  ReplayFeedSource feed(out.updates, speed);
+  const auto stats = feed.run(service);
+  EXPECT_EQ(stats.records, out.updates.size());
+  service.finalize();
+  EXPECT_EQ(service.drops(), 0u);
+  EXPECT_EQ(service.processed(), service.submitted());
+  auto pairs = service.emerged_pairs();
+  service.stop();
+  return pairs;
+}
+
+class LiveE2E : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenarios::LongLived2024Spec spec;
+    output_ = new scenarios::LongLived2024Output(
+        scenarios::run_longlived2024(spec));
+  }
+  static void TearDownTestSuite() {
+    delete output_;
+    output_ = nullptr;
+  }
+
+  static scenarios::LongLived2024Output* output_;
+};
+
+scenarios::LongLived2024Output* LiveE2E::output_ = nullptr;
+
+TEST_F(LiveE2E, ReplayMatchesBatchDetectorExactly) {
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+  const auto batch = batch_pairs(*output_, threshold);
+  ASSERT_FALSE(batch.empty()) << "scenario produced no zombies to compare";
+  const auto live = live_pairs(*output_, threshold, 4, /*speed=*/0.0);
+  EXPECT_EQ(live, batch);
+}
+
+TEST_F(LiveE2E, ShardCountDoesNotChangeTheZombieSet) {
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+  const auto one = live_pairs(*output_, threshold, 1, /*speed=*/0.0);
+  const auto eight = live_pairs(*output_, threshold, 8, /*speed=*/0.0);
+  EXPECT_EQ(one, eight);
+  ASSERT_FALSE(one.empty());
+}
+
+TEST_F(LiveE2E, PacedReplayMatchesBatchOnTruncatedWindow) {
+  // A paced replay of the full eleven-month archive would take hours;
+  // pacing is a wall-clock behavior, so one beacon day exercises it
+  // fully. Truncate records and events to the first day, pace the
+  // replay so it takes a few wall seconds, and demand the same exact
+  // set the batch detector computes over the truncated inputs.
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+  TimePoint first = 0;
+  for (const auto& event : output_->events) {
+    if (first == 0 || event.announce_time < first) first = event.announce_time;
+  }
+  ASSERT_NE(first, 0);
+  const TimePoint cutoff = first + netbase::kDay;
+
+  scenarios::LongLived2024Output day;
+  for (const auto& event : output_->events) {
+    // Keep only events whose whole check window fits inside the day.
+    if (event.withdraw_time + threshold < cutoff) day.events.push_back(event);
+  }
+  for (const auto& record : output_->updates) {
+    if (mrt::record_timestamp(record) < cutoff) day.updates.push_back(record);
+  }
+  ASSERT_FALSE(day.events.empty());
+  ASSERT_FALSE(day.updates.empty());
+
+  const auto batch = batch_pairs(day, threshold);
+  // One simulated day in ~3 wall seconds.
+  const double speed = static_cast<double>(netbase::kDay) / 3.0;
+  const auto paced = live_pairs(day, threshold, 4, speed);
+  const auto flat_out = live_pairs(day, threshold, 4, /*speed=*/0.0);
+  EXPECT_EQ(paced, flat_out);
+  EXPECT_EQ(paced, batch);
+}
+
+}  // namespace
+}  // namespace zombiescope::live

@@ -1,0 +1,564 @@
+// Tests for the zslive streaming detection service: the bounded MPSC
+// shard queue, prefix-hash partitioning invariants, in-band beacon
+// expect ordering, SSE framing, NDJSON feed parsing, and replay-speed
+// independence. Suites are Obs-prefixed so scripts/run_tier1.sh runs
+// them under TSan and ASan+UBSan: the queue, the snapshot publication,
+// and the SSE channel are the subsystem's lock-free/concurrent core.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/feed.hpp"
+#include "live/queue.hpp"
+#include "live/service.hpp"
+#include "obs/http.hpp"
+
+namespace zombiescope::live {
+namespace {
+
+using beacon::BeaconEvent;
+using netbase::IpAddress;
+using netbase::kMinute;
+using netbase::Prefix;
+using netbase::TimePoint;
+using zombie::PeerKey;
+
+PeerKey peer_a() { return {64500, IpAddress::parse("192.0.2.1")}; }
+PeerKey peer_b() { return {64501, IpAddress::parse("192.0.2.2")}; }
+
+mrt::MrtRecord announce(TimePoint t, const PeerKey& peer, const Prefix& prefix) {
+  mrt::Bgp4mpMessage m;
+  m.timestamp = t;
+  m.peer_asn = peer.asn;
+  m.peer_address = peer.address;
+  m.local_asn = 12654;
+  m.local_address = IpAddress::parse("193.0.4.28");
+  m.update.announced.push_back(prefix);
+  m.update.attributes.as_path = bgp::AsPath{peer.asn, 25091, 8298, 210312};
+  m.update.attributes.next_hop = peer.address;
+  return mrt::MrtRecord{std::move(m)};
+}
+
+mrt::MrtRecord withdraw(TimePoint t, const PeerKey& peer, const Prefix& prefix) {
+  mrt::Bgp4mpMessage m;
+  m.timestamp = t;
+  m.peer_asn = peer.asn;
+  m.peer_address = peer.address;
+  m.local_asn = 12654;
+  m.local_address = IpAddress::parse("193.0.4.28");
+  m.update.withdrawn.push_back(prefix);
+  return mrt::MrtRecord{std::move(m)};
+}
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC queue
+// ---------------------------------------------------------------------------
+
+TEST(ObsLiveQueue, FifoOrderSingleProducer) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+}
+
+TEST(ObsLiveQueue, TryPushFailsWhenFullAndRecoversAfterPop) {
+  BoundedMpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int{i}));
+  EXPECT_FALSE(q.try_push(99));
+  int v = -1;
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(99));
+}
+
+TEST(ObsLiveQueue, BlockingPushWaitsForConsumer) {
+  BoundedMpscQueue<int> q(4);
+  constexpr int kItems = 500;
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    int v = -1;
+    while (static_cast<int>(seen.size()) < kItems) {
+      if (q.pop_wait(v, std::chrono::milliseconds(50))) seen.push_back(v);
+    }
+  });
+  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push_blocking(int{i}));
+  consumer.join();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ObsLiveQueue, CloseDrainsRemainingThenWakesConsumer) {
+  BoundedMpscQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.push_blocking(8));  // producers refused after close
+  int v = -1;
+  EXPECT_TRUE(q.pop_wait(v, std::chrono::milliseconds(50)));
+  EXPECT_EQ(v, 7);  // the final drain still hands over queued items
+  EXPECT_FALSE(q.pop_wait(v, std::chrono::milliseconds(50)));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ObsLiveQueue, MultiProducerStressDeliversEverything) {
+  BoundedMpscQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push_blocking(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<int> seen;
+  seen.reserve(kProducers * kPerProducer);
+  int v = -1;
+  while (static_cast<int>(seen.size()) < kProducers * kPerProducer) {
+    if (q.pop_wait(v, std::chrono::milliseconds(100))) seen.push_back(v);
+  }
+  for (auto& t : producers) t.join();
+  std::set<int> unique(seen.begin(), seen.end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+// ---------------------------------------------------------------------------
+// Shard partitioning
+// ---------------------------------------------------------------------------
+
+TEST(ObsLiveShard, SamePrefixAlwaysSameShard) {
+  const auto p4 = Prefix::parse("93.175.147.0/24");
+  const auto p6 = Prefix::parse("2a0d:3dc1:1200::/48");
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const std::size_t s4 = shard_for(p4, shards);
+    const std::size_t s6 = shard_for(p6, shards);
+    EXPECT_LT(s4, shards);
+    EXPECT_LT(s6, shards);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(shard_for(p4, shards), s4);
+      EXPECT_EQ(shard_for(p6, shards), s6);
+    }
+  }
+}
+
+TEST(ObsLiveShard, HashSpreadsPrefixesAcrossShards) {
+  std::set<std::size_t> hit;
+  for (int i = 0; i < 64; ++i) {
+    const auto prefix =
+        Prefix::parse("10." + std::to_string(i) + ".0.0/16");
+    hit.insert(shard_for(prefix, 4));
+  }
+  // 64 distinct prefixes into 4 buckets: every bucket should be used.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ObsLiveShard, ResizeRejectedAfterStart) {
+  LiveConfig config;
+  config.shards = 2;
+  LiveService service(config);
+  service.resize(4);  // fine before start
+  service.start();
+  EXPECT_THROW(service.resize(8), std::logic_error);
+  service.stop();
+}
+
+TEST(ObsLiveShard, SubmitRoutesRecordsToOwningShard) {
+  LiveConfig config;
+  config.shards = 4;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  std::vector<std::uint64_t> expected(4, 0);
+  for (int i = 0; i < 32; ++i) {
+    const auto prefix = Prefix::parse("10." + std::to_string(i) + ".0.0/16");
+    ++expected[shard_for(prefix, 4)];
+    ASSERT_TRUE(service.submit(announce(t0 + i, peer_a(), prefix)));
+  }
+  service.finalize(t0 + 1000);
+  const auto stats = service.stats();
+  ASSERT_EQ(stats.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(stats[i].submitted, expected[i]) << "shard " << i;
+    EXPECT_EQ(stats[i].processed, expected[i]) << "shard " << i;
+  }
+  service.stop();
+}
+
+TEST(ObsLiveShard, EmergeThenDieViaWithdrawal) {
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  config.detector.threshold = 5 * kMinute;
+  LiveService service(config);
+  service.start();
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  const auto prefix = Prefix::parse("2a0d:3dc1:1200::/48");
+  const auto w = t0 + 10 * kMinute;
+  service.expect({prefix, t0, w, false});
+  ASSERT_TRUE(service.submit(announce(t0 + 10, peer_a(), prefix)));
+  ASSERT_TRUE(service.submit(announce(t0 + 12, peer_b(), prefix)));
+  // peer_a withdraws in time; peer_b's withdrawal is "lost".
+  ASSERT_TRUE(service.submit(withdraw(w + 30, peer_a(), prefix)));
+  service.finalize(w + 6 * kMinute);
+  auto pairs = service.emerged_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, prefix);
+  EXPECT_EQ(pairs[0].second, peer_b());
+  auto zombies = service.zombies();
+  ASSERT_EQ(zombies.size(), 1u);
+  EXPECT_EQ(zombies[0].alert.peer, peer_b());
+  EXPECT_FALSE(zombies[0].resurrected);
+  // The stuck route finally clears: a die event, no active zombie.
+  ASSERT_TRUE(service.submit(withdraw(w + 20 * kMinute, peer_b(), prefix)));
+  service.finalize(w + 21 * kMinute);
+  EXPECT_TRUE(service.zombies().empty());
+  std::uint64_t died = 0;
+  for (std::size_t i = 0; i < 2; ++i) died += service.snapshot(i)->died;
+  EXPECT_EQ(died, 1u);
+  EXPECT_GE(service.events().published(), 2u);  // emerge + die on the SSE hub
+  service.stop();
+}
+
+TEST(ObsLiveShard, UpfrontScheduleDeliveredInStreamOrder) {
+  // Regression: a whole multi-cycle schedule registered before any
+  // records must not let cycle 2's expect supersede cycle 1's watch
+  // before cycle 1's deadline fires.
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  config.detector.threshold = 5 * kMinute;
+  LiveService service(config);
+  service.start();
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  const auto prefix = Prefix::parse("100.64.1.0/24");
+  const auto cycle = 20 * kMinute;
+  service.expect({prefix, t0, t0 + 10 * kMinute, false});
+  service.expect({prefix, t0 + cycle, t0 + cycle + 10 * kMinute, false});
+  ASSERT_TRUE(service.submit(announce(t0 + 5, peer_a(), prefix)));
+  // Cycle 1's withdrawal never arrives; the next record the shard sees
+  // is already cycle 2's announcement.
+  ASSERT_TRUE(service.submit(announce(t0 + cycle + 5, peer_a(), prefix)));
+  service.finalize();
+  // Cycle 1 emerged (deadline t0+15min fired before the recycle at
+  // t0+20min) and died at the recycle; cycle 2 emerged too (its
+  // withdrawal never arrived either).
+  const auto pairs = service.emerged_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, prefix);
+  std::uint64_t emerged = 0;
+  std::uint64_t died = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    emerged += service.snapshot(i)->emerged;
+    died += service.snapshot(i)->died;
+  }
+  EXPECT_EQ(emerged, 2u);
+  EXPECT_EQ(died, 1u);
+  service.stop();
+}
+
+TEST(ObsLiveShard, EpochsAdvanceMonotonically) {
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  std::uint64_t last = service.epoch();
+  for (int i = 0; i < 8; ++i) {
+    const auto prefix = Prefix::parse("10." + std::to_string(i) + ".0.0/16");
+    ASSERT_TRUE(service.submit(announce(t0 + i, peer_a(), prefix)));
+    service.finalize(t0 + 100 + i);
+    const std::uint64_t now = service.epoch();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// SSE framing and streaming
+// ---------------------------------------------------------------------------
+
+TEST(ObsLiveSse, FrameSplitsMultilineData) {
+  const std::string f = obs::SseChannel::frame("emerge", "line1\nline2", 7);
+  EXPECT_EQ(f, "event: emerge\ndata: line1\ndata: line2\nid: 7\n\n");
+}
+
+TEST(ObsLiveSse, CollectReplaysRetainedAndReportsMissed) {
+  obs::SseChannel channel(4);
+  for (int i = 0; i < 10; ++i) {
+    channel.publish("e", "payload" + std::to_string(i));
+  }
+  std::string out;
+  std::uint64_t cursor = channel.collect(1, out);
+  EXPECT_EQ(cursor, channel.head());
+  EXPECT_NE(out.find(": missed 6 events"), std::string::npos);
+  EXPECT_EQ(out.find("payload5"), std::string::npos);  // fell out of retention
+  EXPECT_NE(out.find("payload6"), std::string::npos);
+  EXPECT_NE(out.find("payload9"), std::string::npos);
+  out.clear();
+  EXPECT_EQ(channel.collect(cursor, out), cursor);
+  EXPECT_TRUE(out.empty());  // caught up: nothing new
+}
+
+namespace sse {
+
+/// Connects, sends a GET for `target`, and reads until `want` appears
+/// in the stream (or ~2s elapse). Returns everything read.
+std::string read_until(std::uint16_t port, const std::string& target,
+                       const std::string& want) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  timeval tv{};
+  tv.tv_usec = 100 * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string raw;
+  char buf[4096];
+  for (int spins = 0; spins < 20 && raw.find(want) == std::string::npos; ++spins) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) raw.append(buf, static_cast<std::size_t>(n));
+    if (n == 0) break;
+  }
+  ::close(fd);
+  return raw;
+}
+
+}  // namespace sse
+
+TEST(ObsLiveSse, HttpStreamDeliversPublishedFrames) {
+  obs::SseChannel channel;
+  obs::HttpServer server;
+  server.add_stream("/live/events", &channel);
+  ASSERT_TRUE(server.start(0));
+  channel.publish("emerge", "{\"prefix\":\"2a0d:3dc1:1200::/48\"}");
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    channel.publish("die", "{\"prefix\":\"2a0d:3dc1:1200::/48\"}");
+  });
+  // ?since=0 replays the retained emerge, then the live die arrives.
+  const std::string raw =
+      sse::read_until(server.port(), "/live/events?since=0", "event: die");
+  late.join();
+  server.stop();
+  EXPECT_NE(raw.find("text/event-stream"), std::string::npos);
+  EXPECT_NE(raw.find("event: emerge"), std::string::npos);
+  EXPECT_NE(raw.find("event: die"), std::string::npos);
+  EXPECT_LT(raw.find("event: emerge"), raw.find("event: die"));
+}
+
+TEST(ObsLiveSse, HeartbeatsFlowWhenIdle) {
+  obs::SseChannel channel;
+  obs::HttpServer server;
+  server.add_stream("/live/events", &channel);
+  server.set_heartbeat_interval_ms(50);
+  ASSERT_TRUE(server.start(0));
+  const std::string raw = sse::read_until(server.port(), "/live/events", ": hb");
+  server.stop();
+  EXPECT_NE(raw.find(": hb"), std::string::npos);
+}
+
+TEST(ObsLiveSse, DroppedClientDoesNotStallPublishers) {
+  obs::SseChannel channel;
+  obs::HttpServer server;
+  server.add_stream("/live/events", &channel);
+  ASSERT_TRUE(server.start(0));
+  {
+    // Subscribe, read the headers, then vanish without closing cleanly.
+    const std::string head =
+        sse::read_until(server.port(), "/live/events", "text/event-stream");
+    ASSERT_NE(head.find("200 OK"), std::string::npos);
+  }
+  // Publishing to a hub whose only subscriber is gone must not block.
+  for (int i = 0; i < 100; ++i) channel.publish("e", "x");
+  EXPECT_EQ(channel.published(), 100u);
+  // And a fresh subscriber still gets served.
+  channel.publish("fresh", "y");
+  const std::string raw =
+      sse::read_until(server.port(), "/live/events?since=0", "event: fresh");
+  EXPECT_NE(raw.find("event: fresh"), std::string::npos);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// RIS-Live NDJSON parsing and the TCP feed
+// ---------------------------------------------------------------------------
+
+TEST(ObsLiveFeed, ParsesWrappedUpdateWithPathAndSet) {
+  const auto record = parse_ris_live_line(
+      R"({"type":"ris_message","data":{"timestamp":1717500000.42,)"
+      R"("peer":"192.0.2.1","peer_asn":"64500","type":"UPDATE",)"
+      R"("path":[64500,[25091,25092],8298,210312],)"
+      R"("announcements":[{"next_hop":"192.0.2.1",)"
+      R"("prefixes":["93.175.147.0/24","2a0d:3dc1:1200::/48"]}],)"
+      R"("withdrawals":["93.175.146.0/24"]}})");
+  ASSERT_TRUE(record.has_value());
+  const auto* msg = std::get_if<mrt::Bgp4mpMessage>(&*record);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->timestamp, 1717500000);
+  EXPECT_EQ(msg->peer_asn, 64500u);
+  EXPECT_EQ(msg->peer_address, IpAddress::parse("192.0.2.1"));
+  ASSERT_EQ(msg->update.announced.size(), 2u);
+  EXPECT_EQ(msg->update.announced[0], Prefix::parse("93.175.147.0/24"));
+  ASSERT_EQ(msg->update.withdrawn.size(), 1u);
+  // Nested arrays (AS_SET) are flattened into the sequence.
+  EXPECT_EQ(msg->update.attributes.as_path.length(), 5);
+}
+
+TEST(ObsLiveFeed, ParsesBareStateMessage) {
+  const auto record = parse_ris_live_line(
+      R"({"timestamp":1717500060,"peer":"192.0.2.9","peer_asn":64509,)"
+      R"("type":"RIS_PEER_STATE","state":"connected"})");
+  ASSERT_TRUE(record.has_value());
+  const auto* state = std::get_if<mrt::Bgp4mpStateChange>(&*record);
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->peer_asn, 64509u);
+  EXPECT_EQ(state->new_state, bgp::SessionState::kEstablished);
+}
+
+TEST(ObsLiveFeed, RejectsMalformedAndUselessLines) {
+  EXPECT_FALSE(parse_ris_live_line("").has_value());
+  EXPECT_FALSE(parse_ris_live_line("not json at all").has_value());
+  EXPECT_FALSE(parse_ris_live_line(R"({"type":"ris_error","data":{}})").has_value());
+  // An UPDATE with no prefixes carries nothing for the detector.
+  EXPECT_FALSE(parse_ris_live_line(
+                   R"({"timestamp":1,"peer":"192.0.2.1","peer_asn":1,)"
+                   R"("type":"UPDATE"})")
+                   .has_value());
+  // Missing peer identity.
+  EXPECT_FALSE(parse_ris_live_line(
+                   R"({"timestamp":1,"type":"UPDATE","withdrawals":["10.0.0.0/8"]})")
+                   .has_value());
+}
+
+TEST(ObsLiveFeed, TcpFeedSubmitsParsedLines) {
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  TcpNdjsonFeedSource feed(0);
+  ASSERT_NE(feed.port(), 0);
+  FeedSource::RunStats stats;
+  std::thread pump([&] { stats = feed.run(service); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(feed.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string lines =
+      R"({"timestamp":1717500000,"peer":"192.0.2.1","peer_asn":64500,)"
+      R"("type":"UPDATE","announcements":[{"next_hop":"192.0.2.1",)"
+      R"("prefixes":["93.175.147.0/24"]}]})"
+      "\n"
+      "this line is garbage\n"
+      R"({"timestamp":1717500100,"peer":"192.0.2.1","peer_asn":64500,)"
+      R"("type":"UPDATE","withdrawals":["93.175.147.0/24"]})"
+      "\n";
+  ASSERT_EQ(::send(fd, lines.data(), lines.size(), 0),
+            static_cast<ssize_t>(lines.size()));
+  ::close(fd);
+
+  for (int spins = 0; spins < 100 && service.processed() < 2; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  feed.stop();
+  pump.join();
+  service.finalize(1717500200);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.parse_errors, 1u);
+  EXPECT_EQ(service.processed(), 2u);
+  service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Replay-speed independence
+// ---------------------------------------------------------------------------
+
+namespace replay {
+
+struct Expected {
+  std::vector<mrt::MrtRecord> records;
+  std::vector<BeaconEvent> events;
+  std::vector<std::pair<Prefix, PeerKey>> emerged;
+};
+
+/// Two beacon cycles over two prefixes and two peers, ~8 simulated
+/// seconds total, with peer_b losing every withdrawal: small enough
+/// that even a paced replay finishes in about a second.
+Expected make_stream() {
+  Expected x;
+  const TimePoint t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  const auto pa = Prefix::parse("100.64.1.0/24");
+  const auto pb = Prefix::parse("100.64.2.0/24");
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    const TimePoint a = t0 + cycle * 4;
+    const TimePoint w = a + 2;
+    for (const auto& prefix : {pa, pb}) {
+      x.events.push_back({prefix, a, w, false});
+      x.records.push_back(announce(a, peer_a(), prefix));
+      x.records.push_back(announce(a, peer_b(), prefix));
+      x.records.push_back(withdraw(w, peer_a(), prefix)); // peer_b loses its
+    }
+  }
+  x.emerged = {{pa, peer_b()}, {pb, peer_b()}};
+  return x;
+}
+
+std::vector<std::pair<Prefix, PeerKey>> run(const Expected& x, double speed) {
+  LiveConfig config;
+  config.shards = 4;
+  config.block_on_full = true;
+  config.detector.threshold = 1;  // one simulated second
+  LiveService service(config);
+  service.start();
+  for (const auto& event : x.events) service.expect(event);
+  ReplayFeedSource feed(x.records, speed);
+  const auto stats = feed.run(service);
+  EXPECT_EQ(stats.records, x.records.size());
+  service.finalize();
+  auto pairs = service.emerged_pairs();
+  EXPECT_EQ(service.drops(), 0u);
+  service.stop();
+  return pairs;
+}
+
+}  // namespace replay
+
+TEST(ObsLiveReplay, PacedReplayMatchesMaxSpeed) {
+  const auto x = replay::make_stream();
+  const auto flat_out = replay::run(x, 0.0);
+  const auto paced = replay::run(x, 10.0);  // ~0.8 s wall
+  EXPECT_EQ(flat_out, paced);
+  EXPECT_EQ(flat_out, x.emerged);
+}
+
+}  // namespace
+}  // namespace zombiescope::live

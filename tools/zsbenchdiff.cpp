@@ -28,9 +28,11 @@
 #include <cstring>
 #include <dirent.h>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/benchdiff.hpp"
+#include "obs/build_info.hpp"
 
 using namespace zombiescope;
 
@@ -41,7 +43,7 @@ namespace {
                "usage: %s BASELINE.json... --vs CANDIDATE.json... [options]\n"
                "       %s --history DIR [options]\n"
                "options: --threshold PCT  --noise PCT  --gate-counters\n"
-               "         --force  --json\n",
+               "         --force  --json  --version\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -140,6 +142,12 @@ bool split_history(const std::string& dir, Options& opt, std::string& error) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zsbenchdiff").c_str());
+      return 0;
+    }
+  }
   Options opt = parse_options(argc, argv);
 
   if (!opt.history_dir.empty()) {

@@ -37,8 +37,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "beacon/schedule.hpp"
+#include "obs/build_info.hpp"
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
 #include "obs/http.hpp"
@@ -63,7 +65,7 @@ namespace {
                "          [--metrics-out FILE] [--metrics-format prom|json]\n"
                "          [--trace-out FILE] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE]\n",
+               "          [--http-port N] [--profile-out FILE] [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -327,6 +329,12 @@ int run(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zsdetect").c_str());
+      return 0;
+    }
+  }
   const Options opt = parse_options(argc, argv);
 
   // Covers the whole run (MRT load + detector passes + reporting); the

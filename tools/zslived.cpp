@@ -1,0 +1,307 @@
+// zslived — the live zombie-detection daemon.
+//
+// Runs the zslive service (live/service.hpp) against one of three
+// feeds and serves the result over HTTP while it happens:
+//
+//   zslived --replay updates.mrt --schedule daily --start 2024-03-01 \
+//           --end 2024-03-02 --speed 60 --http-port 8080
+//       replays an archived day at 60 simulated seconds per wall
+//       second; curl /live/zombies for the current stuck set,
+//       curl -N /live/events for the emerge/resurrect/die stream.
+//
+//   zslived --tap-demo --http-port 8080 --duration 30
+//       self-contained demo: a small simulation with a collector
+//       session that loses every withdrawal, so zombies emerge and
+//       die while you watch. This is what the sanitizer soak runs.
+//
+//   zslived --tcp-port 9000 --schedule ris --start ... --end ...
+//       accepts RIS-Live-style NDJSON on a TCP socket (one JSON
+//       object per line) and detects on it as it arrives.
+//
+// Endpoints: /live/zombies (JSON snapshot, ETag = epoch), /live/events
+// (SSE), /live/stats (shard health), plus the standard zsobs set
+// (/metrics, /healthz, /spans, /journal/tail, /causal, /profile).
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "live/feed.hpp"
+#include "live/service.hpp"
+#include "netbase/time.hpp"
+#include "obs/build_info.hpp"
+#include "obs/export.hpp"
+#include "obs/http.hpp"
+#include "obs/journal.hpp"
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--replay FILE | --tcp-port N | --tap-demo)\n"
+      "          [--speed N] [--duration WALL_SECONDS]\n"
+      "          [--schedule ris|daily|fifteen --start YYYY-MM-DD --end YYYY-MM-DD]\n"
+      "          [--shards N] [--queue-depth N] [--threshold MINUTES]\n"
+      "          [--block-on-full] [--http-port N] [--print-zombies]\n"
+      "          [--metrics-out FILE] [--metrics-format prom|json]\n"
+      "          [--trace-out FILE] [--journal-out FILE]\n"
+      "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
+      "          [--profile-out FILE] [--version]\n",
+      argv0);
+  std::exit(2);
+}
+
+netbase::TimePoint parse_date(const char* argv0, const std::string& text) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    std::fprintf(stderr, "error: bad date '%s' (want YYYY-MM-DD)\n", text.c_str());
+    usage(argv0);
+  }
+  return netbase::utc(y, m, d);
+}
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_signal(int) { g_interrupted = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zslived").c_str());
+      return 0;
+    }
+  }
+
+  std::string replay_path;
+  int tcp_port = -1;
+  bool tap_demo = false;
+  double speed = 0.0;  // replay: <= 0 = max; tap: <= 0 = default 60
+  long duration = 0;   // wall seconds; 0 = until the feed ends (replay) / forever
+  std::string schedule;
+  netbase::TimePoint start = 0;
+  netbase::TimePoint end = 0;
+  live::LiveConfig live_config;
+  int http_port = -1;
+  bool print_zombies = false;
+  std::string metrics_out;
+  obs::Format metrics_format = obs::Format::kJson;
+  std::string trace_out;
+  std::string journal_out;
+  obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
+  std::uint32_t journal_categories = obs::kCatAll;
+  std::string profile_out;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--replay") replay_path = need_value(i);
+      else if (arg == "--tcp-port") tcp_port = std::stoi(need_value(i));
+      else if (arg == "--tap-demo") tap_demo = true;
+      else if (arg == "--speed") speed = std::stod(need_value(i));
+      else if (arg == "--duration") duration = std::stol(need_value(i));
+      else if (arg == "--schedule") schedule = need_value(i);
+      else if (arg == "--start") start = parse_date(argv[0], need_value(i));
+      else if (arg == "--end") end = parse_date(argv[0], need_value(i));
+      else if (arg == "--shards")
+        live_config.shards = static_cast<std::size_t>(std::stoul(need_value(i)));
+      else if (arg == "--queue-depth")
+        live_config.queue_depth = static_cast<std::size_t>(std::stoul(need_value(i)));
+      else if (arg == "--threshold")
+        live_config.detector.threshold = std::stol(need_value(i)) * netbase::kMinute;
+      else if (arg == "--block-on-full") live_config.block_on_full = true;
+      else if (arg == "--http-port") http_port = std::stoi(need_value(i));
+      else if (arg == "--print-zombies") print_zombies = true;
+      else if (arg == "--metrics-out") metrics_out = need_value(i);
+      else if (arg == "--metrics-format") {
+        const auto parsed = obs::parse_format(need_value(i));
+        if (!parsed.has_value()) usage(argv[0]);
+        metrics_format = *parsed;
+      } else if (arg == "--trace-out") trace_out = need_value(i);
+      else if (arg == "--journal-out") journal_out = need_value(i);
+      else if (arg == "--journal-format") {
+        const auto parsed = obs::parse_journal_format(need_value(i));
+        if (!parsed.has_value()) usage(argv[0]);
+        journal_format = *parsed;
+      } else if (arg == "--journal-categories") {
+        const auto parsed = obs::parse_categories(need_value(i));
+        if (!parsed.has_value()) usage(argv[0]);
+        journal_categories = *parsed;
+      } else if (arg == "--profile-out") profile_out = need_value(i);
+      else usage(argv[0]);
+    } catch (const std::exception&) {
+      usage(argv[0]);
+    }
+  }
+
+  const int feed_modes = (replay_path.empty() ? 0 : 1) + (tcp_port >= 0 ? 1 : 0) +
+                         (tap_demo ? 1 : 0);
+  if (feed_modes != 1) {
+    std::fprintf(stderr, "error: pick exactly one of --replay / --tcp-port / --tap-demo\n");
+    usage(argv[0]);
+  }
+  if (!schedule.empty() && (start == 0 || end == 0 || end <= start)) {
+    std::fprintf(stderr, "error: --schedule needs --start and --end\n");
+    usage(argv[0]);
+  }
+
+  obs::ScopedProfileSession profile(profile_out);
+  obs::Journal& journal = obs::Journal::global();
+  if (!journal_out.empty()) {
+    try {
+      journal.attach_writer(
+          std::make_unique<obs::JournalWriter>(journal_out, journal_format));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    journal.set_enabled_categories(journal_categories);
+    // Shard workers emit concurrently; only the serving/drain side may
+    // pump, so autopump (which pumps from producers) stays off.
+  }
+
+  // The tap demo defaults to a threshold scaled to its short beacon
+  // cycle so transitions happen within a brief soak.
+  if (tap_demo && live_config.detector.threshold == 90 * netbase::kMinute) {
+    live_config.detector.threshold = 5 * netbase::kMinute;
+  }
+
+  live::LiveService service(live_config);
+  service.start();
+
+  // Beacon expectations: replay/tcp use the operator-provided
+  // schedule; the tap generates its own.
+  live::SimTapConfig tap_config;
+  if (tap_demo) {
+    tap_config.speed = speed > 0 ? speed : 60.0;
+    if (duration > 0) {
+      tap_config.duration =
+          static_cast<netbase::Duration>(static_cast<double>(duration) * tap_config.speed);
+    }
+  }
+  std::unique_ptr<live::FeedSource> feed;
+  std::vector<beacon::BeaconEvent> events;
+  if (!schedule.empty()) {
+    if (schedule == "ris") {
+      events = beacon::RisBeaconSchedule::classic().events(start, end);
+    } else if (schedule == "daily") {
+      events = beacon::LongLivedBeaconSchedule::paper_deployment(
+                   beacon::LongLivedBeaconSchedule::Approach::kDaily)
+                   .events(start, end);
+    } else if (schedule == "fifteen") {
+      events = beacon::LongLivedBeaconSchedule::paper_deployment(
+                   beacon::LongLivedBeaconSchedule::Approach::kFifteenDay)
+                   .events(start, end);
+    } else {
+      std::fprintf(stderr, "error: unknown schedule '%s'\n", schedule.c_str());
+      usage(argv[0]);
+    }
+  }
+  try {
+    if (!replay_path.empty()) {
+      feed = live::ReplayFeedSource::from_file(replay_path, speed);
+    } else if (tcp_port >= 0) {
+      feed = std::make_unique<live::TcpNdjsonFeedSource>(
+          static_cast<std::uint16_t>(tcp_port));
+      std::fprintf(stderr, "NDJSON feed on port %u\n",
+                   static_cast<live::TcpNdjsonFeedSource*>(feed.get())->port());
+    } else {
+      auto tap = std::make_unique<live::SimTapFeedSource>(tap_config);
+      events = tap->schedule();
+      feed = std::move(tap);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  for (const beacon::BeaconEvent& event : events) service.expect(event);
+
+  obs::HttpServer http;
+  if (http_port >= 0) {
+    service.attach_http(http);
+    if (!http.start(static_cast<std::uint16_t>(http_port))) {
+      std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
+      return 1;
+    }
+    std::fprintf(stderr, "serving http://127.0.0.1:%u/live/zombies\n", http.port());
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  live::FeedSource::RunStats feed_stats;
+  std::atomic<bool> feed_done{false};
+  std::thread feeder([&] {
+    obs::ScopedSpan span("zslived.feed");
+    feed_stats = feed->run(service);
+    feed_done.store(true, std::memory_order_release);
+  });
+
+  // Main thread: journal pump + wall-clock bound + signal watch. The
+  // feeder returns on its own for a finite replay/tap; --duration (or
+  // Ctrl-C) bounds the open-ended feeds.
+  const auto wall0 = std::chrono::steady_clock::now();
+  bool stop_requested = false;
+  while (!feed_done.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!journal_out.empty()) journal.pump();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+            .count();
+    if (!stop_requested &&
+        (g_interrupted != 0 || (duration > 0 && elapsed >= static_cast<double>(duration)))) {
+      feed->stop();
+      stop_requested = true;
+    }
+  }
+  feeder.join();
+
+  // The replay delivered everything; fire the deadlines that fall
+  // after the last record so the final state matches batch detection.
+  if (!replay_path.empty()) service.finalize();
+
+  std::fprintf(stderr,
+               "feed done: %llu record(s), %llu parse error(s); "
+               "%llu processed, %llu dropped, epoch %llu\n",
+               static_cast<unsigned long long>(feed_stats.records),
+               static_cast<unsigned long long>(feed_stats.parse_errors),
+               static_cast<unsigned long long>(service.processed()),
+               static_cast<unsigned long long>(service.drops()),
+               static_cast<unsigned long long>(service.epoch()));
+  if (print_zombies) std::printf("%s\n", service.zombies_json().c_str());
+
+  try {
+    if (!metrics_out.empty()) obs::write_metrics_file(metrics_out, metrics_format);
+    if (!trace_out.empty()) obs::write_trace_file(trace_out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (!journal_out.empty()) {
+    journal.close_writer();
+    std::fprintf(stderr, "journal: %llu event(s) written to %s (%llu dropped)\n",
+                 static_cast<unsigned long long>(journal.emitted()), journal_out.c_str(),
+                 static_cast<unsigned long long>(journal.dropped()));
+  }
+  http.stop();
+  service.stop();
+  return 0;
+}

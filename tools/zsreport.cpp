@@ -24,9 +24,11 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netbase/time.hpp"
+#include "obs/build_info.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 
@@ -37,7 +39,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s JOURNAL [--prefix PREFIX] [--json] [--max-rows N]\n"
-               "          [--profile-out FILE]\n"
+               "          [--profile-out FILE] [--version]\n"
                "       (JOURNAL may be '-' to read from stdin)\n",
                argv0);
   std::exit(2);
@@ -304,6 +306,12 @@ void print_json(const Report& report, const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zsreport").c_str());
+      return 0;
+    }
+  }
   const Options opt = parse_options(argc, argv);
   obs::ScopedProfileSession profile(opt.profile_out);
   std::vector<obs::JournalEvent> events;

@@ -32,8 +32,10 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "obs/causal.hpp"
 #include "obs/journal.hpp"
 #include "scenarios/faultlab.hpp"
@@ -48,7 +50,7 @@ namespace {
                "usage: %s tree JOURNAL [--prefix P] [--max-traces N]\n"
                "       %s localize JOURNAL [--prefix P] [--json]\n"
                "       %s score [--seeds N] [--json] [--out FILE]\n"
-               "       (JOURNAL may be '-' to read from stdin)\n",
+               "       (JOURNAL may be '-' to read from stdin; --version prints build identity)\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -263,6 +265,12 @@ int run_score(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zsroot").c_str());
+      return 0;
+    }
+  }
   const Options opt = parse_options(argc, argv);
   if (opt.mode == "tree") return run_tree(opt);
   if (opt.mode == "localize") return run_localize(opt);

@@ -22,9 +22,11 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "mrt/codec.hpp"
+#include "obs/build_info.hpp"
 #include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/http.hpp"
@@ -44,7 +46,8 @@ namespace {
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--metrics-format prom|json] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE] [--causal-sample-rate R]\n",
+               "          [--http-port N] [--profile-out FILE] [--causal-sample-rate R]\n"
+               "          [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -93,6 +96,12 @@ int run_scenario(const std::string& which, const std::string& prefix) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--version") {
+      std::puts(obs::identity_line("zssim").c_str());
+      return 0;
+    }
+  }
   std::vector<std::string> positional;
   std::string metrics_out;
   std::string trace_out;
