@@ -11,6 +11,7 @@
 
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
+#include "obs/heap.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
@@ -155,6 +156,12 @@ void emit_metrics_snapshot(const std::string& name) {
   if constexpr (obs::kProfCompiledIn) {
     if (obs::Profiler::global().running()) profile = obs::Profiler::global().stop();
   }
+  obs::HeapReport heap;
+  if constexpr (obs::kHeapCompiledIn) {
+    if (obs::HeapProfiler::global().running()) {
+      heap = obs::HeapProfiler::global().stop();  // also refreshes zs_heap_*
+    }
+  }
   if (const char* env = std::getenv("ZS_NO_BENCH_JSON"); env != nullptr && *env != '\0')
     return;
   std::string dir = ".";
@@ -173,6 +180,7 @@ void emit_metrics_snapshot(const std::string& name) {
     extra.emplace_back("wall_time_s", wall);
     extra.emplace_back("peak_rss_bytes", std::to_string(peak_rss_bytes()));
     if (profile.valid) extra.emplace_back("profile", profile.to_json());
+    if (heap.valid) extra.emplace_back("heap", heap.to_json());
     const auto spans = obs::Tracer::global().snapshot();
     obs::write_text_file(
         path, obs::to_json(obs::Registry::global().snapshot(), spans, extra));
@@ -187,6 +195,13 @@ void begin_bench_session() {
     g_bench_started_valid = true;
     if constexpr (obs::kProfCompiledIn) {
       if (std::getenv("ZS_NO_PROF") == nullptr) obs::Profiler::global().start();
+    }
+    // The heap section rides along by default so every BENCH_*.json
+    // carries allocation counts next to its profile ($ZS_NO_HEAP opts
+    // out; a sanitizer build makes start() a graceful no-op).
+    if constexpr (obs::kHeapCompiledIn) {
+      if (std::getenv("ZS_NO_HEAP") == nullptr)
+        obs::HeapProfiler::global().start();
     }
     return true;
   }();

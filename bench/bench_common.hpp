@@ -27,10 +27,12 @@ scenarios::RisPeriodSpec ris_spec(int which);
 /// Loads (or simulates + stores) the 2024 long-lived experiment.
 scenarios::LongLived2024Output load_longlived2024();
 
-/// Starts the bench telemetry session: records the wall-clock start
-/// and begins a zsprof sampling session (skipped when $ZS_NO_PROF is
-/// set or the profiler is compiled out). Idempotent; called by
-/// print_header, and directly by benches with a custom main.
+/// Starts the bench telemetry session: records the wall-clock start,
+/// begins a zsprof sampling session (skipped when $ZS_NO_PROF is set
+/// or the profiler is compiled out), and begins a zsheap allocation
+/// session (skipped when $ZS_NO_HEAP is set, compiled out, or the
+/// build runs under a sanitizer). Idempotent; called by print_header,
+/// and directly by benches with a custom main.
 void begin_bench_session();
 
 /// Prints a section header for the harness output. Also starts the
@@ -39,9 +41,10 @@ void begin_bench_session();
 /// BENCH_<tool>.json behind for trajectory diffing.
 void print_header(const std::string& title, const std::string& paper_ref);
 
-/// Stops the profiling session and writes the global metrics registry
+/// Stops the profiling sessions and writes the global metrics registry
 /// (zsobs-v1 JSON: spans, build info, bench name, wall time, peak RSS,
-/// and a zsprof profile section) to BENCH_<name>.json in
+/// a zsprof profile section, and a zsheap heap section) to
+/// BENCH_<name>.json in
 /// $ZS_BENCH_JSON_DIR (default: the working directory). The JSON is
 /// suppressed when $ZS_NO_BENCH_JSON is set. Never throws: a failed
 /// snapshot must not fail the bench.

@@ -28,7 +28,9 @@ shift $(( $# > 0 ? 1 : 0 ))
 if [ "$#" -gt 0 ]; then
   BENCHES=("$@")
 else
-  BENCHES=(micro_hotpaths)
+  # Default gate set: the decode/detect hot paths AND the sharded live
+  # service (so its shard-scaling throughput can't silently regress).
+  BENCHES=(micro_hotpaths live_throughput)
 fi
 
 REPEATS="${ZS_BENCH_REPEATS:-3}"

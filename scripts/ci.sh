@@ -13,8 +13,10 @@
 #      (e.g. on hardware unlike the one the baselines were recorded
 #      on, where build-identity or raw-speed differences are noise);
 #   4. optionally, the benchmark regression gate against a baseline
-#      ref (scripts/check_bench_regression.sh) — enabled by setting
-#      ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
+#      ref (scripts/check_bench_regression.sh, default bench set:
+#      micro_hotpaths + live_throughput, so both the decode/detect hot
+#      paths and the sharded live service are gated) — enabled by
+#      setting ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
 #
 # Usage: scripts/ci.sh [build-dir]
 #   ZS_CI_BENCH_BASELINE=origin/main scripts/ci.sh

@@ -7,8 +7,10 @@
 #include <mutex>
 #include <queue>
 #include <stdexcept>
+#include <tuple>
 #include <variant>
 
+#include "obs/benchdiff.hpp"  // sorted_quantile for the lag quantiles
 #include "obs/causal.hpp"
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
@@ -28,6 +30,14 @@ double thread_cpu_seconds() {
   timespec ts{};
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// p50/p99 of a raw lag sample set (seconds). Sorts in place.
+std::pair<double, double> lag_quantiles(std::vector<double> samples) {
+  if (samples.empty()) return {0.0, 0.0};
+  std::sort(samples.begin(), samples.end());
+  return {obs::sorted_quantile(samples, 0.50),
+          obs::sorted_quantile(samples, 0.99)};
 }
 
 void append_kv(std::string& out, std::string_view key, std::string_view value,
@@ -502,6 +512,15 @@ std::vector<ShardStats> LiveService::stats() const {
     st.dropped = s.dropped.load(std::memory_order_relaxed);
     st.busy_seconds =
         static_cast<double>(s.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+    if (s.lags) {
+      const std::uint64_t n = std::min<std::uint64_t>(
+          s.lag_count.load(std::memory_order_relaxed), Shard::kLagRing);
+      std::vector<double> samples;
+      samples.reserve(n);
+      for (std::uint64_t j = 0; j < n; ++j)
+        samples.push_back(s.lags[j].load(std::memory_order_relaxed));
+      std::tie(st.lag_p50, st.lag_p99) = lag_quantiles(std::move(samples));
+    }
     if (const auto snap = snapshot(i)) {
       st.epoch = snap->epoch;
       st.active_zombies = snap->zombies.size();
@@ -638,6 +657,12 @@ std::string LiveService::stats_json() const {
   append_kv(out, "drops_total", std::to_string(drops()), false);
   out += ',';
   append_kv(out, "sse_published", std::to_string(events_.published()), false);
+  out += ',';
+  // Service-wide ingest-lag rollup over every shard's reservoir.
+  const auto [lag_p50, lag_p99] = lag_quantiles(lag_samples());
+  append_kv(out, "lag_p50", std::to_string(lag_p50), false);
+  out += ',';
+  append_kv(out, "lag_p99", std::to_string(lag_p99), false);
   out += ",\"shards\":[";
   bool first = true;
   for (const auto& st : stats()) {
@@ -661,6 +686,10 @@ std::string LiveService::stats_json() const {
     append_kv(out, "active_zombies", std::to_string(st.active_zombies), false);
     out += ',';
     append_kv(out, "busy_seconds", std::to_string(st.busy_seconds), false);
+    out += ',';
+    append_kv(out, "lag_p50", std::to_string(st.lag_p50), false);
+    out += ',';
+    append_kv(out, "lag_p99", std::to_string(st.lag_p99), false);
     out += '}';
   }
   out += "]}";

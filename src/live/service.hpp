@@ -113,6 +113,10 @@ struct ShardStats {
   /// (CLOCK_THREAD_CPUTIME_ID — excludes blocked waits, so it is the
   /// shard's genuine processing cost even on a one-core box).
   double busy_seconds = 0.0;
+  /// Ingest-lag quantiles (seconds) over this shard's recent lag
+  /// reservoir; 0 until the shard has processed anything.
+  double lag_p50 = 0.0;
+  double lag_p99 = 0.0;
 };
 
 class LiveService {

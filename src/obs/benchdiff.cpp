@@ -298,6 +298,21 @@ BenchSnapshot parse_bench_snapshot(std::string_view json, const std::string& lab
       }
     }
   }
+  if (const JsonValue* heap = root->find("heap")) {
+    // Top-level numbers of the zsheap-v1 section (total_bytes, allocs,
+    // frees, peak_live_bytes, ...) become heap:* metrics; the per-span
+    // attribution becomes heap_span_bytes:<name> so a diff can say
+    // which phase grew.
+    flatten_numbers(*heap, "heap:", snap.metrics);
+    if (const JsonValue* spans = heap->find("spans");
+        spans != nullptr && spans->kind == JsonValue::Kind::kObject) {
+      for (const auto& [name, s] : spans->object) {
+        if (const JsonValue* bytes = s.find("bytes");
+            bytes != nullptr && bytes->kind == JsonValue::Kind::kNumber)
+          snap.metrics["heap_span_bytes:" + name] = bytes->number;
+      }
+    }
+  }
   return snap;
 }
 
@@ -371,6 +386,12 @@ bool gated_metric(std::string_view name, const DiffConfig& config) {
     return true;
   if (config.gate_counters &&
       (name.rfind("counter:", 0) == 0 || name.rfind("gauge:", 0) == 0))
+    return true;
+  // Allocation gating (--gate-alloc): the speed program's "fewer
+  // allocations, no time regression" proof. Only the two exhaustive
+  // totals gate; the rest of heap:* stays informational.
+  if (config.gate_alloc &&
+      (name == "heap:total_bytes" || name == "heap:allocs"))
     return true;
   return false;
 }

@@ -83,6 +83,7 @@ struct DiffConfig {
   double threshold_pct = 5.0;  // gate: regression beyond this trips
   double noise_pct = 1.0;      // ignore deltas below this floor
   bool gate_counters = false;  // also gate on counter/gauge drift
+  bool gate_alloc = false;     // also gate heap:total_bytes/heap:allocs
   bool force = false;          // compare despite incompatible builds
 };
 

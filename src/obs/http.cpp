@@ -17,6 +17,7 @@
 
 #include "obs/causal.hpp"
 #include "obs/export.hpp"
+#include "obs/heap.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
@@ -70,6 +71,9 @@ HttpResponse route(std::string_view method, std::string_view target) {
     return {405, "text/plain; charset=utf-8", "method not allowed\n", {}};
   }
   if (path == "/metrics") {
+    // Refresh the zs_heap_* gauges so scrapes see current allocation
+    // counters even mid-session (no-op when zsheap never ran).
+    heap_publish_metrics();
     return {200, "text/plain; version=0.0.4; charset=utf-8",
             to_prometheus(Registry::global().snapshot()), {}};
   }
@@ -165,6 +169,31 @@ HttpResponse route(std::string_view method, std::string_view target) {
                        std::to_string(report.samples) + " samples over " +
                        std::to_string(seconds) + "s\n" + report.to_folded();
     return {200, "text/plain; charset=utf-8", std::move(body), {}};
+  }
+  if (path == "/heap") {
+    if constexpr (!kHeapCompiledIn) {
+      return {501, "text/plain; charset=utf-8",
+              "allocation profiler compiled out (ZS_HEAP_ENABLED=0)\n", {}};
+    }
+    if (!HeapProfiler::interposition_available()) {
+      return {501, "text/plain; charset=utf-8",
+              "allocator interposition unavailable (sanitizer build)\n", {}};
+    }
+    // On-demand allocation profile, same contract as /profile: observe
+    // allocations for ?seconds=N (default 5, cap 60), blocking the
+    // serving thread, then reply with per-span shares + top sites.
+    const std::size_t seconds =
+        std::min<std::size_t>(query_uint(target, "seconds", 5), 60);
+    HeapProfiler& profiler = HeapProfiler::global();
+    if (!profiler.start()) {
+      return {409, "text/plain; charset=utf-8",
+              "heap profiler already running (another /heap or --heap-out "
+              "session is active)\n",
+              {}};
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    const HeapReport report = profiler.stop();
+    return {200, "text/plain; charset=utf-8", report.top_report(20), {}};
   }
   return {404, "text/plain; charset=utf-8", "not found\n", {}};
 }

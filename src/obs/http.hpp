@@ -14,6 +14,11 @@
 //                      (default 5, cap 60) and return folded stacks;
 //                      409 if a profiling session is already active,
 //                      501 when the profiler is compiled out
+//   GET /heap          observe allocations with zsheap for ?seconds=N
+//                      (default 5, cap 60) and return per-span shares
+//                      + top sampled sites; 409 if a heap session is
+//                      already active, 501 when compiled out or the
+//                      allocator belongs to a sanitizer
 //
 // Subsystems register additional endpoints before start():
 // add_endpoint() for plain request/response handlers (zslive's

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/heap.hpp"
 #include "obs/prof.hpp"
 
 namespace zombiescope::obs {
@@ -113,6 +114,14 @@ ScopedSpan::ScopedSpan(std::string_view name, Tracer& tracer) {
       prof_pushed_ = true;
     }
   }
+  // Same deal for zsheap: while an allocation-profiling session runs,
+  // publish this span so the allocator hook can credit bytes to it.
+  if constexpr (kHeapCompiledIn) {
+    if (heap_attribution_active()) {
+      heap_push_span(heap_intern(name_));
+      heap_pushed_ = true;
+    }
+  }
   start_ns_ = tracer.now_ns();
 }
 
@@ -120,6 +129,9 @@ ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
   if constexpr (kProfCompiledIn) {
     if (prof_pushed_) prof_pop_span();
+  }
+  if constexpr (kHeapCompiledIn) {
+    if (heap_pushed_) heap_pop_span();
   }
   SpanRecord record;
   record.id = id_;

@@ -112,6 +112,8 @@ class ScopedSpan {
   // True when this span registered itself with the zsprof profiler's
   // per-thread span stack (only while a profiling session is active).
   bool prof_pushed_ = false;
+  // Same flag for the zsheap allocation profiler's span stack.
+  bool heap_pushed_ = false;
 };
 
 }  // namespace zombiescope::obs

@@ -178,6 +178,75 @@ TEST(ObsBenchDiff, CounterDriftIsInformationalByDefault) {
   EXPECT_TRUE(result.gate_tripped);
 }
 
+TEST(ObsBenchDiffSnapshot, FlattensHeapSectionAsHeapMetrics) {
+  std::string json = snapshot_json(1.0, 1000000, 500);
+  json.insert(json.rfind('}'),
+              R"(, "heap": {"schema": "zsheap-v1", "valid": true,
+  "total_bytes": 123456, "allocs": 789, "frees": 700,
+  "peak_live_bytes": 4096,
+  "size_class_allocs": {"16": 10},
+  "spans": {"decode": {"bytes": 100000, "allocs": 600}},
+  "top_sites": []})");
+  const obs::BenchSnapshot snap = obs::parse_bench_snapshot(json, "x.json");
+  EXPECT_DOUBLE_EQ(snap.metrics.at("heap:total_bytes"), 123456);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("heap:allocs"), 789);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("heap:peak_live_bytes"), 4096);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("heap_span_bytes:decode"), 100000);
+  // Nested objects stay out of the flat heap:* namespace.
+  EXPECT_EQ(snap.metrics.count("heap:16"), 0u);
+}
+
+TEST(ObsBenchDiff, AllocDriftIsInformationalWithoutGateAlloc) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["heap:total_bytes"] = 1000000;
+  base[0].metrics["heap:allocs"] = 10000;
+  cand[0].metrics["heap:total_bytes"] = 1200000;  // +20% allocation
+  cand[0].metrics["heap:allocs"] = 12000;
+  obs::DiffConfig config;
+  obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+  bool seen = false;
+  for (const auto& delta : result.benches[0].deltas)
+    if (delta.name == "heap:total_bytes") {
+      seen = true;
+      EXPECT_TRUE(delta.significant);
+      EXPECT_FALSE(delta.gated);
+    }
+  EXPECT_TRUE(seen);
+
+  // --gate-alloc turns the same +20% drift into a tripped gate.
+  config.gate_alloc = true;
+  result = obs::diff_benches(base, cand, config);
+  EXPECT_TRUE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, GateAllocAcceptsSelfComparison) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  for (auto* group : {&base, &cand}) {
+    (*group)[0].metrics["heap:total_bytes"] = 1000000;
+    (*group)[0].metrics["heap:allocs"] = 10000;
+  }
+  obs::DiffConfig config;
+  config.gate_alloc = true;
+  const obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, GateAllocIgnoresOtherHeapMetrics) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["heap:peak_live_bytes"] = 1000;
+  cand[0].metrics["heap:peak_live_bytes"] = 10000;  // 10x, ungated
+  base[0].metrics["heap_span_bytes:decode"] = 1000;
+  cand[0].metrics["heap_span_bytes:decode"] = 10000;
+  obs::DiffConfig config;
+  config.gate_alloc = true;
+  const obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
 TEST(ObsBenchDiff, HistogramSecondsParticipateInGate) {
   auto base = runs({1.0});
   auto cand = runs({1.0});

@@ -404,6 +404,71 @@ TEST(ObsLiveSse, DroppedClientDoesNotStallPublishers) {
   server.stop();
 }
 
+TEST(ObsLiveSse, SlowConsumerIsEvictedWithoutBlockingOthers) {
+  obs::SseChannel channel;
+  obs::HttpServer server;
+  server.add_stream("/live/events", &channel);
+  // A tiny backlog bound so a stalled client trips eviction quickly.
+  server.set_max_client_buffer(4096);
+  ASSERT_TRUE(server.start(0));
+
+  // A client that subscribes, reads the headers, then stops reading
+  // entirely while keeping the socket open — the classic slow consumer.
+  const int slow_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(slow_fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  // Shrink the kernel receive buffer so the server's sends back up
+  // into its userspace backlog instead of the socket buffers.
+  int rcvbuf = 1024;
+  ::setsockopt(slow_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  const std::string request = "GET /live/events HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(slow_fd, request.data(), request.size(), 0), 0);
+  char head[256];
+  (void)::recv(slow_fd, head, sizeof(head), 0);  // headers only, then stall
+
+  // Flooding the channel must neither block this (publisher) thread
+  // nor wedge the serving loop: the stalled client's backlog crosses
+  // max_client_buffer and it gets evicted.
+  const std::string payload(512, 'x');
+  const auto flood_started = std::chrono::steady_clock::now();
+  for (int i = 0; i < 200; ++i) channel.publish("flood", payload);
+  const auto flood_elapsed =
+      std::chrono::steady_clock::now() - flood_started;
+  EXPECT_EQ(channel.published(), 200u);
+  EXPECT_LT(flood_elapsed, std::chrono::seconds(5));
+
+  // Eviction happens on the serving thread's next write pass; a fresh
+  // well-behaved client must be served regardless, proving the fanout
+  // loop never stalled on the dead weight. A no-?since subscriber only
+  // sees events published after it connects, so publish from a delayed
+  // thread once the reader is attached.
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    channel.publish("fresh", "y");
+  });
+  const std::string raw =
+      sse::read_until(server.port(), "/live/events", "event: fresh");
+  late.join();
+  EXPECT_NE(raw.find("event: fresh"), std::string::npos);
+
+  // The stalled client is gone by now (or on the next pass): poll
+  // briefly for the eviction counter.
+  bool evicted = false;
+  for (int spin = 0; spin < 100 && !evicted; ++spin) {
+    evicted = server.slow_clients_evicted() > 0;
+    if (!evicted) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(evicted) << "slow client was never evicted";
+  ::close(slow_fd);
+  server.stop();
+}
+
 // ---------------------------------------------------------------------------
 // RIS-Live NDJSON parsing and the TCP feed
 // ---------------------------------------------------------------------------

@@ -17,6 +17,8 @@
 //   --threshold PCT   regression gate threshold (default 5)
 //   --noise PCT       ignore deltas below this floor (default 1)
 //   --gate-counters   also gate on counter/gauge drift
+//   --gate-alloc      also gate heap.total_bytes / heap.allocs (the
+//                     zsheap section), for allocation-reduction work
 //   --force           compare even when build identities differ
 //   --json            machine-readable output (zsbenchdiff-v1)
 //
@@ -43,7 +45,7 @@ namespace {
                "usage: %s BASELINE.json... --vs CANDIDATE.json... [options]\n"
                "       %s --history DIR [options]\n"
                "options: --threshold PCT  --noise PCT  --gate-counters\n"
-               "         --force  --json  --version\n",
+               "         --gate-alloc  --force  --json  --version\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -75,6 +77,8 @@ Options parse_options(int argc, char** argv) {
       opt.config.noise_pct = std::stod(need_value(i));
     } else if (arg == "--gate-counters") {
       opt.config.gate_counters = true;
+    } else if (arg == "--gate-alloc") {
+      opt.config.gate_alloc = true;
     } else if (arg == "--force") {
       opt.config.force = true;
     } else if (arg == "--json") {

@@ -29,10 +29,13 @@
 //                        lifespan,collector,fault,propagation,all
 //                        (default all)
 //   --http-port N        serve /metrics /healthz /spans /journal/tail
-//                        /causal /profile on port N while running
-//                        (0 = ephemeral)
+//                        /causal /profile /heap on port N while
+//                        running (0 = ephemeral)
 //   --profile-out FILE   sample the whole run with zsprof and write
 //                        folded stacks (flamegraph-ready) to FILE
+//   --heap-out FILE      profile allocations with zsheap and write the
+//                        zsheap-v1 JSON report (per-span bytes, top
+//                        sampled sites) to FILE
 
 #include <cstdio>
 #include <cstring>
@@ -43,6 +46,7 @@
 #include "obs/build_info.hpp"
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
+#include "obs/heap.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
@@ -65,7 +69,8 @@ namespace {
                "          [--metrics-out FILE] [--metrics-format prom|json]\n"
                "          [--trace-out FILE] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE] [--version]\n",
+               "          [--http-port N] [--profile-out FILE] [--heap-out FILE]\n"
+               "          [--version]\n",
                argv0);
   std::exit(2);
 }
@@ -98,6 +103,7 @@ struct Options {
   std::uint32_t journal_categories = obs::kCatAll;
   int http_port = -1;  // -1 = no HTTP server
   std::string profile_out;
+  std::string heap_out;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -136,6 +142,7 @@ Options parse_options(int argc, char** argv) {
       opt.journal_categories = *parsed;
     } else if (arg == "--http-port") opt.http_port = std::stoi(need_value(i));
     else if (arg == "--profile-out") opt.profile_out = need_value(i);
+    else if (arg == "--heap-out") opt.heap_out = need_value(i);
     else usage(argv[0]);
   }
   if (opt.updates_path.empty() || opt.start == 0 || opt.end == 0 || opt.end <= opt.start)
@@ -340,6 +347,7 @@ int main(int argc, char** argv) {
   // Covers the whole run (MRT load + detector passes + reporting); the
   // folded stacks land in the file when main returns.
   obs::ScopedProfileSession profile(opt.profile_out);
+  obs::ScopedHeapSession heap(opt.heap_out);
 
   obs::Journal& journal = obs::Journal::global();
   if (!opt.journal_out.empty()) {

@@ -20,7 +20,8 @@
 //
 // Endpoints: /live/zombies (JSON snapshot, ETag = epoch), /live/events
 // (SSE), /live/stats (shard health), plus the standard zsobs set
-// (/metrics, /healthz, /spans, /journal/tail, /causal, /profile).
+// (/metrics, /healthz, /spans, /journal/tail, /causal, /profile,
+// /heap).
 
 #include <atomic>
 #include <chrono>
@@ -38,6 +39,7 @@
 #include "netbase/time.hpp"
 #include "obs/build_info.hpp"
 #include "obs/export.hpp"
+#include "obs/heap.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
@@ -58,7 +60,7 @@ namespace {
       "          [--metrics-out FILE] [--metrics-format prom|json]\n"
       "          [--trace-out FILE] [--journal-out FILE]\n"
       "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-      "          [--profile-out FILE] [--version]\n",
+      "          [--profile-out FILE] [--heap-out FILE] [--version]\n",
       argv0);
   std::exit(2);
 }
@@ -105,6 +107,7 @@ int main(int argc, char** argv) {
   obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
   std::uint32_t journal_categories = obs::kCatAll;
   std::string profile_out;
+  std::string heap_out;
 
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
@@ -146,6 +149,7 @@ int main(int argc, char** argv) {
         if (!parsed.has_value()) usage(argv[0]);
         journal_categories = *parsed;
       } else if (arg == "--profile-out") profile_out = need_value(i);
+      else if (arg == "--heap-out") heap_out = need_value(i);
       else usage(argv[0]);
     } catch (const std::exception&) {
       usage(argv[0]);
@@ -164,6 +168,7 @@ int main(int argc, char** argv) {
   }
 
   obs::ScopedProfileSession profile(profile_out);
+  obs::ScopedHeapSession heap(heap_out);
   obs::Journal& journal = obs::Journal::global();
   if (!journal_out.empty()) {
     try {

@@ -5,7 +5,7 @@
 //         [--metrics-out FILE] [--trace-out FILE] [--metrics-format prom|json]
 //         [--journal-out FILE] [--journal-format ndjson|bin]
 //         [--journal-categories LIST] [--http-port N] [--profile-out FILE]
-//         [--causal-sample-rate R]
+//         [--heap-out FILE] [--causal-sample-rate R]
 //
 // Writes <prefix>.updates.mrt (and <prefix>.ribs.mrt for
 // longlived2024). Defaults the prefix to the scenario name.
@@ -13,9 +13,11 @@
 // --trace-out dumps the per-stage span tree; --journal-out records the
 // fault-injection / collector event journal (read it with zsreport;
 // the `propagation` category feeds zsroot); --http-port serves
-// /metrics, /healthz, /spans, /journal/tail, /causal and /profile live
-// during the simulation; --profile-out samples the whole run with
-// zsprof and writes folded stacks (flamegraph-ready) there;
+// /metrics, /healthz, /spans, /journal/tail, /causal, /profile and
+// /heap live during the simulation; --profile-out samples the whole
+// run with zsprof and writes folded stacks (flamegraph-ready) there;
+// --heap-out profiles allocations with zsheap and writes the
+// zsheap-v1 JSON report (per-span bytes, top sites) there;
 // --causal-sample-rate sets the probability that each *announcement*
 // wave is causally traced (withdrawals are always traced; default
 // 0.01) (see DESIGN.md, "Observability").
@@ -29,6 +31,7 @@
 #include "obs/build_info.hpp"
 #include "obs/causal.hpp"
 #include "obs/export.hpp"
+#include "obs/heap.hpp"
 #include "obs/http.hpp"
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
@@ -46,7 +49,8 @@ namespace {
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--metrics-format prom|json] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE] [--causal-sample-rate R]\n"
+               "          [--http-port N] [--profile-out FILE] [--heap-out FILE]\n"
+               "          [--causal-sample-rate R]\n"
                "          [--version]\n",
                argv0);
   std::exit(2);
@@ -111,6 +115,7 @@ int main(int argc, char** argv) {
   std::uint32_t journal_categories = obs::kCatAll;
   int http_port = -1;  // -1 = no HTTP server
   std::string profile_out;
+  std::string heap_out;
   auto need_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
     return argv[++i];
@@ -136,6 +141,8 @@ int main(int argc, char** argv) {
       http_port = std::stoi(need_value(i));
     } else if (arg == "--profile-out") {
       profile_out = need_value(i);
+    } else if (arg == "--heap-out") {
+      heap_out = need_value(i);
     } else if (arg == "--causal-sample-rate") {
       try {
         obs::causal_set_announce_sample_rate(std::stod(need_value(i)));
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
   // Covers the whole run (simulation + MRT writes); the folded stacks
   // land in the file when main returns.
   obs::ScopedProfileSession profile(profile_out);
+  obs::ScopedHeapSession heap(heap_out);
 
   obs::Journal& journal = obs::Journal::global();
   if (!journal_out.empty()) {
