@@ -12,6 +12,7 @@
 #include "mrt/codec.hpp"
 #include "obs/export.hpp"
 #include "obs/heap.hpp"
+#include "obs/lathist.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
@@ -181,6 +182,12 @@ void emit_metrics_snapshot(const std::string& name) {
     extra.emplace_back("peak_rss_bytes", std::to_string(peak_rss_bytes()));
     if (profile.valid) extra.emplace_back("profile", profile.to_json());
     if (heap.valid) extra.emplace_back("heap", heap.to_json());
+    // The zslat stage-latency section (empty registry renders "{}",
+    // skipped so snapshots without live pipelines stay unchanged).
+    if (const std::string latency = obs::LatRegistry::global().to_json();
+        latency != "{}") {
+      extra.emplace_back("latency", latency);
+    }
     const auto spans = obs::Tracer::global().snapshot();
     obs::write_text_file(
         path, obs::to_json(obs::Registry::global().snapshot(), spans, extra));

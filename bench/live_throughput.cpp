@@ -66,14 +66,7 @@ RunResult replay_once(const scenarios::LongLived2024Output& data,
   r.wall_ups = wall > 0 ? records / wall : 0.0;
   const double busy = service.max_worker_busy_seconds();
   r.capacity_ups = busy > 0 ? records / busy : 0.0;
-  auto lags = service.lag_samples();
-  if (!lags.empty()) {
-    std::sort(lags.begin(), lags.end());
-    r.p99_lag_us = lags[lags.size() * 99 / 100 >= lags.size()
-                            ? lags.size() - 1
-                            : lags.size() * 99 / 100] *
-                   1e6;
-  }
+  r.p99_lag_us = service.lag_quantile(0.99) * 1e6;
   r.drops = service.drops();
   r.emerged = static_cast<std::uint64_t>(service.emerged_pairs().size());
   service.stop();

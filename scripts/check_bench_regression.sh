@@ -29,8 +29,10 @@ if [ "$#" -gt 0 ]; then
   BENCHES=("$@")
 else
   # Default gate set: the decode/detect hot paths AND the sharded live
-  # service (so its shard-scaling throughput can't silently regress).
-  BENCHES=(micro_hotpaths live_throughput)
+  # service (so its shard-scaling throughput can't silently regress),
+  # AND its delivery latency (so the e2e p99 can't either — that is
+  # what --gate-latency below turns into a tripping metric).
+  BENCHES=(micro_hotpaths live_throughput live_latency)
 fi
 
 REPEATS="${ZS_BENCH_REPEATS:-3}"
@@ -78,4 +80,4 @@ cmake --build "${WORK_DIR}/candidate-build" -j --target zsbenchdiff >/dev/null
 "${WORK_DIR}/candidate-build/tools/zsbenchdiff" \
   "${WORK_DIR}"/baseline-json/run*/BENCH_*.json \
   --vs "${WORK_DIR}"/candidate-json/run*/BENCH_*.json \
-  --threshold "${THRESHOLD}" --noise "${NOISE}"
+  --threshold "${THRESHOLD}" --noise "${NOISE}" --gate-latency

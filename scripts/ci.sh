@@ -14,9 +14,13 @@
 #      on, where build-identity or raw-speed differences are noise);
 #   4. optionally, the benchmark regression gate against a baseline
 #      ref (scripts/check_bench_regression.sh, default bench set:
-#      micro_hotpaths + live_throughput, so both the decode/detect hot
-#      paths and the sharded live service are gated) — enabled by
-#      setting ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
+#      micro_hotpaths + live_throughput + live_latency, so the
+#      decode/detect hot paths, the sharded live service, and its
+#      delivery latency are all gated) — enabled by setting
+#      ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
+#
+# Both zsbenchdiff gates pass --gate-latency: a latency:*:p99_ns
+# regression past the threshold fails CI like a wall-time regression.
 #
 # Usage: scripts/ci.sh [build-dir]
 #   ZS_CI_BENCH_BASELINE=origin/main scripts/ci.sh
@@ -43,7 +47,8 @@ if [ -z "${ZS_CI_NO_BENCH_GATE:-}" ]; then
     scripts/run_bench.sh "${BUILD_DIR}"
   cmake --build "${BUILD_DIR}" -j --target zsbenchdiff >/dev/null
   "${BUILD_DIR}/tools/zsbenchdiff" \
-    "${REPO_ROOT}"/BENCH_*.json --vs "${FRESH_DIR}"/BENCH_*.json
+    "${REPO_ROOT}"/BENCH_*.json --vs "${FRESH_DIR}"/BENCH_*.json \
+    --gate-latency
 else
   echo "== ci: bench snapshot gate skipped (ZS_CI_NO_BENCH_GATE set)"
 fi

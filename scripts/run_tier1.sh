@@ -32,7 +32,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # report/rendering tests still run. This proves the step-aside path,
 # not just the happy path.
 OBS_TARGETS="obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test \
-  heap_test heap_compileout_test \
+  heap_test heap_compileout_test lathist_test lathist_compileout_test \
   causal_test causal_e2e_test causal_compileout_test live_test zslived"
 
 # A 30-second zslived soak under the instrumented build: the tap demo

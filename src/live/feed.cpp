@@ -384,7 +384,10 @@ FeedSource::RunStats ReplayFeedSource::run(LiveService& service) {
         std::this_thread::sleep_for(std::chrono::milliseconds(2));
       }
     }
-    service.submit(record);
+    // The ingest stamp is taken *after* the pacing wait: pacing models
+    // inter-arrival time, so for latency purposes the record "arrives"
+    // when the gate releases it.
+    service.submit(FeedItem{record, std::chrono::steady_clock::now()});
     ++stats.records;
     m_records.inc();
   }
@@ -479,7 +482,10 @@ FeedSource::RunStats SimTapFeedSource::run(LiveService& service) {
   const auto drain = [&] {
     const std::vector<mrt::MrtRecord>& updates = col.updates();
     for (; next < updates.size(); ++next) {
-      service.submit(updates[next]);
+      // Stamped per record at drain time — the moment the tap hands
+      // the collector's update to the live pipeline.
+      service.submit(
+          FeedItem{updates[next], std::chrono::steady_clock::now()});
       ++stats.records;
       m_records.inc();
     }
@@ -554,8 +560,11 @@ FeedSource::RunStats TcpNdjsonFeedSource::run(LiveService& service) {
       std::string_view line(client.buffer.data() + start, nl - start);
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       if (!line.empty()) {
-        if (const auto record = parse_ris_live_line(line)) {
-          service.submit(*record);
+        // Stamp before the parse: wire read → enqueue includes the
+        // JSON decode cost in the ingest_enqueue stage.
+        const auto ingest = std::chrono::steady_clock::now();
+        if (auto record = parse_ris_live_line(line)) {
+          service.submit(FeedItem{std::move(*record), ingest});
           ++stats.records;
           m_records.inc();
         } else {
@@ -568,8 +577,9 @@ FeedSource::RunStats TcpNdjsonFeedSource::run(LiveService& service) {
     client.buffer.erase(0, start);
     if (flush && !client.buffer.empty()) {
       // A final unterminated line when the client hangs up.
-      if (const auto record = parse_ris_live_line(client.buffer)) {
-        service.submit(*record);
+      const auto ingest = std::chrono::steady_clock::now();
+      if (auto record = parse_ris_live_line(client.buffer)) {
+        service.submit(FeedItem{std::move(*record), ingest});
         ++stats.records;
         m_records.inc();
       } else {

@@ -10,7 +10,8 @@
 #include <tuple>
 #include <variant>
 
-#include "obs/benchdiff.hpp"  // sorted_quantile for the lag quantiles
+#include <cstdio>
+
 #include "obs/causal.hpp"
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
@@ -32,12 +33,27 @@ double thread_cpu_seconds() {
   return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
 }
 
-/// p50/p99 of a raw lag sample set (seconds). Sorts in place.
-std::pair<double, double> lag_quantiles(std::vector<double> samples) {
-  if (samples.empty()) return {0.0, 0.0};
-  std::sort(samples.begin(), samples.end());
-  return {obs::sorted_quantile(samples, 0.50),
-          obs::sorted_quantile(samples, 0.99)};
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t steady_ns(SteadyClock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+std::uint64_t elapsed_ns(SteadyClock::time_point from,
+                         SteadyClock::time_point to) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+/// Sub-second latencies need more than to_string's 6 decimals.
+std::string format_seconds(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9f", seconds);
+  return buf;
 }
 
 void append_kv(std::string& out, std::string_view key, std::string_view value,
@@ -53,7 +69,8 @@ void append_kv(std::string& out, std::string_view key, std::string_view value,
 std::string transition_json(std::string_view type, const netbase::Prefix& prefix,
                             const zombie::PeerKey& peer,
                             netbase::TimePoint withdrawn_at, netbase::TimePoint at,
-                            netbase::Duration stuck_for) {
+                            netbase::Duration stuck_for,
+                            std::uint64_t ingest_ns) {
   std::string out = "{";
   append_kv(out, "type", type, true);
   out += ',';
@@ -70,6 +87,14 @@ std::string transition_json(std::string_view type, const netbase::Prefix& prefix
   if (type == "die") {
     out += ',';
     append_kv(out, "stuck_seconds", std::to_string(stuck_for), false);
+  }
+  if (ingest_ns != 0) {
+    // steady_clock ns of the feed ingest that triggered this
+    // transition. Only comparable inside the emitting process — the
+    // loopback subscriber (live/loopback.hpp) uses it to measure true
+    // end-to-end delivery latency; remote clients should ignore it.
+    out += ',';
+    append_kv(out, "ingest_ns", std::to_string(ingest_ns), false);
   }
   out += '}';
   return out;
@@ -105,6 +130,28 @@ LiveService::LiveService(LiveConfig config) : config_(std::move(config)) {
       "zs_live_ingest_lag_seconds",
       {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25,
        0.5, 1.0, 2.5, 5.0});
+  if constexpr (obs::kLatHistCompiledIn) {
+    // Stage latency surfaces: LatRegistry cell for /latency + bench
+    // sections, registry seconds histogram for the Prometheus
+    // zs_live_stage_seconds_* _quantile gauges. Both are process-wide
+    // singletons keyed by name, so successive LiveService instances
+    // accumulate into the same cells (benches diff snapshots instead).
+    const std::vector<double> stage_buckets = {
+        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+        1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,  0.25,   0.5,
+        1.0,  2.5,    5.0};
+    auto& lats = obs::LatRegistry::global();
+    const auto wire = [&](StageLat& stage, const char* name) {
+      stage.hist = &lats.get(std::string("live.") + name);
+      stage.seconds = registry.histogram(
+          std::string("zs_live_stage_seconds_") + name, stage_buckets);
+    };
+    wire(stage_ingest_enqueue_, "ingest_enqueue");
+    wire(stage_queue_wait_, "queue_wait");
+    wire(stage_detect_, "detect");
+    wire(stage_publish_, "publish");
+    wire(stage_fanout_, "fanout");
+  }
 }
 
 LiveService::~LiveService() { stop(); }
@@ -125,7 +172,6 @@ void LiveService::start() {
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>(config_.queue_depth);
-    shard->lags = std::make_unique<std::atomic<double>[]>(Shard::kLagRing);
     shard->m_depth =
         registry.gauge("zs_live_queue_depth_shard" + std::to_string(i));
     shard->m_active =
@@ -152,8 +198,13 @@ bool LiveService::push_to(std::size_t shard, ShardItem&& item) {
   const bool is_record = item.kind == ShardItem::Kind::kRecord;
   const netbase::TimePoint ts =
       is_record ? mrt::record_timestamp(item.record) : item.advance_to;
-  item.enqueued = std::chrono::steady_clock::now();
-  if (is_record) s.submitted.fetch_add(1, std::memory_order_relaxed);
+  item.enqueued = SteadyClock::now();
+  if (item.ingest == SteadyClock::time_point{}) item.ingest = item.enqueued;
+  if (is_record) {
+    s.submitted.fetch_add(1, std::memory_order_relaxed);
+    // Feed read → shard enqueue (parse, routing, per-shard splitting).
+    stage_ingest_enqueue_.record_ns(elapsed_ns(item.ingest, item.enqueued));
+  }
   const bool ok = config_.block_on_full || !is_record
                       ? s.queue.push_blocking(std::move(item))
                       : s.queue.try_push(std::move(item));
@@ -175,11 +226,19 @@ bool LiveService::push_to(std::size_t shard, ShardItem&& item) {
 }
 
 bool LiveService::submit(const mrt::MrtRecord& record) {
+  return submit(FeedItem{record, SteadyClock::now()});
+}
+
+bool LiveService::submit(FeedItem&& fed) {
   if (!started_) throw std::logic_error("LiveService::submit before start()");
-  const auto push_record = [this](std::size_t shard, mrt::MrtRecord&& copy) {
+  if (fed.ingest == SteadyClock::time_point{}) fed.ingest = SteadyClock::now();
+  mrt::MrtRecord& record = fed.record;
+  const auto push_record = [this, ingest = fed.ingest](std::size_t shard,
+                                                       mrt::MrtRecord&& copy) {
     ShardItem item;
     item.kind = ShardItem::Kind::kRecord;
     item.record = std::move(copy);
+    item.ingest = ingest;
     return push_to(shard, std::move(item));
   };
 
@@ -193,7 +252,7 @@ bool LiveService::submit(const mrt::MrtRecord& record) {
       } else if (!msg->update.announced.empty()) {
         shard = shard_for(msg->update.announced.front(), config_.shards);
       }
-      return push_record(shard, mrt::MrtRecord{record});
+      return push_record(shard, std::move(record));
     }
     // The message's prefixes may span shards: split it into per-shard
     // copies carrying only that shard's prefixes, so each detector
@@ -218,7 +277,7 @@ bool LiveService::submit(const mrt::MrtRecord& record) {
   }
   if (const auto* rib = std::get_if<mrt::RibEntryRecord>(&record)) {
     return push_record(shard_for(rib->prefix, config_.shards),
-                       mrt::MrtRecord{record});
+                       std::move(record));
   }
   // State changes and peer index tables concern every shard: a session
   // reset clears that peer's watches wherever its prefixes live.
@@ -253,7 +312,10 @@ void LiveService::finalize(netbase::TimePoint at) {
     ShardItem item;
     item.kind = ShardItem::Kind::kAdvance;
     item.advance_to = at;
-    delivered[i] = shards_[i]->queue.push_blocking(std::move(item));
+    // Through push_to so the item carries real enqueue/ingest stamps:
+    // transitions fired by this advance attribute their ingest_ns to
+    // the finalize call (non-records always push_blocking there).
+    delivered[i] = push_to(i, std::move(item));
   }
   for (std::size_t i = 0; i < config_.shards; ++i) {
     if (!delivered[i]) continue;  // queue closed under us; worker is gone
@@ -274,6 +336,10 @@ void LiveService::worker_loop(std::size_t shard) {
   std::uint64_t epoch = 0;
   netbase::TimePoint clock = 0;
   bool dirty = false;
+  // Feed-ingest stamp of the item being processed right now: the
+  // transition callbacks below embed it in the SSE JSON so a loopback
+  // subscriber can compute end-to-end delivery latency.
+  std::uint64_t cur_ingest_ns = 0;
   auto& journal = Journal::global();
   const netbase::Duration threshold = config_.detector.threshold;
 
@@ -338,7 +404,8 @@ void LiveService::worker_loop(std::size_t shard) {
     events_.publish(resurrect ? "resurrect" : "emerge",
                     transition_json(resurrect ? "resurrect" : "emerge",
                                     alert.prefix, alert.peer,
-                                    alert.withdrawn_at, alert.raised_at, 0));
+                                    alert.withdrawn_at, alert.raised_at, 0,
+                                    cur_ingest_ns));
     dirty = true;
   });
   detector.on_resolution([&](const zombie::ZombieResolution& resolution) {
@@ -362,11 +429,13 @@ void LiveService::worker_loop(std::size_t shard) {
                                            resolution.peer,
                                            resolution.withdrawn_at,
                                            resolution.resolved_at,
-                                           resolution.stuck_for()));
+                                           resolution.stuck_for(),
+                                           cur_ingest_ns));
     dirty = true;
   });
 
   const auto publish = [&] {
+    const auto publish_start = SteadyClock::now();
     auto next = std::make_shared<ShardSnapshot>();
     next->epoch = ++epoch;
     next->clock = clock;
@@ -384,18 +453,21 @@ void LiveService::worker_loop(std::size_t shard) {
       const std::lock_guard<std::mutex> lock(s.snap_mu);
       s.snap = std::shared_ptr<const ShardSnapshot>(std::move(next));
     }
+    const auto published_at = SteadyClock::now();
+    s.last_publish_ns.store(steady_ns(published_at),
+                            std::memory_order_relaxed);
+    stage_publish_.record_ns(elapsed_ns(publish_start, published_at));
     dirty = false;
   };
   publish();
 
   const auto process = [&](ShardItem& item) {
-    const double lag =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      item.enqueued)
-            .count();
-    m_lag_.observe(lag);
-    const std::uint64_t n = s.lag_count.fetch_add(1, std::memory_order_relaxed);
-    s.lags[n & (Shard::kLagRing - 1)].store(lag, std::memory_order_relaxed);
+    const auto dequeued = SteadyClock::now();
+    const std::uint64_t wait_ns = elapsed_ns(item.enqueued, dequeued);
+    m_lag_.observe(static_cast<double>(wait_ns) * 1e-9);
+    s.lag_hist.record(wait_ns);
+    stage_queue_wait_.record_ns(wait_ns);
+    cur_ingest_ns = steady_ns(item.ingest);
     switch (item.kind) {
       case ShardItem::Kind::kExpect:
         pending.push({item.event, pending_seq++});
@@ -429,6 +501,9 @@ void LiveService::worker_loop(std::size_t shard) {
         deliver_expects_until(mrt::record_timestamp(item.record));
         clock = std::max(clock, mrt::record_timestamp(item.record));
         detector.ingest(item.record);
+        if constexpr (obs::kLatHistCompiledIn) {
+          stage_detect_.record_ns(elapsed_ns(dequeued, SteadyClock::now()));
+        }
         s.processed.fetch_add(1, std::memory_order_relaxed);
         m_records_.inc();
         break;
@@ -512,14 +587,9 @@ std::vector<ShardStats> LiveService::stats() const {
     st.dropped = s.dropped.load(std::memory_order_relaxed);
     st.busy_seconds =
         static_cast<double>(s.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
-    if (s.lags) {
-      const std::uint64_t n = std::min<std::uint64_t>(
-          s.lag_count.load(std::memory_order_relaxed), Shard::kLagRing);
-      std::vector<double> samples;
-      samples.reserve(n);
-      for (std::uint64_t j = 0; j < n; ++j)
-        samples.push_back(s.lags[j].load(std::memory_order_relaxed));
-      std::tie(st.lag_p50, st.lag_p99) = lag_quantiles(std::move(samples));
+    if (const obs::LatSnapshot lag = s.lag_hist.snapshot(); !lag.empty()) {
+      st.lag_p50 = lag.quantile_ns(0.50) * 1e-9;
+      st.lag_p99 = lag.quantile_ns(0.99) * 1e-9;
     }
     if (const auto snap = snapshot(i)) {
       st.epoch = snap->epoch;
@@ -565,21 +635,32 @@ double LiveService::max_worker_busy_seconds() const {
   return max_busy;
 }
 
-std::vector<double> LiveService::lag_samples() const {
-  std::vector<double> out;
+obs::LatSnapshot LiveService::lag_snapshot() const {
+  obs::LatSnapshot merged;
   for (const auto& shard : shards_) {
-    if (!shard->lags) continue;
-    const std::uint64_t count =
-        shard->lag_count.load(std::memory_order_relaxed);
-    const std::uint64_t n = std::min<std::uint64_t>(count, Shard::kLagRing);
-    for (std::uint64_t i = 0; i < n; ++i) {
-      out.push_back(shard->lags[i].load(std::memory_order_relaxed));
-    }
+    merged.merge(shard->lag_hist.snapshot());
   }
-  return out;
+  return merged;
 }
 
-void LiveService::attach_http(obs::HttpServer& server) {
+double LiveService::lag_quantile(double q) const {
+  const obs::LatSnapshot merged = lag_snapshot();
+  return merged.empty() ? 0.0 : merged.quantile_ns(q) * 1e-9;
+}
+
+double LiveService::newest_publish_age_seconds() const {
+  std::uint64_t newest = 0;
+  for (const auto& shard : shards_) {
+    newest = std::max(newest,
+                      shard->last_publish_ns.load(std::memory_order_relaxed));
+  }
+  if (newest == 0) return -1.0;  // never published (service not started)
+  const std::uint64_t now = steady_ns(SteadyClock::now());
+  return now > newest ? static_cast<double>(now - newest) * 1e-9 : 0.0;
+}
+
+void LiveService::attach_http(obs::HttpServer& server,
+                              double stale_after_seconds) {
   server.add_endpoint("/live/zombies", [this](std::string_view) {
     obs::HttpResponse response;
     response.content_type = "application/json";
@@ -594,6 +675,41 @@ void LiveService::attach_http(obs::HttpServer& server) {
     return response;
   });
   server.add_stream("/live/events", &events_);
+  if constexpr (obs::kLatHistCompiledIn) {
+    // Frame publish → copy into a subscriber's connection buffer, per
+    // delivery (N subscribers record N fanout samples per frame).
+    events_.set_latency_sink(
+        [this](std::uint64_t ns) { stage_fanout_.record_ns(ns); });
+  }
+  if (stale_after_seconds > 0.0) {
+    // Readiness override (registration overrides the built-in
+    // liveness /healthz): degraded once no shard has published a
+    // snapshot within the threshold — workers publish after every
+    // batch and on the 50 ms idle tick, so a healthy instance is
+    // never more than ~a tick stale.
+    server.add_endpoint(
+        "/healthz", [this, stale_after_seconds](std::string_view) {
+          obs::HttpResponse response;
+          response.content_type = "application/json";
+          const double age = newest_publish_age_seconds();
+          const bool degraded = age < 0.0 || age > stale_after_seconds;
+          if (degraded) {
+            response.status = 503;
+            response.body =
+                "{\"status\":\"degraded\",\"reason\":\"newest shard snapshot "
+                "is " +
+                (age < 0.0 ? std::string("absent (no shard ever published)")
+                           : format_seconds(age) + "s old (stale-after " +
+                                 format_seconds(stale_after_seconds) + "s)") +
+                "\",\"snapshot_age_seconds\":" +
+                format_seconds(age < 0.0 ? -1.0 : age) + "}\n";
+          } else {
+            response.body = "{\"status\":\"ok\",\"snapshot_age_seconds\":" +
+                            format_seconds(age) + "}\n";
+          }
+          return response;
+        });
+  }
 }
 
 std::string LiveService::zombies_json() const {
@@ -658,11 +774,45 @@ std::string LiveService::stats_json() const {
   out += ',';
   append_kv(out, "sse_published", std::to_string(events_.published()), false);
   out += ',';
-  // Service-wide ingest-lag rollup over every shard's reservoir.
-  const auto [lag_p50, lag_p99] = lag_quantiles(lag_samples());
-  append_kv(out, "lag_p50", std::to_string(lag_p50), false);
+  // Service-wide ingest-lag rollup: every shard's histogram merged
+  // bucket-wise (no sort, no per-scrape allocation proportional to
+  // sample count).
+  const obs::LatSnapshot lag = lag_snapshot();
+  append_kv(out, "lag_p50",
+            format_seconds(lag.empty() ? 0.0 : lag.quantile_ns(0.50) * 1e-9),
+            false);
   out += ',';
-  append_kv(out, "lag_p99", std::to_string(lag_p99), false);
+  append_kv(out, "lag_p99",
+            format_seconds(lag.empty() ? 0.0 : lag.quantile_ns(0.99) * 1e-9),
+            false);
+  // Per-stage pipeline latency (seconds). These are the process-wide
+  // LatRegistry cells — "live.e2e" is recorded by the loopback
+  // subscriber when one is running, so its absence just means nobody
+  // is measuring delivery.
+  out += ",\"stages\":{";
+  {
+    bool first_stage = true;
+    for (const auto& [name, snap] : obs::LatRegistry::global().snapshot_all()) {
+      if (name.rfind("live.", 0) != 0) continue;
+      if (!first_stage) out += ',';
+      first_stage = false;
+      out += '"';
+      out += name.substr(5);
+      out += "\":{";
+      append_kv(out, "count", std::to_string(snap.count), false);
+      out += ',';
+      append_kv(out, "p50", format_seconds(snap.quantile_ns(0.50) * 1e-9),
+                false);
+      out += ',';
+      append_kv(out, "p95", format_seconds(snap.quantile_ns(0.95) * 1e-9),
+                false);
+      out += ',';
+      append_kv(out, "p99", format_seconds(snap.quantile_ns(0.99) * 1e-9),
+                false);
+      out += '}';
+    }
+  }
+  out += '}';
   out += ",\"shards\":[";
   bool first = true;
   for (const auto& st : stats()) {
@@ -687,9 +837,9 @@ std::string LiveService::stats_json() const {
     out += ',';
     append_kv(out, "busy_seconds", std::to_string(st.busy_seconds), false);
     out += ',';
-    append_kv(out, "lag_p50", std::to_string(st.lag_p50), false);
+    append_kv(out, "lag_p50", format_seconds(st.lag_p50), false);
     out += ',';
-    append_kv(out, "lag_p99", std::to_string(st.lag_p99), false);
+    append_kv(out, "lag_p99", format_seconds(st.lag_p99), false);
     out += '}';
   }
   out += "]}";

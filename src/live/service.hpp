@@ -41,6 +41,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -56,6 +57,7 @@
 #include "netbase/ip.hpp"
 #include "netbase/time.hpp"
 #include "obs/http.hpp"
+#include "obs/lathist.hpp"
 #include "obs/metrics.hpp"
 #include "zombie/realtime.hpp"
 
@@ -75,6 +77,16 @@ struct LiveConfig {
 /// bytes, and length). Identical across processes, platforms, and
 /// runs; exposed so tests can assert the partitioning invariants.
 std::size_t shard_for(const netbase::Prefix& prefix, std::size_t shards);
+
+/// One feed record plus the monotonic instant the feed layer first saw
+/// it. Every stage latency downstream (queue wait, detect, publish,
+/// SSE fanout, end-to-end delivery) is measured against this stamp, so
+/// feeds should construct the FeedItem as close to the wire read (or
+/// the pacing release, for replay) as possible.
+struct FeedItem {
+  mrt::MrtRecord record;
+  std::chrono::steady_clock::time_point ingest{};
+};
 
 /// One currently-stuck route in a snapshot, with its live
 /// classification.
@@ -113,8 +125,9 @@ struct ShardStats {
   /// (CLOCK_THREAD_CPUTIME_ID — excludes blocked waits, so it is the
   /// shard's genuine processing cost even on a one-core box).
   double busy_seconds = 0.0;
-  /// Ingest-lag quantiles (seconds) over this shard's recent lag
-  /// reservoir; 0 until the shard has processed anything.
+  /// Ingest-lag (queue-wait) quantiles in seconds from this shard's
+  /// mergeable latency histogram; 0 until the shard has processed
+  /// anything (or with ZS_LATHIST_ENABLED=0).
   double lag_p50 = 0.0;
   double lag_p99 = 0.0;
 };
@@ -146,7 +159,13 @@ class LiveService {
   /// index tables broadcast to every shard (a session reset clears
   /// watches everywhere), RIB entries route by prefix. Returns false
   /// if any per-shard piece was dropped (never with block_on_full).
+  /// Stamps the ingest instant itself — feeds that want the stamp at
+  /// the wire read use the FeedItem overload.
   bool submit(const mrt::MrtRecord& record);
+  /// Same routing, but the caller supplies the feed-ingest stamp (the
+  /// origin of every downstream stage latency). A default-constructed
+  /// stamp is replaced with now.
+  bool submit(FeedItem&& item);
 
   /// Registers an upcoming beacon announce/withdraw pair with the
   /// shard owning the prefix. A whole schedule may be registered
@@ -179,9 +198,12 @@ class LiveService {
   /// throughput bench divides records by to get capacity updates/sec
   /// on machines with fewer cores than shards.
   double max_worker_busy_seconds() const;
-  /// Recent ingest→detector latencies in seconds (bounded reservoir
-  /// per shard; the bench computes its p99 from this).
-  std::vector<double> lag_samples() const;
+  /// Ingest-lag (queue-wait) quantile in seconds across every shard's
+  /// histogram, merged bucket-wise — no sort, no reservoir bound.
+  double lag_quantile(double q) const;
+  /// Merged queue-wait histogram across shards (the bench captures
+  /// before/after snapshots and diffs them per config).
+  obs::LatSnapshot lag_snapshot() const;
 
   // --- serving --------------------------------------------------------
 
@@ -190,9 +212,18 @@ class LiveService {
   obs::SseChannel& events() { return events_; }
 
   /// Registers /live/zombies, /live/stats, and /live/events on the
-  /// server. Must be called before server.start(); the service must
-  /// outlive the server.
-  void attach_http(obs::HttpServer& server);
+  /// server, and installs the SSE fanout latency sink. Must be called
+  /// before server.start(); the service must outlive the server.
+  /// When `stale_after_seconds` > 0 the built-in /healthz is replaced
+  /// with a readiness probe: if the newest shard snapshot is older
+  /// than the threshold the probe answers 503 {"status":"degraded"}
+  /// with a JSON reason, so a load balancer can eject a wedged
+  /// instance (satellite of ISSUE 7; zslived's --stale-after).
+  void attach_http(obs::HttpServer& server, double stale_after_seconds = 0.0);
+
+  /// Seconds since the most recent shard snapshot publish (any shard).
+  /// Large values mean every worker is wedged or the service stopped.
+  double newest_publish_age_seconds() const;
 
   /// JSON bodies of the two snapshot endpoints (exposed so the daemon's
   /// --print-zombies exit dump and the tests share the serializer).
@@ -206,7 +237,28 @@ class LiveService {
     mrt::MrtRecord record;
     beacon::BeaconEvent event;
     netbase::TimePoint advance_to = 0;
+    /// Feed-ingest stamp (stage-latency origin; push_to backfills it
+    /// with the enqueue instant when the producer didn't set one).
+    std::chrono::steady_clock::time_point ingest{};
     std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  /// One pipeline stage's latency surface: the mergeable ns histogram
+  /// in LatRegistry (drives /latency, /live/stats "stages", and the
+  /// BENCH latency section) plus a registry seconds histogram whose
+  /// exporter already emits p50/p95/p99 _quantile gauges
+  /// (zs_live_stage_seconds_<stage>). Recording is two lock-free
+  /// paths; with ZS_LATHIST_ENABLED=0 stage timing is not taken at
+  /// all and both stay empty.
+  struct StageLat {
+    obs::LatHist* hist = nullptr;
+    obs::Histogram seconds;
+    void record_ns(std::uint64_t ns) noexcept {
+      if constexpr (obs::kLatHistCompiledIn) {
+        if (hist != nullptr) hist->record(ns);
+        seconds.observe(static_cast<double>(ns) * 1e-9);
+      }
+    }
   };
 
   struct Shard {
@@ -225,11 +277,14 @@ class LiveService {
     /// pointer copy; the snapshot itself is immutable.
     mutable std::mutex snap_mu;
     std::shared_ptr<const ShardSnapshot> snap;
-    /// Bounded latency reservoir (lock-free ring of atomics so the
-    /// TSan soak tolerates concurrent readers).
-    static constexpr std::size_t kLagRing = 1u << 14;
-    std::unique_ptr<std::atomic<double>[]> lags;
-    std::atomic<std::uint64_t> lag_count{0};
+    /// Queue-wait (ingest-lag) histogram: lock-free record from the
+    /// worker, snapshot-merge reads from any scrape thread — replaces
+    /// the old atomic-double ring whose every /live/stats scrape paid
+    /// an O(n log n) sort.
+    obs::LatHist lag_hist;
+    /// steady_clock ns of the last snapshot publish (0 = never);
+    /// drives the /healthz staleness probe.
+    std::atomic<std::uint64_t> last_publish_ns{0};
     obs::Gauge m_depth;
     obs::Gauge m_active;
   };
@@ -247,6 +302,15 @@ class LiveService {
   obs::Counter m_drops_;
   obs::Counter m_transitions_;
   obs::Histogram m_lag_;
+  // Per-stage pipeline latency (see DESIGN.md §7 zslat): feed ingest →
+  // enqueue, queue wait, detector processing, snapshot publish, SSE
+  // fanout copy-out. End-to-end ("live.e2e") is recorded by the
+  // loopback subscriber (live/loopback.hpp), not here.
+  StageLat stage_ingest_enqueue_;
+  StageLat stage_queue_wait_;
+  StageLat stage_detect_;
+  StageLat stage_publish_;
+  StageLat stage_fanout_;
 };
 
 }  // namespace zombiescope::live

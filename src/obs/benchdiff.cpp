@@ -298,6 +298,21 @@ BenchSnapshot parse_bench_snapshot(std::string_view json, const std::string& lab
       }
     }
   }
+  if (const JsonValue* latency = root->find("latency");
+      latency != nullptr && latency->kind == JsonValue::Kind::kObject) {
+    // The zslat section: each histogram's summary members become
+    // latency:<name>:<member> metrics (latency:live.e2e:p99_ns, ...).
+    // Only the p99s gate (under --gate-latency); the rest ride along
+    // as context for the report.
+    for (const auto& [name, h] : latency->object) {
+      for (const char* member : {"p50_ns", "p95_ns", "p99_ns", "mean_ns",
+                                 "count"}) {
+        if (const JsonValue* v = h.find(member);
+            v != nullptr && v->kind == JsonValue::Kind::kNumber)
+          snap.metrics["latency:" + name + ":" + member] = v->number;
+      }
+    }
+  }
   if (const JsonValue* heap = root->find("heap")) {
     // Top-level numbers of the zsheap-v1 section (total_bytes, allocs,
     // frees, peak_live_bytes, ...) become heap:* metrics; the per-span
@@ -393,8 +408,24 @@ bool gated_metric(std::string_view name, const DiffConfig& config) {
   if (config.gate_alloc &&
       (name == "heap:total_bytes" || name == "heap:allocs"))
     return true;
+  // Delivery-latency gating (--gate-latency): every zslat histogram's
+  // p99 gates — a stage or end-to-end p99 regression beyond the
+  // threshold fails CI like a wall-time regression. p50/mean/count
+  // stay informational (count drift means load changed, not latency).
+  // Sub-microsecond p99s are demoted at the call site, where the
+  // values are known.
+  if (config.gate_latency && name.rfind("latency:", 0) == 0 &&
+      name.ends_with(":p99_ns"))
+    return true;
   return false;
 }
+
+// A latency p99 with both sides under this never gates: tens-of-ns
+// stage timings (e.g. live.ingest_enqueue) move double-digit percents
+// with clock granularity and core migration alone, and no consumer of
+// the pipeline can feel a 100 ns shift. A p99 that *crosses* the floor
+// still gates — that is a real order-of-magnitude change.
+constexpr double kLatencyGateFloorNs = 1000.0;
 
 std::string format_value(double v) {
   char buf[64];
@@ -517,6 +548,9 @@ BenchDiff diff_one_bench(const std::string& name,
       d.delta_pct = (d.cand - d.base) / std::abs(d.base) * 100.0;
     }
     d.gated = gated_metric(metric, config);
+    if (d.gated && metric.rfind("latency:", 0) == 0 &&
+        d.base < kLatencyGateFloorNs && d.cand < kLatencyGateFloorNs)
+      d.gated = false;
     // Significant: past the noise floor AND past the runs' own spread.
     d.significant = std::abs(d.delta_pct) > config.noise_pct &&
                     std::abs(d.delta_pct) > d.spread_pct;

@@ -84,6 +84,7 @@ struct DiffConfig {
   double noise_pct = 1.0;      // ignore deltas below this floor
   bool gate_counters = false;  // also gate on counter/gauge drift
   bool gate_alloc = false;     // also gate heap:total_bytes/heap:allocs
+  bool gate_latency = false;   // also gate latency:*:p99_ns (delivery p99)
   bool force = false;          // compare despite incompatible builds
 };
 

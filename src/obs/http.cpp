@@ -19,6 +19,7 @@
 #include "obs/export.hpp"
 #include "obs/heap.hpp"
 #include "obs/journal.hpp"
+#include "obs/lathist.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
@@ -46,6 +47,7 @@ std::string_view status_text(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
     default: return "Bad Request";
   }
 }
@@ -85,6 +87,17 @@ HttpResponse route(std::string_view method, std::string_view target) {
                        ",\"journal_dropped\":" +
                        std::to_string(Journal::global().dropped()) + "}\n";
     return {200, "application/json", std::move(body), {}};
+  }
+  if (path == "/latency") {
+    // The zslat latency histograms (obs/lathist.hpp): every registered
+    // pipeline-stage histogram as JSON with p50/p95/p99, or folded
+    // per-bucket text with ?format=folded. With ZS_LATHIST_ENABLED=0
+    // the registry is an empty stub and this renders "{}".
+    if (query_string(target, "format") == "folded") {
+      return {200, "text/plain; charset=utf-8",
+              LatRegistry::global().to_folded(), {}};
+    }
+    return {200, "application/json", LatRegistry::global().to_json(), {}};
   }
   if (path == "/spans") {
     return {200, "application/json", trace_to_json(Tracer::global().snapshot()),
@@ -290,13 +303,19 @@ std::string SseChannel::frame(std::string_view event, std::string_view data,
 
 void SseChannel::publish(std::string_view event, std::string_view data) {
   std::lock_guard<std::mutex> lock(mutex_);
-  frames_.push_back(frame(event, data, next_seq_));
+  frames_.push_back(
+      {frame(event, data, next_seq_), std::chrono::steady_clock::now()});
   ++next_seq_;
   if (frames_.size() > max_frames_) {
     frames_.pop_front();
     ++first_seq_;
   }
   published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SseChannel::set_latency_sink(std::function<void(std::uint64_t)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_sink_ = std::move(sink);
 }
 
 std::uint64_t SseChannel::head() const {
@@ -312,8 +331,16 @@ std::uint64_t SseChannel::collect(std::uint64_t cursor, std::string& out) const 
     out += ": missed " + std::to_string(first_seq_ - cursor) + " events\n\n";
     cursor = first_seq_;
   }
+  const auto now = std::chrono::steady_clock::now();
   for (std::uint64_t seq = cursor; seq < next_seq_; ++seq) {
-    out += frames_[static_cast<std::size_t>(seq - first_seq_)];
+    const Frame& f = frames_[static_cast<std::size_t>(seq - first_seq_)];
+    out += f.text;
+    if (latency_sink_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          now - f.published_at)
+                          .count();
+      latency_sink_(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
   }
   return next_seq_;
 }

@@ -14,6 +14,9 @@
 //                      (default 5, cap 60) and return folded stacks;
 //                      409 if a profiling session is already active,
 //                      501 when the profiler is compiled out
+//   GET /latency       the zslat stage-latency histograms as JSON
+//                      (p50/p95/p99 per registered histogram) or
+//                      folded per-bucket text with ?format=folded
 //   GET /heap          observe allocations with zsheap for ?seconds=N
 //                      (default 5, cap 60) and return per-span shares
 //                      + top sampled sites; 409 if a heap session is
@@ -46,6 +49,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -111,6 +115,13 @@ class SseChannel {
     return published_.load(std::memory_order_relaxed);
   }
 
+  /// Installs a fanout-latency observer: called once per frame copied
+  /// into a subscriber's buffer with (now - publish instant) in ns —
+  /// the "fanout" stage of the live pipeline. Install before the
+  /// server starts; pass nullptr to remove. Replayed frames
+  /// (?since=SEQ) report their true, large staleness.
+  void set_latency_sink(std::function<void(std::uint64_t ns)> sink);
+
   /// Pure SSE wire framing of one event (exposed for tests):
   ///   event: <name>\n
   ///   data: <line>\n      (repeated per line of `data`)
@@ -120,12 +131,18 @@ class SseChannel {
                            std::uint64_t id);
 
  private:
+  struct Frame {
+    std::string text;
+    std::chrono::steady_clock::time_point published_at;
+  };
+
   mutable std::mutex mutex_;
-  std::deque<std::string> frames_;  // frames_[i] has seq first_seq_ + i
-  std::uint64_t first_seq_ = 1;     // seq of frames_.front()
+  std::deque<Frame> frames_;     // frames_[i] has seq first_seq_ + i
+  std::uint64_t first_seq_ = 1;  // seq of frames_.front()
   std::uint64_t next_seq_ = 1;
   std::size_t max_frames_;
   std::atomic<std::uint64_t> published_{0};
+  std::function<void(std::uint64_t)> latency_sink_;
 };
 
 class HttpServer {

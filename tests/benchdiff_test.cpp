@@ -247,6 +247,96 @@ TEST(ObsBenchDiff, GateAllocIgnoresOtherHeapMetrics) {
   EXPECT_FALSE(result.gate_tripped);
 }
 
+TEST(ObsBenchDiffSnapshot, FlattensLatencySectionAsLatencyMetrics) {
+  std::string json = snapshot_json(1.0, 1000000, 500);
+  json.insert(json.rfind('}'),
+              R"(, "latency": {"live.e2e": {"count": 3200, "sum_ns": 64000000,
+  "min_ns": 900, "max_ns": 120000, "mean_ns": 20000.0,
+  "p50_ns": 15000.0, "p95_ns": 80000.0, "p99_ns": 110000.0},
+  "live.queue_wait": {"count": 471355, "sum_ns": 9000000,
+  "min_ns": 100, "max_ns": 50000, "mean_ns": 19.1,
+  "p50_ns": 12.0, "p95_ns": 95.0, "p99_ns": 400.0}})");
+  const obs::BenchSnapshot snap = obs::parse_bench_snapshot(json, "x.json");
+  EXPECT_DOUBLE_EQ(snap.metrics.at("latency:live.e2e:p50_ns"), 15000.0);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("latency:live.e2e:p99_ns"), 110000.0);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("latency:live.e2e:mean_ns"), 20000.0);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("latency:live.e2e:count"), 3200);
+  EXPECT_DOUBLE_EQ(snap.metrics.at("latency:live.queue_wait:p99_ns"), 400.0);
+  // min/max/sum are not comparable scalars; they stay out of the
+  // flattened namespace.
+  EXPECT_EQ(snap.metrics.count("latency:live.e2e:min_ns"), 0u);
+  EXPECT_EQ(snap.metrics.count("latency:live.e2e:sum_ns"), 0u);
+}
+
+TEST(ObsBenchDiff, LatencyDriftIsInformationalWithoutGateLatency) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["latency:live.e2e:p99_ns"] = 100000.0;
+  cand[0].metrics["latency:live.e2e:p99_ns"] = 120000.0;  // +20% delivery p99
+  obs::DiffConfig config;
+  obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+  bool seen = false;
+  for (const auto& delta : result.benches[0].deltas)
+    if (delta.name == "latency:live.e2e:p99_ns") {
+      seen = true;
+      EXPECT_TRUE(delta.significant);
+      EXPECT_FALSE(delta.gated);
+    }
+  EXPECT_TRUE(seen);
+
+  // --gate-latency turns the same +20% regression into a tripped gate.
+  config.gate_latency = true;
+  result = obs::diff_benches(base, cand, config);
+  EXPECT_TRUE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, GateLatencyAcceptsSelfComparison) {
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  for (auto* group : {&base, &cand}) {
+    (*group)[0].metrics["latency:live.e2e:p99_ns"] = 100000.0;
+    (*group)[0].metrics["latency:live.e2e:p50_ns"] = 15000.0;
+  }
+  obs::DiffConfig config;
+  config.gate_latency = true;
+  const obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, GateLatencyGatesOnlyP99) {
+  // p50/mean/count wobble is informational even under --gate-latency:
+  // the gate contract is the tail.
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["latency:live.e2e:p50_ns"] = 10000.0;
+  cand[0].metrics["latency:live.e2e:p50_ns"] = 20000.0;  // 2x, ungated
+  base[0].metrics["latency:live.e2e:count"] = 1000.0;
+  cand[0].metrics["latency:live.e2e:count"] = 2000.0;
+  obs::DiffConfig config;
+  config.gate_latency = true;
+  const obs::DiffResult result = obs::diff_benches(base, cand, config);
+  EXPECT_FALSE(result.gate_tripped);
+}
+
+TEST(ObsBenchDiff, GateLatencyIgnoresSubMicrosecondStages) {
+  // A 97 ns -> 160 ns stage p99 is clock granularity, not a delivery
+  // regression; both sides under the 1 us floor never gate. Crossing
+  // the floor (0.5 us -> 5 us) is an order-of-magnitude change and
+  // still does.
+  auto base = runs({1.0});
+  auto cand = runs({1.0});
+  base[0].metrics["latency:live.ingest_enqueue:p99_ns"] = 97.0;
+  cand[0].metrics["latency:live.ingest_enqueue:p99_ns"] = 160.0;
+  obs::DiffConfig config;
+  config.gate_latency = true;
+  EXPECT_FALSE(obs::diff_benches(base, cand, config).gate_tripped);
+
+  base[0].metrics["latency:live.queue_wait:p99_ns"] = 500.0;
+  cand[0].metrics["latency:live.queue_wait:p99_ns"] = 5000.0;
+  EXPECT_TRUE(obs::diff_benches(base, cand, config).gate_tripped);
+}
+
 TEST(ObsBenchDiff, HistogramSecondsParticipateInGate) {
   auto base = runs({1.0});
   auto cand = runs({1.0});

@@ -1,0 +1,59 @@
+// Verifies the ZS_LATHIST_ENABLED=0 build really compiles zslat out:
+// this target recompiles lathist.cpp with the macro forced to 0 (see
+// tests/CMakeLists.txt) instead of linking zs_obs, so only the inline
+// no-op stubs may survive. Every entry point must be callable and
+// inert — stage-timing call sites guard with
+// `if constexpr (kLatHistCompiledIn)` and rely on these stubs when
+// they don't.
+
+#include <gtest/gtest.h>
+
+#include "obs/lathist.hpp"
+
+namespace obs = zombiescope::obs;
+
+static_assert(!obs::kLatHistCompiledIn,
+              "this test must be built with ZS_LATHIST_ENABLED=0");
+
+namespace {
+
+TEST(ObsLatHistCompileOut, RecordingIsInert) {
+  obs::LatHist hist;
+  hist.record(12345);
+  hist.record(~0ull);
+  EXPECT_EQ(hist.count(), 0u);
+  const obs::LatSnapshot snap = hist.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile_ns(0.99), 0.0);
+  EXPECT_EQ(snap.mean_ns(), 0.0);
+  hist.reset();
+}
+
+TEST(ObsLatHistCompileOut, SnapshotMathIsInert) {
+  obs::LatSnapshot a;
+  obs::LatSnapshot b;
+  a.merge(b);
+  EXPECT_TRUE(a.diff_since(b).empty());
+  EXPECT_EQ(a.to_json(), "{}");
+}
+
+TEST(ObsLatHistCompileOut, RegistryIsInert) {
+  obs::LatRegistry& reg = obs::LatRegistry::global();
+  obs::LatHist& hist = reg.get("live.e2e");
+  hist.record(999);
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_TRUE(reg.snapshot_all().empty());
+  EXPECT_EQ(reg.to_json(), "{}");
+  EXPECT_TRUE(reg.to_folded().empty());
+  reg.reset_all();
+}
+
+TEST(ObsLatHistCompileOut, GeometryHelpersStayUsable) {
+  // The constexpr bucket math lives outside the #if so headers can use
+  // it unconditionally; it must keep working in the stub build.
+  EXPECT_EQ(obs::lat_bucket_index(5), 5u);
+  EXPECT_LT(obs::lat_bucket_index(~0ull), obs::kLatBucketCount);
+}
+
+}  // namespace

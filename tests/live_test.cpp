@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "live/feed.hpp"
+#include "live/loopback.hpp"
 #include "live/queue.hpp"
 #include "live/service.hpp"
 #include "obs/http.hpp"
+#include "obs/lathist.hpp"
 
 namespace zombiescope::live {
 namespace {
@@ -623,6 +625,133 @@ TEST(ObsLiveReplay, PacedReplayMatchesMaxSpeed) {
   const auto paced = replay::run(x, 10.0);  // ~0.8 s wall
   EXPECT_EQ(flat_out, paced);
   EXPECT_EQ(flat_out, x.emerged);
+}
+
+// ---------------------------------------------------------------------------
+// Stage latency tracing and readiness
+// ---------------------------------------------------------------------------
+
+TEST(ObsLiveLatency, StageHistogramsPopulateThroughThePipeline) {
+  // The LatRegistry cells are process-cumulative (other tests in this
+  // binary run services too), so assert on the diff around this run.
+  obs::LatRegistry& reg = obs::LatRegistry::global();
+  const auto ingest_before = reg.get("live.ingest_enqueue").snapshot();
+  const auto wait_before = reg.get("live.queue_wait").snapshot();
+  const auto detect_before = reg.get("live.detect").snapshot();
+  const auto publish_before = reg.get("live.publish").snapshot();
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  for (int i = 0; i < 64; ++i) {
+    const auto prefix = Prefix::parse("10." + std::to_string(i) + ".0.0/16");
+    ASSERT_TRUE(service.submit(announce(t0 + i, peer_a(), prefix)));
+  }
+  service.finalize(t0 + 100);
+  service.stop();
+  const auto ingest = reg.get("live.ingest_enqueue").snapshot();
+  const auto wait = reg.get("live.queue_wait").snapshot();
+  const auto detect = reg.get("live.detect").snapshot();
+  const auto publish = reg.get("live.publish").snapshot();
+  EXPECT_GE(ingest.diff_since(ingest_before).count, 64u);
+  // queue_wait also times the expect/advance control items.
+  EXPECT_GE(wait.diff_since(wait_before).count, 64u);
+  EXPECT_GE(detect.diff_since(detect_before).count, 64u);
+  EXPECT_GE(publish.diff_since(publish_before).count, 1u);
+}
+
+TEST(ObsLiveLatency, HealthzReadinessTracksSnapshotAge) {
+  LiveConfig config;
+  config.shards = 1;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  obs::HttpServer server;
+  service.attach_http(server, /*stale_after_seconds=*/0.4);
+  ASSERT_TRUE(server.start(0));
+  // Workers publish once at startup, then only when records move the
+  // state — an idle service goes stale past the threshold.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  const std::string stale =
+      sse::read_until(server.port(), "/healthz", "\"status\"");
+  EXPECT_NE(stale.find("503"), std::string::npos) << stale;
+  EXPECT_NE(stale.find("\"status\":\"degraded\""), std::string::npos) << stale;
+  EXPECT_NE(stale.find("\"snapshot_age_seconds\""), std::string::npos);
+  // One record re-publishes the shard snapshot: ready again.
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  ASSERT_TRUE(
+      service.submit(announce(t0, peer_a(), Prefix::parse("10.0.0.0/16"))));
+  std::string ok;
+  for (int spins = 0; spins < 20; ++spins) {
+    ok = sse::read_until(server.port(), "/healthz", "\"status\"");
+    if (ok.find("\"status\":\"ok\"") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_NE(ok.find("200"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("\"status\":\"ok\""), std::string::npos) << ok;
+  server.stop();
+  service.stop();
+}
+
+TEST(ObsLiveLatency, LoopbackClientMeasuresEndToEndDelivery) {
+  obs::LatRegistry& reg = obs::LatRegistry::global();
+  const auto e2e_before = reg.get("live.e2e").snapshot();
+  const auto wait_before = reg.get("live.queue_wait").snapshot();
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  config.detector.threshold = 5 * kMinute;
+  LiveService service(config);
+  service.start();
+  obs::HttpServer server;
+  service.attach_http(server);
+  ASSERT_TRUE(server.start(0));
+  LoopbackLatencyClient client(server.port());
+  ASSERT_TRUE(client.start());
+
+  // Two peers never withdraw inside the window: two emerge transitions
+  // carry ingest_ns stamps through the SSE stream back to the client.
+  const auto t0 = netbase::utc(2024, 6, 4, 12, 0, 0);
+  const auto prefix = Prefix::parse("2a0d:3dc1:1200::/48");
+  service.expect({prefix, t0, t0 + 10 * kMinute, false});
+  ASSERT_TRUE(service.submit(announce(t0 + 10, peer_a(), prefix)));
+  ASSERT_TRUE(service.submit(announce(t0 + 12, peer_b(), prefix)));
+  service.finalize(t0 + 16 * kMinute);
+  for (int spins = 0; spins < 100 && client.samples() < 2; ++spins)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GE(client.samples(), 2u);
+  EXPECT_GT(client.bytes_read(), 0u);
+
+  // The delivery path surfaces everywhere the issue promises: /latency
+  // (JSON and folded), /live/stats stages, and the legacy lag keys.
+  const std::string latency =
+      sse::read_until(server.port(), "/latency", "live.e2e");
+  EXPECT_NE(latency.find("\"live.e2e\""), std::string::npos) << latency;
+  EXPECT_NE(latency.find("\"live.queue_wait\""), std::string::npos);
+  const std::string folded =
+      sse::read_until(server.port(), "/latency?format=folded", "live.e2e;");
+  EXPECT_NE(folded.find("live.e2e;count "), std::string::npos) << folded;
+  const std::string stats =
+      sse::read_until(server.port(), "/live/stats", "\"stages\"");
+  EXPECT_NE(stats.find("\"lag_p50\""), std::string::npos);
+  EXPECT_NE(stats.find("\"lag_p99\""), std::string::npos);
+  EXPECT_NE(stats.find("\"stages\""), std::string::npos);
+  EXPECT_NE(stats.find("\"e2e\""), std::string::npos) << stats;
+
+  client.stop();
+  server.stop();
+  service.stop();
+  const auto e2e = reg.get("live.e2e").snapshot().diff_since(e2e_before);
+  ASSERT_GE(e2e.count, 2u);
+  const double e2e_p50 = e2e.quantile_ns(0.5);
+  EXPECT_GT(e2e_p50, 0.0);
+  EXPECT_LT(e2e_p50, 5e9);  // sane: well under 5 s on loopback
+  // A single hop cannot exceed the journey it is part of.
+  const auto wait = reg.get("live.queue_wait").snapshot().diff_since(wait_before);
+  ASSERT_FALSE(wait.empty());
+  EXPECT_LE(wait.quantile_ns(0.5), e2e_p50);
 }
 
 }  // namespace

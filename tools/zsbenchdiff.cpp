@@ -19,6 +19,10 @@
 //   --gate-counters   also gate on counter/gauge drift
 //   --gate-alloc      also gate heap.total_bytes / heap.allocs (the
 //                     zsheap section), for allocation-reduction work
+//   --gate-latency    also gate every latency:*:p99_ns (the zslat
+//                     section), so delivery-latency p99 regressions
+//                     fail CI like time regressions; p99s under 1 us
+//                     on both sides stay informational (clock jitter)
 //   --force           compare even when build identities differ
 //   --json            machine-readable output (zsbenchdiff-v1)
 //
@@ -45,7 +49,7 @@ namespace {
                "usage: %s BASELINE.json... --vs CANDIDATE.json... [options]\n"
                "       %s --history DIR [options]\n"
                "options: --threshold PCT  --noise PCT  --gate-counters\n"
-               "         --gate-alloc  --force  --json  --version\n",
+               "         --gate-alloc  --gate-latency  --force  --json  --version\n",
                argv0, argv0);
   std::exit(2);
 }
@@ -79,6 +83,8 @@ Options parse_options(int argc, char** argv) {
       opt.config.gate_counters = true;
     } else if (arg == "--gate-alloc") {
       opt.config.gate_alloc = true;
+    } else if (arg == "--gate-latency") {
+      opt.config.gate_latency = true;
     } else if (arg == "--force") {
       opt.config.force = true;
     } else if (arg == "--json") {

@@ -35,6 +35,7 @@
 
 #include "beacon/schedule.hpp"
 #include "live/feed.hpp"
+#include "live/loopback.hpp"
 #include "live/service.hpp"
 #include "netbase/time.hpp"
 #include "obs/build_info.hpp"
@@ -57,6 +58,7 @@ namespace {
       "          [--schedule ris|daily|fifteen --start YYYY-MM-DD --end YYYY-MM-DD]\n"
       "          [--shards N] [--queue-depth N] [--threshold MINUTES]\n"
       "          [--block-on-full] [--http-port N] [--print-zombies]\n"
+      "          [--stale-after SECONDS] [--no-loopback]\n"
       "          [--metrics-out FILE] [--metrics-format prom|json]\n"
       "          [--trace-out FILE] [--journal-out FILE]\n"
       "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
@@ -100,6 +102,12 @@ int main(int argc, char** argv) {
   live::LiveConfig live_config;
   int http_port = -1;
   bool print_zombies = false;
+  // /healthz readiness threshold: 0 keeps the plain liveness probe;
+  // > 0 answers 503 degraded once no shard published within it.
+  double stale_after = 0.0;
+  // The end-to-end delivery-latency self-subscriber (live/loopback.hpp)
+  // runs whenever HTTP is served; --no-loopback opts out.
+  bool loopback = true;
   std::string metrics_out;
   obs::Format metrics_format = obs::Format::kJson;
   std::string trace_out;
@@ -133,6 +141,8 @@ int main(int argc, char** argv) {
       else if (arg == "--block-on-full") live_config.block_on_full = true;
       else if (arg == "--http-port") http_port = std::stoi(need_value(i));
       else if (arg == "--print-zombies") print_zombies = true;
+      else if (arg == "--stale-after") stale_after = std::stod(need_value(i));
+      else if (arg == "--no-loopback") loopback = false;
       else if (arg == "--metrics-out") metrics_out = need_value(i);
       else if (arg == "--metrics-format") {
         const auto parsed = obs::parse_format(need_value(i));
@@ -240,13 +250,24 @@ int main(int argc, char** argv) {
   for (const beacon::BeaconEvent& event : events) service.expect(event);
 
   obs::HttpServer http;
+  std::unique_ptr<live::LoopbackLatencyClient> e2e_client;
   if (http_port >= 0) {
-    service.attach_http(http);
+    service.attach_http(http, stale_after);
     if (!http.start(static_cast<std::uint16_t>(http_port))) {
       std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
       return 1;
     }
     std::fprintf(stderr, "serving http://127.0.0.1:%u/live/zombies\n", http.port());
+    if (loopback) {
+      // Subscribe to our own /live/events so GET /latency (and the
+      // "stages" block of /live/stats) reports true end-to-end
+      // delivery latency, not just the internal stage times.
+      e2e_client = std::make_unique<live::LoopbackLatencyClient>(http.port());
+      if (!e2e_client->start()) {
+        std::fprintf(stderr, "warning: loopback latency subscriber failed to connect\n");
+        e2e_client.reset();
+      }
+    }
   }
 
   std::signal(SIGINT, on_signal);
@@ -305,6 +326,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "journal: %llu event(s) written to %s (%llu dropped)\n",
                  static_cast<unsigned long long>(journal.emitted()), journal_out.c_str(),
                  static_cast<unsigned long long>(journal.dropped()));
+  }
+  if (e2e_client) {
+    std::fprintf(stderr, "loopback e2e: %llu delivery sample(s)\n",
+                 static_cast<unsigned long long>(e2e_client->samples()));
+    e2e_client->stop();
   }
   http.stop();
   service.stop();
