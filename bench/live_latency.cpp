@@ -9,11 +9,12 @@
 //
 //   max pacing    every record as fast as the feed loop can push it.
 //     The pipeline runs saturated, so e2e latency is dominated by
-//     queueing + the SSE pump interval — the worst-case number.
+//     queueing — the worst-case number.
 //   paced         records released on their own timestamps (sped up so
 //     the months-long archive replays in ~31 s). The queues stay
-//     near-empty, so this is the quiet-network floor: mostly the SSE
-//     poll interval plus socket round-trip.
+//     near-empty, so this is the quiet-network floor: publish wakes
+//     the serving loop through its self-pipe, so this is essentially
+//     the socket round-trip (the old 25 ms poll floor is gone).
 //
 // Every subscriber records every transition event, so a run's sample
 // count is transitions x subscribers. The per-config p50/p99 land in
@@ -102,8 +103,9 @@ LatResult run_config(const scenarios::LongLived2024Output& data,
   feed.run(service);
   service.finalize();
 
-  // Let the SSE pump (25 ms poll) flush the tail of the stream: wait
-  // until no subscriber has recorded a new sample for a few polls.
+  // Delivery is event-driven (publish wakes the serving loop through
+  // its self-pipe), but the tail still needs a beat to drain: wait
+  // until no subscriber has recorded a new sample for a few checks.
   auto total_samples = [&clients] {
     std::uint64_t n = 0;
     for (const auto& c : clients) n += c->samples();
@@ -172,7 +174,8 @@ void print_table() {
     }
   }
   std::printf("\n  (e2e = feed ingest stamp -> SSE byte read back by the\n"
-              "   in-process subscriber; includes the 25 ms stream poll.)\n");
+              "   in-process subscriber; delivery is event-driven — each\n"
+              "   publish wakes the serving loop through a self-pipe.)\n");
 }
 
 }  // namespace

@@ -31,8 +31,10 @@ else
   # Default gate set: the decode/detect hot paths AND the sharded live
   # service (so its shard-scaling throughput can't silently regress),
   # AND its delivery latency (so the e2e p99 can't either — that is
-  # what --gate-latency below turns into a tripping metric).
-  BENCHES=(micro_hotpaths live_throughput live_latency)
+  # what --gate-latency below turns into a tripping metric), AND the
+  # zstsdb sampler-on/off A/B (so the metrics store can't quietly tax
+  # the pipeline it observes).
+  BENCHES=(micro_hotpaths live_throughput live_latency tsdb_overhead)
 fi
 
 REPEATS="${ZS_BENCH_REPEATS:-3}"

@@ -14,10 +14,11 @@
 #      on, where build-identity or raw-speed differences are noise);
 #   4. optionally, the benchmark regression gate against a baseline
 #      ref (scripts/check_bench_regression.sh, default bench set:
-#      micro_hotpaths + live_throughput + live_latency, so the
-#      decode/detect hot paths, the sharded live service, and its
-#      delivery latency are all gated) — enabled by setting
-#      ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
+#      micro_hotpaths + live_throughput + live_latency +
+#      tsdb_overhead, so the decode/detect hot paths, the sharded
+#      live service, its delivery latency, and the zstsdb sampler's
+#      cost on the pipeline it observes are all gated) — enabled by
+#      setting ZS_CI_BENCH_BASELINE to a git ref (e.g. origin/main).
 #
 # Both zsbenchdiff gates pass --gate-latency: a latency:*:p99_ns
 # regression past the threshold fails CI like a wall-time regression.

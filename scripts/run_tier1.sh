@@ -33,7 +33,8 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 # not just the happy path.
 OBS_TARGETS="obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test \
   heap_test heap_compileout_test lathist_test lathist_compileout_test \
-  causal_test causal_e2e_test causal_compileout_test live_test zslived"
+  tsdb_test tsdb_compileout_test \
+  causal_test causal_e2e_test causal_compileout_test live_test zslived zstop"
 
 # A 30-second zslived soak under the instrumented build: the tap demo
 # feeds a live simulation through the sharded service while curl
@@ -64,12 +65,30 @@ soak_zslived() {
     >"${build_dir}/zslived-soak.events" || true &
   local sse_pid=$!
   local last_epoch=0 epoch lag_p99="" lag
-  for _ in $(seq 1 25); do
+  local alerts_json="" rate_series="" p99_series="" zstop_rc="" i
+  for i in $(seq 1 25); do
     epoch=$(curl -s --max-time 5 "http://127.0.0.1:${port}/live/zombies" |
       sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
     lag=$(curl -s --max-time 5 "http://127.0.0.1:${port}/live/stats" |
       sed -n 's/.*"lag_p99":\([0-9.]*\).*/\1/p' | head -1)
     [ -n "${lag}" ] && lag_p99="${lag}"
+    # zstsdb surface: keep the latest /alerts body and 1 s-resolution
+    # series (rate-derived throughput + e2e p99). A response with
+    # points supersedes an empty one — sparse series (e2e fills only
+    # after transitions flow) may legitimately gap early in the soak.
+    alerts_json=$(curl -s --max-time 5 "http://127.0.0.1:${port}/alerts" || true)
+    body=$(curl -s --max-time 5 \
+      "http://127.0.0.1:${port}/tsdb/query?metric=live.records_total&range=30s&step=1s&agg=rate" || true)
+    case "${body}" in *'"points":[['*) rate_series="${body}" ;; *) : "${rate_series:=${body}}" ;; esac
+    body=$(curl -s --max-time 5 \
+      "http://127.0.0.1:${port}/tsdb/query?metric=latency:live.e2e:p99&range=30s&step=1s" || true)
+    case "${body}" in *'"points":[['*) p99_series="${body}" ;; *) : "${p99_series:=${body}}" ;; esac
+    if [ "${i}" -eq 15 ]; then
+      # The live console must render a frame against the running
+      # daemon and exit 0 (its CI mode).
+      "${build_dir}/tools/zstop" --port "${port}" --once --no-color \
+        >"${build_dir}/zstop-once.out" 2>&1 && zstop_rc=0 || zstop_rc=$?
+    fi
     if [ -n "${epoch}" ]; then
       if [ "${epoch}" -lt "${last_epoch}" ]; then
         echo "zslived (${label}) epoch moved backwards: ${last_epoch} -> ${epoch}"
@@ -108,7 +127,39 @@ soak_zslived() {
     echo "zslived (${label}) SSE stream carried no emerge events"
     exit 1
   fi
-  echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch}, lag p99 ${lag_p99}s)"
+  # zstsdb: a healthy soak must end with zero firing alerts, a working
+  # zstop --once render, and non-empty monotonically-timestamped 1 s
+  # series for the throughput rate and the e2e p99.
+  case "${alerts_json}" in
+    *'"firing":0'*) ;;
+    *) echo "zslived (${label}) /alerts not clean: ${alerts_json}"; exit 1 ;;
+  esac
+  if [ "${zstop_rc}" != "0" ]; then
+    echo "zslived (${label}) zstop --once failed (rc=${zstop_rc:-unset})"
+    cat "${build_dir}/zstop-once.out" 2>/dev/null || true
+    exit 1
+  fi
+  if ! grep -q 'throughput' "${build_dir}/zstop-once.out"; then
+    echo "zslived (${label}) zstop --once rendered no panels"
+    cat "${build_dir}/zstop-once.out"
+    exit 1
+  fi
+  assert_series() {  # assert_series <label> <metric-desc> <json>
+    local desc="$2" json="$3"
+    case "${json}" in
+      *'"points":[['*) ;;
+      *) echo "zslived ($1) /tsdb/query ${desc} series empty: ${json}"; exit 1 ;;
+    esac
+    # Point timestamps must be sorted (sort -c exits nonzero otherwise).
+    if ! printf '%s\n' "${json}" | grep -oE '\[[0-9]+\.[0-9]{3},' |
+      tr -d '[,' | sort -c -n 2>/dev/null; then
+      echo "zslived ($1) /tsdb/query ${desc} timestamps not monotone: ${json}"
+      exit 1
+    fi
+  }
+  assert_series "${label}" "live.records_total rate" "${rate_series}"
+  assert_series "${label}" "latency:live.e2e:p99" "${p99_series}"
+  echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch}, lag p99 ${lag_p99}s, alerts clean)"
 }
 
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"

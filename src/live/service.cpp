@@ -660,7 +660,8 @@ double LiveService::newest_publish_age_seconds() const {
 }
 
 void LiveService::attach_http(obs::HttpServer& server,
-                              double stale_after_seconds) {
+                              double stale_after_seconds,
+                              std::function<std::string()> extra_degraded) {
   server.add_endpoint("/live/zombies", [this](std::string_view) {
     obs::HttpResponse response;
     response.content_type = "application/json";
@@ -681,28 +682,42 @@ void LiveService::attach_http(obs::HttpServer& server,
     events_.set_latency_sink(
         [this](std::uint64_t ns) { stage_fanout_.record_ns(ns); });
   }
-  if (stale_after_seconds > 0.0) {
+  if (stale_after_seconds > 0.0 || extra_degraded) {
     // Readiness override (registration overrides the built-in
     // liveness /healthz): degraded once no shard has published a
     // snapshot within the threshold — workers publish after every
     // batch and on the 50 ms idle tick, so a healthy instance is
-    // never more than ~a tick stale.
+    // never more than ~a tick stale — or once the composed
+    // extra_degraded probe (zslived: firing zstsdb alerts) reports a
+    // reason.
     server.add_endpoint(
-        "/healthz", [this, stale_after_seconds](std::string_view) {
+        "/healthz",
+        [this, stale_after_seconds,
+         extra_degraded = std::move(extra_degraded)](std::string_view) {
           obs::HttpResponse response;
           response.content_type = "application/json";
           const double age = newest_publish_age_seconds();
-          const bool degraded = age < 0.0 || age > stale_after_seconds;
-          if (degraded) {
+          const bool stale = stale_after_seconds > 0.0 &&
+                             (age < 0.0 || age > stale_after_seconds);
+          const std::string extra =
+              extra_degraded ? extra_degraded() : std::string();
+          if (stale || !extra.empty()) {
+            std::string reason;
+            if (stale) {
+              reason =
+                  "newest shard snapshot is " +
+                  (age < 0.0 ? std::string("absent (no shard ever published)")
+                             : format_seconds(age) + "s old (stale-after " +
+                                   format_seconds(stale_after_seconds) + "s)");
+            }
+            if (!extra.empty()) {
+              if (!reason.empty()) reason += "; ";
+              reason += extra;
+            }
             response.status = 503;
-            response.body =
-                "{\"status\":\"degraded\",\"reason\":\"newest shard snapshot "
-                "is " +
-                (age < 0.0 ? std::string("absent (no shard ever published)")
-                           : format_seconds(age) + "s old (stale-after " +
-                                 format_seconds(stale_after_seconds) + "s)") +
-                "\",\"snapshot_age_seconds\":" +
-                format_seconds(age < 0.0 ? -1.0 : age) + "}\n";
+            response.body = "{\"status\":\"degraded\",\"reason\":\"" + reason +
+                            "\",\"snapshot_age_seconds\":" +
+                            format_seconds(age < 0.0 ? -1.0 : age) + "}\n";
           } else {
             response.body = "{\"status\":\"ok\",\"snapshot_age_seconds\":" +
                             format_seconds(age) + "}\n";

@@ -43,6 +43,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -219,7 +220,12 @@ class LiveService {
   /// than the threshold the probe answers 503 {"status":"degraded"}
   /// with a JSON reason, so a load balancer can eject a wedged
   /// instance (satellite of ISSUE 7; zslived's --stale-after).
-  void attach_http(obs::HttpServer& server, double stale_after_seconds = 0.0);
+  /// `extra_degraded` (optional) composes additional degraded states
+  /// into the same probe: polled per request, it returns a reason
+  /// string, empty meaning healthy — zslived wires the zstsdb alert
+  /// engine in here so firing alerts also flip /healthz to 503.
+  void attach_http(obs::HttpServer& server, double stale_after_seconds = 0.0,
+                   std::function<std::string()> extra_degraded = {});
 
   /// Seconds since the most recent shard snapshot publish (any shard).
   /// Large values mean every worker is wedged or the service stopped.

@@ -28,9 +28,6 @@ namespace zombiescope::obs {
 namespace {
 
 constexpr int kPollIntervalMs = 100;
-// Streaming connections poll faster so a published SSE frame reaches
-// subscribers promptly even when no socket is otherwise ready.
-constexpr int kStreamPollIntervalMs = 25;
 constexpr int kRequestTimeoutMs = 2000;
 // A queued (non-streaming) response must drain within this bound; a
 // client that stops reading is closed when it expires.
@@ -311,6 +308,18 @@ void SseChannel::publish(std::string_view event, std::string_view data) {
     ++first_seq_;
   }
   published_.fetch_add(1, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    // Wake the serving loop's poll() immediately; a failed write means
+    // the pipe already holds a pending wakeup (or the server is gone),
+    // both fine.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &byte, 1);
+  }
+}
+
+void SseChannel::set_wakeup_fd(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wake_fd_ = fd;
 }
 
 void SseChannel::set_latency_sink(std::function<void(std::uint64_t)> sink) {
@@ -398,6 +407,23 @@ bool HttpServer::start(std::uint16_t port) {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_ = fd;
+
+  // Self-pipe: every SSE channel writes a byte on publish() so the
+  // serving loop's poll() returns immediately instead of waiting out
+  // its pump interval — frame delivery is event-driven.
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) == 0 && set_nonblocking(pipe_fds[0]) &&
+      set_nonblocking(pipe_fds[1])) {
+    wake_rd_ = pipe_fds[0];
+    wake_wr_ = pipe_fds[1];
+    for (auto& [path, route] : routes_) {
+      if (route.channel != nullptr) route.channel->set_wakeup_fd(wake_wr_);
+    }
+  } else if (pipe_fds[0] >= 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+  }
+
   stop_.store(false, std::memory_order_relaxed);
   Registry& reg = Registry::global();
   m_requests_ = reg.counter("zs_http_requests_total");
@@ -411,7 +437,18 @@ bool HttpServer::start(std::uint16_t port) {
 void HttpServer::stop() {
   if (listen_fd_ < 0) return;
   stop_.store(true, std::memory_order_relaxed);
+  if (wake_wr_ >= 0) {
+    // Kick the poll() so shutdown is not delayed by a full interval.
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+  }
   if (thread_.joinable()) thread_.join();
+  for (auto& [path, route] : routes_) {
+    if (route.channel != nullptr) route.channel->set_wakeup_fd(-1);
+  }
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
@@ -419,9 +456,11 @@ void HttpServer::stop() {
 
 void HttpServer::serve_loop() {
   std::vector<pollfd> pfds;
+  const std::size_t fixed = wake_rd_ >= 0 ? 2 : 1;
   while (!stop_.load(std::memory_order_relaxed)) {
     pfds.clear();
     pfds.push_back({listen_fd_, POLLIN, 0});
+    if (wake_rd_ >= 0) pfds.push_back({wake_rd_, POLLIN, 0});
     bool any_stream = false;
     for (const Conn* c : conns_) {
       short events = POLLIN;  // always watch for data / orderly close
@@ -429,17 +468,25 @@ void HttpServer::serve_loop() {
       if (c->streaming) any_stream = true;
       pfds.push_back({c->fd, events, 0});
     }
+    // With the publish self-pipe in the set, the stream interval is
+    // only a heartbeat/eviction bound, not the frame-delivery floor.
     ::poll(pfds.data(), pfds.size(),
-           any_stream ? kStreamPollIntervalMs : kPollIntervalMs);
+           any_stream ? stream_poll_ms_ : kPollIntervalMs);
     if (stop_.load(std::memory_order_relaxed)) break;
+
+    if (wake_rd_ >= 0 && (pfds[1].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(wake_rd_, drain, sizeof(drain)) > 0) {
+      }
+    }
 
     // Process the connections that were polled (accept afterwards, so
     // pfds and conns_ stay index-aligned here).
-    const std::size_t polled = pfds.size() - 1;
+    const std::size_t polled = pfds.size() - fixed;
     const Clock::time_point now = Clock::now();
     for (std::size_t i = 0; i < polled; ++i) {
       Conn& c = *conns_[i];
-      const short re = pfds[i + 1].revents;
+      const short re = pfds[i + fixed].revents;
       if ((re & (POLLERR | POLLNVAL)) != 0) c.dead = true;
       if (!c.dead && (re & (POLLIN | POLLHUP)) != 0) read_ready(c);
       if (!c.dead && c.streaming) pump_stream(c);
@@ -550,6 +597,12 @@ void HttpServer::dispatch(Conn& c, std::string_view method,
   m_requests_.inc();
   c.responded = true;
 
+  // HEAD is GET without the body: route identically, keep the
+  // Content-Length the GET would have had, send no payload.
+  const bool is_head = method == "HEAD";
+  const std::string_view eff_method = is_head ? std::string_view("GET")
+                                              : method;
+
   const std::string_view path = target.substr(0, target.find('?'));
   const Route* matched = nullptr;
   for (const auto& [route_path, route] : routes_) {
@@ -559,7 +612,18 @@ void HttpServer::dispatch(Conn& c, std::string_view method,
     }
   }
 
-  if (matched != nullptr && matched->channel != nullptr && method == "GET") {
+  if (matched != nullptr && matched->channel != nullptr &&
+      eff_method == "GET") {
+    if (is_head) {
+      // Headers only; no subscription is created.
+      c.out +=
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/event-stream\r\n"
+          "Cache-Control: no-cache\r\n"
+          "Connection: close\r\n\r\n";
+      flush_out(c);
+      return;
+    }
     // SSE subscription: chunked stream, one chunk per frame/heartbeat.
     c.out +=
         "HTTP/1.1 200 OK\r\n"
@@ -584,12 +648,16 @@ void HttpServer::dispatch(Conn& c, std::string_view method,
 
   HttpResponse response;
   if (matched != nullptr && matched->handler != nullptr) {
-    response = method == "GET"
+    response = eff_method == "GET"
                    ? matched->handler(target)
                    : HttpResponse{405, "text/plain; charset=utf-8",
                                   "method not allowed\n", {}};
+  } else if (path == "/" && eff_method == "GET") {
+    // Endpoint index: what this daemon actually serves, so clients
+    // (zstop) can detect capabilities instead of probing paths.
+    response = {200, "application/json", index_json(), {}};
   } else {
-    response = route(method, target);
+    response = route(eff_method, target);
   }
 
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -599,7 +667,7 @@ void HttpServer::dispatch(Conn& c, std::string_view method,
   if (!response.etag.empty()) head += "ETag: \"" + response.etag + "\"\r\n";
   head += "Connection: close\r\n\r\n";
   c.out += head;
-  c.out += response.body;
+  if (!is_head) c.out += response.body;
   c.flush_deadline = Clock::now() + std::chrono::milliseconds(kFlushTimeoutMs);
   flush_out(c);
 }
@@ -632,6 +700,40 @@ void HttpServer::pump_stream(Conn& c) {
     }
     c.dead = true;
   }
+}
+
+std::string HttpServer::index_json() const {
+  // Built-ins first, then whatever the daemon registered; a registered
+  // path that shadows a built-in (zslive's /healthz) appears once with
+  // its registered shape.
+  std::vector<std::pair<std::string, bool>> endpoints = {
+      {"/", false},          {"/metrics", false},      {"/healthz", false},
+      {"/latency", false},   {"/spans", false},        {"/journal/tail", false},
+      {"/profile", false},   {"/heap", false},         {"/causal", false},
+  };
+  for (const auto& [path, route] : routes_) {
+    bool seen = false;
+    for (auto& [known, stream] : endpoints) {
+      if (known == path) {
+        stream = route.channel != nullptr;
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) endpoints.emplace_back(path, route.channel != nullptr);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  std::string body = "{\"service\":\"" + std::string("zsobs") +
+                     "\",\"endpoints\":[";
+  bool first = true;
+  for (const auto& [path, stream] : endpoints) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"path\":\"" + path + "\",\"stream\":" +
+            (stream ? "true" : "false") + "}";
+  }
+  body += "]}\n";
+  return body;
 }
 
 void HttpServer::flush_out(Conn& c) {

@@ -5,6 +5,8 @@
 // — or the zslived daemon — can be inspected while it is running
 // instead of only at exit:
 //
+//   GET /              JSON index of every served endpoint (capability
+//                      detection for clients like zstop)
 //   GET /metrics       Prometheus text exposition of the global registry
 //   GET /healthz       {"status":"ok",...} liveness JSON
 //   GET /spans         the global tracer's span ring as zsobs-trace-v1
@@ -41,8 +43,9 @@
 //     stops reading is closed when it expires.
 //
 // This is an operator port for a measurement tool, not a web server:
-// bodies are ignored, and anything but GET on a known path gets a
-// terse error. Handlers run on the serving thread (an on-demand
+// bodies are ignored, HEAD is answered with the GET's headers and no
+// payload, and any other method gets a 405. Handlers run on the
+// serving thread (an on-demand
 // /profile blocks other clients for its sampling window — it is an
 // operator action, not a scrape target). Enabled with --http-port.
 
@@ -122,6 +125,13 @@ class SseChannel {
   /// (?since=SEQ) report their true, large staleness.
   void set_latency_sink(std::function<void(std::uint64_t ns)> sink);
 
+  /// Self-pipe wakeup: publish() writes one byte to `fd` so a poll()ing
+  /// server wakes immediately instead of on its next pump interval.
+  /// The server installs its pipe on start() and removes it (-1) on
+  /// stop(); the fd is not owned. A full pipe is fine — a wakeup is
+  /// already pending.
+  void set_wakeup_fd(int fd);
+
   /// Pure SSE wire framing of one event (exposed for tests):
   ///   event: <name>\n
   ///   data: <line>\n      (repeated per line of `data`)
@@ -143,6 +153,7 @@ class SseChannel {
   std::size_t max_frames_;
   std::atomic<std::uint64_t> published_{0};
   std::function<void(std::uint64_t)> latency_sink_;
+  int wake_fd_ = -1;  // guarded by mutex_
 };
 
 class HttpServer {
@@ -165,6 +176,14 @@ class HttpServer {
 
   /// Comment-frame keepalive cadence for streaming connections.
   void set_heartbeat_interval_ms(int ms) { heartbeat_ms_ = ms; }
+  /// Fallback poll interval while SSE clients are connected. Frame
+  /// delivery is event-driven (each publish() wakes the loop through a
+  /// self-pipe), so this only bounds heartbeat/eviction latency — it
+  /// is no longer the frame-delivery floor.
+  void set_stream_poll_interval_ms(int ms) {
+    stream_poll_ms_ = ms < 1 ? 1 : ms;
+  }
+  int stream_poll_interval_ms() const { return stream_poll_ms_; }
   /// Unsent-backlog bound above which a streaming client is evicted.
   void set_max_client_buffer(std::size_t bytes) { max_client_buffer_ = bytes; }
   std::size_t max_client_buffer() const { return max_client_buffer_; }
@@ -201,14 +220,20 @@ class HttpServer {
   void dispatch(Conn& conn, std::string_view method, std::string_view target);
   void pump_stream(Conn& conn);
   void flush_out(Conn& conn);
+  /// {"endpoints":[{"path":...,"stream":bool},...]} — built-ins plus
+  /// everything registered, served on GET /.
+  std::string index_json() const;
 
   int listen_fd_ = -1;
+  int wake_rd_ = -1;  // self-pipe the SSE channels write to on publish
+  int wake_wr_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> evictions_{0};
   int heartbeat_ms_ = 10'000;
+  int stream_poll_ms_ = 100;
   std::size_t max_client_buffer_ = 256 * 1024;
   std::vector<std::pair<std::string, Route>> routes_;
   std::vector<Conn*> conns_;

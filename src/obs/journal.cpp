@@ -21,7 +21,7 @@ constexpr CategoryName kCategoryNames[] = {
     {kCatDetector, "detector"}, {kCatNoise, "noise"},
     {kCatLifespan, "lifespan"}, {kCatCollector, "collector"},
     {kCatFault, "fault"},       {kCatPropagation, "propagation"},
-    {kCatLive, "live"},
+    {kCatLive, "live"},     {kCatAlert, "alert"},
 };
 
 }  // namespace
@@ -94,6 +94,8 @@ constexpr EventTypeName kEventTypeNames[] = {
     {JournalEventType::kLiveZombieDied, "live_zombie_died", kCatLive},
     {JournalEventType::kLiveIngestDropped, "live_ingest_dropped", kCatLive},
     {JournalEventType::kLiveClientEvicted, "live_client_evicted", kCatLive},
+    {JournalEventType::kAlertFiring, "alert_firing", kCatAlert},
+    {JournalEventType::kAlertResolved, "alert_resolved", kCatAlert},
 };
 
 }  // namespace

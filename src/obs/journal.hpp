@@ -68,7 +68,8 @@ enum JournalCategory : std::uint32_t {
   kCatFault = 1u << 6,        // simnet fault injections
   kCatPropagation = 1u << 7,  // causal per-hop update provenance
   kCatLive = 1u << 8,         // zslive streaming service transitions
-  kCatAll = (1u << 9) - 1,
+  kCatAlert = 1u << 9,        // zstsdb alert-rule transitions
+  kCatAll = (1u << 10) - 1,
 };
 
 /// One name per bit ("run", "state", ...). Empty for unknown bits.
@@ -119,6 +120,12 @@ enum class JournalEventType : std::uint16_t {
   kLiveZombieDied = 52,         // a = withdraw time, b = stuck seconds
   kLiveIngestDropped = 53,      // a = shard, b = total drops so far
   kLiveClientEvicted = 54,      // a = buffered bytes at eviction
+  // kCatAlert (zstsdb rule engine; rules are identified by index — the
+  // names live in GET /alerts). Values are scaled by 1000 because the
+  // journal carries integers (a = observed value, b = threshold, both
+  // milli-units; c = rule index).
+  kAlertFiring = 60,
+  kAlertResolved = 61,
 };
 
 /// Snake-case wire name ("zombie_declared"). Used by both serializers.

@@ -203,6 +203,49 @@ TEST_F(ObsHttp, CausalEndpointServesPropagationTree) {
 TEST_F(ObsHttp, UnknownPathIs404AndPostIs405) {
   EXPECT_EQ(http_get(server_.port(), "/nope").status, 404);
   EXPECT_EQ(http_get(server_.port(), "/metrics", "POST").status, 405);
+  EXPECT_EQ(http_get(server_.port(), "/nope", "PUT").status, 405);
+  EXPECT_EQ(http_get(server_.port(), "/metrics", "DELETE").status, 405);
+}
+
+TEST_F(ObsHttp, IndexListsBuiltinEndpoints) {
+  const Response res = http_get(server_.port(), "/");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.head.find("application/json"), std::string::npos);
+  for (const char* path : {"\"path\":\"/metrics\"", "\"path\":\"/healthz\"",
+                           "\"path\":\"/spans\"", "\"path\":\"/journal/tail\""}) {
+    EXPECT_NE(res.body.find(path), std::string::npos) << path << " missing in " << res.body;
+  }
+  EXPECT_NE(res.body.find("\"stream\":false"), std::string::npos);
+}
+
+TEST_F(ObsHttp, HeadIsGetWithoutBody) {
+  const Response get = http_get(server_.port(), "/healthz");
+  const Response head = http_get(server_.port(), "/healthz", "HEAD");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty()) << head.body;
+  // The headers still advertise the GET body's length.
+  const std::string want =
+      "Content-Length: " + std::to_string(get.body.size());
+  EXPECT_NE(head.head.find(want), std::string::npos) << head.head;
+}
+
+TEST(ObsHttpIndex, RegisteredEndpointsAppearWithStreamFlag) {
+  HttpServer server;
+  SseChannel channel;
+  server.add_endpoint("/custom", [](std::string_view) {
+    return HttpResponse{200, "text/plain", "hi", ""};
+  });
+  server.add_stream("/events", &channel);
+  ASSERT_TRUE(server.start(0));
+  const Response res = http_get(server.port(), "/");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("{\"path\":\"/custom\",\"stream\":false}"),
+            std::string::npos)
+      << res.body;
+  EXPECT_NE(res.body.find("{\"path\":\"/events\",\"stream\":true}"),
+            std::string::npos)
+      << res.body;
+  server.stop();
 }
 
 TEST_F(ObsHttp, CountsRequestsServed) {

@@ -1,0 +1,44 @@
+// Proves ZS_TSDB_ENABLED=0 really compiles the store out: this target
+// rebuilds tsdb.cpp with the macro forced to 0 (the whole
+// implementation sits inside the #if, so only parse_duration_ms
+// survives) and links WITHOUT zs_obs — if any enabled-path symbol
+// leaked out of the #if, this binary would fail to link.
+
+#include <gtest/gtest.h>
+
+#include "obs/tsdb.hpp"
+
+namespace zombiescope::obs {
+namespace {
+
+TEST(ObsTsdbCompileout, FlagReportsDisabled) {
+  static_assert(!kTsdbCompiledIn, "this target must build with ZS_TSDB_ENABLED=0");
+  EXPECT_FALSE(kTsdbCompiledIn);
+}
+
+TEST(ObsTsdbCompileout, StubsAreInert) {
+  Tsdb tsdb;
+  tsdb.add_probe("x", SeriesKind::kGauge, [] { return 1.0; });
+  tsdb.add_rule(AlertRule{});
+  EXPECT_FALSE(tsdb.start());
+  EXPECT_FALSE(tsdb.running());
+  tsdb.sample_once(0);
+  EXPECT_TRUE(tsdb.metric_names().empty());
+  const auto q = tsdb.query("x", 1000, 0, false);
+  EXPECT_EQ(q.status, Tsdb::QueryStatus::kNotFound);
+  EXPECT_TRUE(q.points.empty());
+  EXPECT_EQ(tsdb.firing_count(), 0u);
+  EXPECT_EQ(tsdb.firing_names(), "");
+  EXPECT_EQ(tsdb.alerts_json(), "{}");
+  tsdb.stop();
+}
+
+TEST(ObsTsdbCompileout, DurationParserSurvives) {
+  // The only non-stub symbol the OFF build keeps (tools still parse
+  // --tsdb-cadence-ms style flags).
+  EXPECT_EQ(parse_duration_ms("30s"), 30'000);
+  EXPECT_EQ(parse_duration_ms("nope"), 0);
+}
+
+}  // namespace
+}  // namespace zombiescope::obs

@@ -1,0 +1,447 @@
+// Tests for zstsdb: ring wraparound under the lock-free discipline,
+// tier downsampling at bucket boundaries, counter-reset-aware rate(),
+// the alert state machine (hysteresis, sustained-duration, baseline
+// ratio), and the /tsdb/query HTTP parameter validation. Everything is
+// driven through sample_once() with a synthetic clock — no sampler
+// thread, no sleeps.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/http.hpp"
+#include "obs/tsdb.hpp"
+
+namespace zombiescope::obs {
+namespace {
+
+constexpr std::int64_t kSec = 1000;
+
+/// A Tsdb over a single small tier with one gauge/counter probe whose
+/// value the test controls directly.
+struct Harness {
+  explicit Harness(std::vector<TsdbTier> tiers, SeriesKind kind,
+                   const char* name = "test.metric") {
+    TsdbConfig cfg;
+    cfg.tiers = std::move(tiers);
+    tsdb = std::make_unique<Tsdb>(cfg);
+    tsdb->add_probe(name, kind, [this] { return value; });
+  }
+
+  double value = 0.0;
+  std::unique_ptr<Tsdb> tsdb;
+};
+
+TEST(ObsTsdbDuration, ParsesSuffixedAndBareSeconds) {
+  EXPECT_EQ(parse_duration_ms("30s"), 30'000);
+  EXPECT_EQ(parse_duration_ms("5m"), 300'000);
+  EXPECT_EQ(parse_duration_ms("2h"), 7'200'000);
+  EXPECT_EQ(parse_duration_ms("42"), 42'000);  // bare number = seconds
+  EXPECT_EQ(parse_duration_ms(""), 0);
+  EXPECT_EQ(parse_duration_ms("banana"), 0);
+  EXPECT_EQ(parse_duration_ms("-5s"), 0);
+  EXPECT_EQ(parse_duration_ms("0"), 0);
+  EXPECT_EQ(parse_duration_ms("12x"), 0);
+  EXPECT_EQ(parse_duration_ms("s"), 0);
+  EXPECT_EQ(parse_duration_ms("99999999999999999999h"), 0);  // overflow guard
+}
+
+TEST(ObsTsdb, RingWraparoundKeepsNewestWindow) {
+  Harness h({{kSec, 8}}, SeriesKind::kGauge);
+  // 21 ticks at 1 s; each bucket is flushed when the next one starts,
+  // so buckets 0..19 are pushed through an 8-slot ring.
+  for (std::int64_t t = 0; t <= 20; ++t) {
+    h.value = static_cast<double>(t);
+    h.tsdb->sample_once(t * kSec);
+  }
+  const auto q = h.tsdb->query("test.metric", 120 * kSec, 0, false);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  // Once wrapped, a lock-free read yields cap-1 points: the oldest
+  // copied slot must be discarded because the writer may already be
+  // rewriting it before the head advances.
+  ASSERT_EQ(q.points.size(), 7u);
+  for (std::size_t i = 0; i < q.points.size(); ++i) {
+    EXPECT_EQ(q.points[i].t_ms, static_cast<std::int64_t>(13 + i) * kSec);
+    EXPECT_DOUBLE_EQ(q.points[i].v, static_cast<double>(13 + i));
+    if (i > 0) {
+      EXPECT_GT(q.points[i].t_ms, q.points[i - 1].t_ms);
+    }
+  }
+}
+
+TEST(ObsTsdb, TierDownsampleAveragesGaugesAtBoundaries) {
+  // Tier 0 spans only 4 s, so a 60 s query must fall through to the
+  // 10 s tier — whose buckets average the ten 1 s samples they cover.
+  Harness h({{kSec, 4}, {10 * kSec, 100}}, SeriesKind::kGauge);
+  for (std::int64_t t = 0; t < 60; ++t) {
+    h.value = static_cast<double>(t);
+    h.tsdb->sample_once(t * kSec);
+  }
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 0, false);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  EXPECT_EQ(q.step_ms, 10 * kSec);
+  // Buckets 0..4 are complete and flushed; bucket 5 still accumulates.
+  ASSERT_EQ(q.points.size(), 5u);
+  for (std::size_t i = 0; i < q.points.size(); ++i) {
+    EXPECT_EQ(q.points[i].t_ms, static_cast<std::int64_t>(i) * 10 * kSec);
+    // mean of {10i, .., 10i+9} = 10i + 4.5
+    EXPECT_DOUBLE_EQ(q.points[i].v, 10.0 * static_cast<double>(i) + 4.5);
+  }
+}
+
+TEST(ObsTsdb, TierDownsampleKeepsLastCumulativeForCounters) {
+  Harness h({{kSec, 4}, {10 * kSec, 100}}, SeriesKind::kCounter);
+  for (std::int64_t t = 0; t < 60; ++t) {
+    h.value = static_cast<double>(t);
+    h.tsdb->sample_once(t * kSec);
+  }
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 0, false);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  ASSERT_EQ(q.points.size(), 5u);
+  for (std::size_t i = 0; i < q.points.size(); ++i) {
+    // Last cumulative value in bucket i is 10i + 9, not the mean.
+    EXPECT_DOUBLE_EQ(q.points[i].v, 10.0 * static_cast<double>(i) + 9.0);
+  }
+}
+
+TEST(ObsTsdb, StepCoarserThanTierRegroups) {
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  for (std::int64_t t = 0; t <= 12; ++t) {
+    h.value = static_cast<double>(t);
+    h.tsdb->sample_once(t * kSec);
+  }
+  // step=3s over 1s samples: buckets of three average.
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 3 * kSec, false);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  EXPECT_EQ(q.step_ms, 3 * kSec);
+  ASSERT_FALSE(q.points.empty());
+  // Bucket [0,3) holds samples 0,1,2 -> mean 1.
+  EXPECT_EQ(q.points.front().t_ms, 0);
+  EXPECT_DOUBLE_EQ(q.points.front().v, 1.0);
+}
+
+TEST(ObsTsdb, CounterResetProducesPositiveRate) {
+  Harness h({{kSec, 64}}, SeriesKind::kCounter);
+  const double samples[] = {0, 10, 20, 30, 5, 15, 25};  // reset after 30
+  std::int64_t t = 0;
+  for (const double v : samples) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  }
+  h.tsdb->sample_once(t * kSec);  // flush the last bucket
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 0, true);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  ASSERT_GE(q.points.size(), 5u);
+  for (const auto& p : q.points) {
+    EXPECT_GE(p.v, 0.0) << "rate() must absorb counter resets";
+  }
+  // Across the reset (30 -> 5) the new cumulative value is the delta.
+  bool saw_reset_rate = false;
+  for (const auto& p : q.points) {
+    if (p.t_ms == 4 * kSec) {
+      EXPECT_DOUBLE_EQ(p.v, 5.0);
+      saw_reset_rate = true;
+    }
+  }
+  EXPECT_TRUE(saw_reset_rate);
+}
+
+TEST(ObsTsdb, RateOnGaugeIsBadRequest) {
+  Harness h({{kSec, 8}}, SeriesKind::kGauge);
+  h.tsdb->sample_once(0);
+  h.tsdb->sample_once(kSec);
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 0, true);
+  EXPECT_EQ(q.status, Tsdb::QueryStatus::kBadRequest);
+}
+
+TEST(ObsTsdb, ClockBackwardsKeepsTimestampsMonotone) {
+  Harness h({{kSec, 32}}, SeriesKind::kGauge);
+  const std::int64_t ticks[] = {0, 1, 2, 3, 4, 5, 2, 3, 6, 7, 8};
+  for (const std::int64_t t : ticks) {
+    h.value = static_cast<double>(t);
+    h.tsdb->sample_once(t * kSec);
+  }
+  const auto q = h.tsdb->query("test.metric", 60 * kSec, 0, false);
+  ASSERT_EQ(q.status, Tsdb::QueryStatus::kOk);
+  ASSERT_GE(q.points.size(), 2u);
+  for (std::size_t i = 1; i < q.points.size(); ++i) {
+    EXPECT_GT(q.points[i].t_ms, q.points[i - 1].t_ms);
+  }
+}
+
+TEST(ObsTsdb, UnknownMetricIsNotFound) {
+  Harness h({{kSec, 8}}, SeriesKind::kGauge);
+  h.tsdb->sample_once(0);
+  EXPECT_EQ(h.tsdb->query("no.such", 60 * kSec, 0, false).status,
+            Tsdb::QueryStatus::kNotFound);
+}
+
+TEST(ObsTsdb, MetricNamesIncludeRegistryAndProbes) {
+  Harness h({{kSec, 8}}, SeriesKind::kGauge);
+  h.tsdb->sample_once(0);
+  const auto names = h.tsdb->metric_names();
+  bool saw_probe = false;
+  bool saw_registry = false;
+  for (const auto& n : names) {
+    if (n == "test.metric") saw_probe = true;
+    // The zs_ prefix is stripped and the module separator dotted.
+    if (n == "tsdb.samples_total") saw_registry = true;
+  }
+  EXPECT_TRUE(saw_probe);
+  EXPECT_TRUE(saw_registry);
+}
+
+// ---------------------------------------------------------------------------
+// Alerts
+
+TEST(ObsTsdbAlerts, SingleSpikeDoesNotFire) {
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "load_high";
+  rule.metric = "test.metric";
+  rule.threshold = 10.0;
+  rule.clear_threshold = 5.0;
+  rule.for_seconds = 3.0;
+  rule.clear_for_seconds = 2.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(0);
+  step(0);
+  step(20);  // one spike
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kPending);
+  step(0);  // back below clear
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  EXPECT_EQ(h.tsdb->firing_count(), 0u);
+}
+
+TEST(ObsTsdbAlerts, SustainedBreachFiresAndHysteresisHolds) {
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "load_high";
+  rule.metric = "test.metric";
+  rule.threshold = 10.0;
+  rule.clear_threshold = 5.0;
+  rule.for_seconds = 3.0;
+  rule.clear_for_seconds = 2.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(0);
+  for (int i = 0; i < 3; ++i) step(20);  // breach run starts
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kPending);
+  step(20);  // 3 s sustained -> fires
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  EXPECT_EQ(h.tsdb->firing_count(), 1u);
+  EXPECT_EQ(h.tsdb->firing_names(), "load_high");
+
+  // Dip into the hysteresis band (5 < 7 <= 10): firing holds.
+  step(7);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+
+  // Below the clear threshold, but the run must last clear_for = 2 s.
+  step(3);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  step(3);
+  step(3);  // clear run >= 2 s -> resolved
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  EXPECT_EQ(h.tsdb->firing_count(), 0u);
+  EXPECT_EQ(h.tsdb->firing_names(), "");
+}
+
+TEST(ObsTsdbAlerts, InBandSampleRestartsPendingClock) {
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "load_high";
+  rule.metric = "test.metric";
+  rule.threshold = 10.0;
+  rule.clear_threshold = 5.0;
+  rule.for_seconds = 2.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(0);
+  step(20);  // pending at t=1
+  step(7);   // in band: pending holds, but its clock restarts
+  step(20);  // 1 s into the new run: must NOT fire yet
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kPending);
+  step(20);
+  step(20);  // uninterrupted 2 s run -> fires
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+}
+
+TEST(ObsTsdbAlerts, RateRuleFiresOnCounterIncrease) {
+  Harness h({{kSec, 64}}, SeriesKind::kCounter);
+  AlertRule rule;
+  rule.name = "drops";
+  rule.metric = "test.metric";
+  rule.mode = AlertRule::Mode::kRate;
+  rule.threshold = 0.0;  // any increase breaches
+  rule.for_seconds = 2.0;
+  rule.clear_for_seconds = 1.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(0);  // first tick seeds prev, no evaluation
+  step(0);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  step(5);   // rate 5/s -> pending
+  step(9);   // still increasing
+  step(12);  // 2 s sustained -> firing
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  step(12);  // flat: rate 0 -> clear run starts
+  step(12);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+}
+
+TEST(ObsTsdbAlerts, BaselineRatioScalesThreshold) {
+  Harness h({{kSec, 128}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "p99_regression";
+  rule.metric = "test.metric";
+  rule.mode = AlertRule::Mode::kBaselineRatio;
+  rule.threshold = 2.0;  // 2x own baseline
+  rule.clear_threshold = 1.5;
+  rule.for_seconds = 2.0;
+  rule.clear_for_seconds = 2.0;
+  rule.baseline_window_seconds = 20.0;
+  rule.baseline_min_samples = 10;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  // Not enough history: the rule holds Ok however large the value.
+  for (int i = 0; i < 5; ++i) step(100);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+
+  // Build a ~1.0 baseline, then regress to 5x.
+  for (int i = 0; i < 30; ++i) step(1.0);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  step(5.0);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kPending);
+  step(5.0);
+  step(5.0);  // 2 s sustained over 2x baseline -> firing
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  // The effective threshold the status reports is baseline-scaled,
+  // not the raw ratio.
+  const auto st = h.tsdb->alert_statuses()[0];
+  EXPECT_GT(st.threshold, 1.5);
+  EXPECT_LT(st.threshold, 4.0);
+}
+
+TEST(ObsTsdbAlerts, AlertsJsonReportsFiringRule) {
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "load_high";
+  rule.metric = "test.metric";
+  rule.threshold = 1.0;
+  rule.for_seconds = 0.0;  // fire immediately on breach
+  h.tsdb->add_rule(rule);
+  h.value = 5.0;
+  h.tsdb->sample_once(0);
+  const std::string json = h.tsdb->alerts_json();
+  EXPECT_NE(json.find("\"firing\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"load_high\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"state\":\"firing\""), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers (no socket: the handler bodies are exposed for this)
+
+class ObsTsdbHttp : public ::testing::Test {
+ protected:
+  ObsTsdbHttp() {
+    TsdbConfig cfg;
+    cfg.tiers = {{kSec, 64}};
+    tsdb_ = std::make_unique<Tsdb>(cfg);
+    tsdb_->add_probe("test.gauge", SeriesKind::kGauge, [] { return 1.0; });
+    tsdb_->add_probe("test.counter", SeriesKind::kCounter,
+                     [this] { return static_cast<double>(ticks_); });
+    for (ticks_ = 0; ticks_ < 10; ++ticks_) {
+      tsdb_->sample_once(static_cast<std::int64_t>(ticks_) * kSec);
+    }
+  }
+
+  int ticks_ = 0;
+  std::unique_ptr<Tsdb> tsdb_;
+};
+
+TEST_F(ObsTsdbHttp, QueryParamValidation) {
+  EXPECT_EQ(tsdb_->handle_query("/tsdb/query").status, 400);
+  EXPECT_EQ(tsdb_->handle_query("/tsdb/query?metric=test.gauge").status, 400);
+  EXPECT_EQ(
+      tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=banana").status,
+      400);
+  EXPECT_EQ(
+      tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=-5s").status,
+      400);
+  EXPECT_EQ(tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=30s&step=0s")
+                .status,
+            400);
+  EXPECT_EQ(tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=30s&step=x")
+                .status,
+            400);
+  EXPECT_EQ(
+      tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=30s&agg=median")
+          .status,
+      400);
+  EXPECT_EQ(
+      tsdb_->handle_query("/tsdb/query?metric=test.gauge&range=30s&agg=rate")
+          .status,
+      400);  // rate needs a counter
+  EXPECT_EQ(tsdb_->handle_query("/tsdb/query?metric=no.such&range=30s").status,
+            404);
+}
+
+TEST_F(ObsTsdbHttp, QueryReturnsSeriesJson) {
+  const auto res =
+      tsdb_->handle_query("/tsdb/query?metric=test.counter&range=30s&agg=rate");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  EXPECT_NE(res.body.find("\"metric\":\"test.counter\""), std::string::npos);
+  EXPECT_NE(res.body.find("\"agg\":\"rate\""), std::string::npos);
+  EXPECT_NE(res.body.find("\"points\":[["), std::string::npos) << res.body;
+}
+
+TEST_F(ObsTsdbHttp, MetricsEndpointListsSeries) {
+  const auto res = tsdb_->handle_metrics("/tsdb/metrics");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"name\":\"test.gauge\""), std::string::npos);
+  EXPECT_NE(res.body.find("\"kind\":\"counter\""), std::string::npos);
+}
+
+TEST_F(ObsTsdbHttp, AlertsEndpointHealthy) {
+  const auto res = tsdb_->handle_alerts("/alerts");
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.body.find("\"firing\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zombiescope::obs

@@ -51,6 +51,7 @@
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "zombie/interval_detector.hpp"
 #include "zombie/longlived.hpp"
 #include "zombie/noisy.hpp"
@@ -69,7 +70,8 @@ namespace {
                "          [--metrics-out FILE] [--metrics-format prom|json]\n"
                "          [--trace-out FILE] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE] [--heap-out FILE]\n"
+               "          [--http-port N] [--tsdb-cadence-ms N (0 disables)]\n"
+               "          [--profile-out FILE] [--heap-out FILE]\n"
                "          [--version]\n",
                argv0);
   std::exit(2);
@@ -101,7 +103,8 @@ struct Options {
   std::string journal_out;
   obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
   std::uint32_t journal_categories = obs::kCatAll;
-  int http_port = -1;  // -1 = no HTTP server
+  int http_port = -1;           // -1 = no HTTP server
+  long tsdb_cadence_ms = 1000;  // 0 disables the /tsdb store
   std::string profile_out;
   std::string heap_out;
 };
@@ -141,6 +144,7 @@ Options parse_options(int argc, char** argv) {
       if (!parsed.has_value()) usage(argv[0]);
       opt.journal_categories = *parsed;
     } else if (arg == "--http-port") opt.http_port = std::stoi(need_value(i));
+    else if (arg == "--tsdb-cadence-ms") opt.tsdb_cadence_ms = std::stol(need_value(i));
     else if (arg == "--profile-out") opt.profile_out = need_value(i);
     else if (arg == "--heap-out") opt.heap_out = need_value(i);
     else usage(argv[0]);
@@ -361,12 +365,20 @@ int main(int argc, char** argv) {
     journal.set_enabled_categories(opt.journal_categories);
     journal.set_autopump(true);
   }
+  // Retained metrics history for the duration of the run; only worth
+  // sampling when the HTTP port (the only way to query it) is up.
+  obs::TsdbConfig tsdb_config;
+  tsdb_config.cadence_ms = opt.tsdb_cadence_ms > 0 ? opt.tsdb_cadence_ms : 1000;
+  obs::Tsdb tsdb(tsdb_config);
   obs::HttpServer http;
   if (opt.http_port >= 0) {
+    const bool tsdb_on = obs::kTsdbCompiledIn && opt.tsdb_cadence_ms > 0;
+    if (tsdb_on) tsdb.attach_http(http);
     if (!http.start(static_cast<std::uint16_t>(opt.http_port))) {
       std::fprintf(stderr, "error: cannot bind HTTP port %d\n", opt.http_port);
       return 1;
     }
+    if (tsdb_on) tsdb.start();
     std::fprintf(stderr, "serving http://127.0.0.1:%u/metrics\n", http.port());
   }
 
@@ -392,5 +404,6 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(journal.dropped()));
   }
   http.stop();
+  tsdb.stop();
   return rc;
 }

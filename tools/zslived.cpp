@@ -45,6 +45,7 @@
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 
 using namespace zombiescope;
 
@@ -59,6 +60,7 @@ namespace {
       "          [--shards N] [--queue-depth N] [--threshold MINUTES]\n"
       "          [--block-on-full] [--http-port N] [--print-zombies]\n"
       "          [--stale-after SECONDS] [--no-loopback]\n"
+      "          [--tsdb-cadence-ms N (0 disables)] [--sse-pump-ms N]\n"
       "          [--metrics-out FILE] [--metrics-format prom|json]\n"
       "          [--trace-out FILE] [--journal-out FILE]\n"
       "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
@@ -108,6 +110,12 @@ int main(int argc, char** argv) {
   // The end-to-end delivery-latency self-subscriber (live/loopback.hpp)
   // runs whenever HTTP is served; --no-loopback opts out.
   bool loopback = true;
+  // zstsdb sampler cadence; 0 disables the store (and the alert rules
+  // that ride on it). A ZS_TSDB=OFF build compiles all of it away.
+  long tsdb_cadence_ms = 1000;
+  // Fallback SSE pump interval; frame delivery itself is event-driven
+  // (publish wakes the serving loop through a self-pipe).
+  int sse_pump_ms = 0;  // 0 = server default
   std::string metrics_out;
   obs::Format metrics_format = obs::Format::kJson;
   std::string trace_out;
@@ -143,6 +151,8 @@ int main(int argc, char** argv) {
       else if (arg == "--print-zombies") print_zombies = true;
       else if (arg == "--stale-after") stale_after = std::stod(need_value(i));
       else if (arg == "--no-loopback") loopback = false;
+      else if (arg == "--tsdb-cadence-ms") tsdb_cadence_ms = std::stol(need_value(i));
+      else if (arg == "--sse-pump-ms") sse_pump_ms = std::stoi(need_value(i));
       else if (arg == "--metrics-out") metrics_out = need_value(i);
       else if (arg == "--metrics-format") {
         const auto parsed = obs::parse_format(need_value(i));
@@ -249,10 +259,81 @@ int main(int argc, char** argv) {
   }
   for (const beacon::BeaconEvent& event : events) service.expect(event);
 
+  // The time-series store: samples the registries plus three service
+  // probes each cadence, and watches the default alert rules. Declared
+  // after `service` (probes reference it) and stopped before it.
+  obs::TsdbConfig tsdb_config;
+  tsdb_config.cadence_ms = tsdb_cadence_ms > 0 ? tsdb_cadence_ms : 1000;
+  obs::Tsdb tsdb(tsdb_config);
+  const bool tsdb_on = obs::kTsdbCompiledIn && tsdb_cadence_ms > 0;
+  if (tsdb_on) {
+    tsdb.add_probe("live.snapshot_age_seconds", obs::SeriesKind::kGauge,
+                   [&service] {
+                     const double age = service.newest_publish_age_seconds();
+                     return age < 0.0 ? 0.0 : age;
+                   });
+    tsdb.add_probe("live.queue_depth", obs::SeriesKind::kGauge, [&service] {
+      std::size_t depth = 0;
+      for (const live::ShardStats& s : service.stats()) depth += s.queue_depth;
+      return static_cast<double>(depth);
+    });
+    tsdb.add_probe("live.active_zombies", obs::SeriesKind::kGauge, [&service] {
+      std::size_t active = 0;
+      for (const live::ShardStats& s : service.stats()) {
+        active += s.active_zombies;
+      }
+      return static_cast<double>(active);
+    });
+
+    // Ingest drops: any sustained drop rate is a capacity problem.
+    obs::AlertRule drops;
+    drops.name = "queue_drops";
+    drops.metric = "live.ingest_dropped_total";
+    drops.mode = obs::AlertRule::Mode::kRate;
+    drops.threshold = 0.0;
+    drops.for_seconds = 30.0;
+    drops.clear_for_seconds = 15.0;
+    tsdb.add_rule(drops);
+
+    // Delivery-latency regression: e2e p99 above 2x its own trailing
+    // 5-minute baseline for a minute (hysteresis clears at 1.5x).
+    obs::AlertRule p99;
+    p99.name = "e2e_p99_regression";
+    p99.metric = "latency:live.e2e:p99";
+    p99.mode = obs::AlertRule::Mode::kBaselineRatio;
+    p99.threshold = 2.0;
+    p99.clear_threshold = 1.5;
+    p99.for_seconds = 60.0;
+    p99.clear_for_seconds = 30.0;
+    p99.baseline_window_seconds = 300.0;
+    p99.baseline_min_samples = 60;
+    tsdb.add_rule(p99);
+
+    // Stale snapshot: every worker wedged (or the service stopped)
+    // shows up as a growing publish age well before operators notice.
+    obs::AlertRule stale;
+    stale.name = "stale_snapshot";
+    stale.metric = "live.snapshot_age_seconds";
+    stale.threshold = stale_after > 0.0 ? stale_after : 5.0;
+    stale.clear_threshold = stale.threshold / 2.0;
+    stale.for_seconds = 10.0;
+    stale.clear_for_seconds = 5.0;
+    tsdb.add_rule(stale);
+  }
+
   obs::HttpServer http;
   std::unique_ptr<live::LoopbackLatencyClient> e2e_client;
   if (http_port >= 0) {
-    service.attach_http(http, stale_after);
+    if (sse_pump_ms > 0) http.set_stream_poll_interval_ms(sse_pump_ms);
+    std::function<std::string()> alerts_degraded;
+    if (tsdb_on) {
+      alerts_degraded = [&tsdb]() -> std::string {
+        const std::string firing = tsdb.firing_names();
+        return firing.empty() ? std::string() : "alerts firing: " + firing;
+      };
+      tsdb.attach_http(http);
+    }
+    service.attach_http(http, stale_after, std::move(alerts_degraded));
     if (!http.start(static_cast<std::uint16_t>(http_port))) {
       std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
       return 1;
@@ -269,6 +350,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  if (tsdb_on) tsdb.start();
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -333,6 +416,7 @@ int main(int argc, char** argv) {
     e2e_client->stop();
   }
   http.stop();
+  tsdb.stop();
   service.stop();
   return 0;
 }

@@ -36,6 +36,7 @@
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "scenarios/longlived2024.hpp"
 #include "scenarios/ris_replication.hpp"
 
@@ -49,7 +50,8 @@ namespace {
                "          [--metrics-out FILE] [--trace-out FILE]\n"
                "          [--metrics-format prom|json] [--journal-out FILE]\n"
                "          [--journal-format ndjson|bin] [--journal-categories LIST]\n"
-               "          [--http-port N] [--profile-out FILE] [--heap-out FILE]\n"
+               "          [--http-port N] [--tsdb-cadence-ms N (0 disables)]\n"
+               "          [--profile-out FILE] [--heap-out FILE]\n"
                "          [--causal-sample-rate R]\n"
                "          [--version]\n",
                argv0);
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
   obs::JournalFormat journal_format = obs::JournalFormat::kNdjson;
   std::uint32_t journal_categories = obs::kCatAll;
   int http_port = -1;  // -1 = no HTTP server
+  long tsdb_cadence_ms = 1000;  // 0 disables the /tsdb store
   std::string profile_out;
   std::string heap_out;
   auto need_value = [&](int& i) -> std::string {
@@ -139,6 +142,8 @@ int main(int argc, char** argv) {
       journal_categories = *parsed;
     } else if (arg == "--http-port") {
       http_port = std::stoi(need_value(i));
+    } else if (arg == "--tsdb-cadence-ms") {
+      tsdb_cadence_ms = std::stol(need_value(i));
     } else if (arg == "--profile-out") {
       profile_out = need_value(i);
     } else if (arg == "--heap-out") {
@@ -176,12 +181,20 @@ int main(int argc, char** argv) {
     journal.set_enabled_categories(journal_categories);
     journal.set_autopump(true);
   }
+  // Retained metrics history for the duration of the run; only worth
+  // sampling when the HTTP port (the only way to query it) is up.
+  obs::TsdbConfig tsdb_config;
+  tsdb_config.cadence_ms = tsdb_cadence_ms > 0 ? tsdb_cadence_ms : 1000;
+  obs::Tsdb tsdb(tsdb_config);
   obs::HttpServer http;
   if (http_port >= 0) {
+    const bool tsdb_on = obs::kTsdbCompiledIn && tsdb_cadence_ms > 0;
+    if (tsdb_on) tsdb.attach_http(http);
     if (!http.start(static_cast<std::uint16_t>(http_port))) {
       std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
       return 1;
     }
+    if (tsdb_on) tsdb.start();
     std::fprintf(stderr, "serving http://127.0.0.1:%u/metrics\n", http.port());
   }
 
@@ -206,5 +219,6 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(journal.dropped()));
   }
   http.stop();
+  tsdb.stop();
   return rc;
 }
