@@ -33,8 +33,9 @@ else
   # AND its delivery latency (so the e2e p99 can't either — that is
   # what --gate-latency below turns into a tripping metric), AND the
   # zstsdb sampler-on/off A/B (so the metrics store can't quietly tax
-  # the pipeline it observes).
-  BENCHES=(micro_hotpaths live_throughput live_latency tsdb_overhead)
+  # the pipeline it observes), AND the zspeerq on/off A/B (same
+  # contract for the per-peer feed-quality accounting).
+  BENCHES=(micro_hotpaths live_throughput live_latency tsdb_overhead peerq_overhead)
 fi
 
 REPEATS="${ZS_BENCH_REPEATS:-3}"

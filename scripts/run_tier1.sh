@@ -65,7 +65,7 @@ soak_zslived() {
     >"${build_dir}/zslived-soak.events" || true &
   local sse_pid=$!
   local last_epoch=0 epoch lag_p99="" lag
-  local alerts_json="" rate_series="" p99_series="" zstop_rc="" i
+  local alerts_json="" rate_series="" p99_series="" peers_json="" zstop_rc="" i
   for i in $(seq 1 25); do
     epoch=$(curl -s --max-time 5 "http://127.0.0.1:${port}/live/zombies" |
       sed -n 's/.*"epoch":\([0-9]*\).*/\1/p')
@@ -83,6 +83,11 @@ soak_zslived() {
     body=$(curl -s --max-time 5 \
       "http://127.0.0.1:${port}/tsdb/query?metric=latency:live.e2e:p99&range=30s&step=1s" || true)
     case "${body}" in *'"points":[['*) p99_series="${body}" ;; *) : "${p99_series:=${body}}" ;; esac
+    # zspeerq surface: keep the latest populated /peers table. A body
+    # with at least one row supersedes an empty one (the table fills
+    # once the first shard snapshot publishes).
+    body=$(curl -s --max-time 5 "http://127.0.0.1:${port}/peers" || true)
+    case "${body}" in *'"peers":[{'*) peers_json="${body}" ;; *) : "${peers_json:=${body}}" ;; esac
     if [ "${i}" -eq 15 ]; then
       # The live console must render a frame against the running
       # daemon and exit 0 (its CI mode).
@@ -159,7 +164,20 @@ soak_zslived() {
   }
   assert_series "${label}" "live.records_total rate" "${rate_series}"
   assert_series "${label}" "latency:live.e2e:p99" "${p99_series}"
-  echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch}, lag p99 ${lag_p99}s, alerts clean)"
+  # zspeerq: the peer table must be populated (the tap demo's simulated
+  # collectors all feed) and classify nobody noisy — every simulated
+  # peer withdraws honestly, so a nonzero noisy count here means the
+  # live classifier has a false positive.
+  case "${peers_json}" in
+    *'"peers":[{'*) ;;
+    *) echo "zslived (${label}) /peers table empty: ${peers_json}"; exit 1 ;;
+  esac
+  case "${peers_json}" in
+    *'"noisy_count":0'*) ;;
+    *) echo "zslived (${label}) /peers classified peers noisy on the clean tap demo: ${peers_json}"
+       exit 1 ;;
+  esac
+  echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch}, lag p99 ${lag_p99}s, alerts clean, peers clean)"
 }
 
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"

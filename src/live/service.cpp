@@ -120,12 +120,28 @@ std::size_t shard_for(const netbase::Prefix& prefix, std::size_t shards) {
   return shards == 0 ? 0 : static_cast<std::size_t>(h % shards);
 }
 
-LiveService::LiveService(LiveConfig config) : config_(std::move(config)) {
+LiveService::LiveService(LiveConfig config)
+    : config_(std::move(config)), peer_builder_(config_.peerq) {
   if (config_.shards == 0) config_.shards = 1;
   auto& registry = obs::Registry::global();
   m_records_ = registry.counter("zs_live_records_total");
   m_drops_ = registry.counter("zs_live_ingest_dropped_total");
   m_transitions_ = registry.counter("zs_live_transitions_total");
+  if (config_.peerq.enabled) {
+    // Bounded cardinality by construction: four aggregates plus
+    // 2 x top_k offender slots, never one series per peer. The
+    // registry sweep exposes these to the TSDB as peer.*.
+    m_peer_count_ = registry.gauge("zs_peer_count");
+    m_peer_noisy_ = registry.gauge("zs_peer_noisy_count");
+    m_peer_silent_ = registry.gauge("zs_peer_silent_count");
+    m_peer_feeding_ = registry.gauge("zs_peer_feeding_count");
+    for (std::size_t r = 0; r < config_.peerq.top_k; ++r) {
+      m_peer_topk_ppm_.push_back(
+          registry.gauge("zs_peer_topk_stuck_ppm_r" + std::to_string(r)));
+      m_peer_topk_asn_.push_back(
+          registry.gauge("zs_peer_topk_asn_r" + std::to_string(r)));
+    }
+  }
   m_lag_ = registry.histogram(
       "zs_live_ingest_lag_seconds",
       {1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25,
@@ -323,6 +339,13 @@ void LiveService::finalize(netbase::TimePoint at) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
+  if (config_.peerq.enabled) {
+    // Converge pass: every cycle is closed now, so apply the raw
+    // memoryless NoisyPeerFilter rule and flush the dwell hysteresis —
+    // after a replay the live noisy set equals the batch one exactly.
+    const std::lock_guard<std::mutex> lock(peer_mu_);
+    (void)peers_locked(/*converge=*/true);
+  }
 }
 
 void LiveService::worker_loop(std::size_t shard) {
@@ -342,6 +365,12 @@ void LiveService::worker_loop(std::size_t shard) {
   std::uint64_t cur_ingest_ns = 0;
   auto& journal = Journal::global();
   const netbase::Duration threshold = config_.detector.threshold;
+  // Worker-private peer-quality accumulator (live/peerq.hpp) — same
+  // ownership story as the detector, shared only via snapshots.
+  const bool peerq_on = config_.peerq.enabled;
+  PeerQAccumulator peerq;
+  std::uint64_t peerq_epoch = 0;
+  auto last_peerq_pub = SteadyClock::now();
 
   // Expect events are buffered and handed to the detector in stream
   // order, not registration order: the detector keeps one watch per
@@ -369,6 +398,13 @@ void LiveService::worker_loop(std::size_t shard) {
       pending.pop();
       detector.advance(event.announce_time);
       detector.expect(event);
+      if (peerq_on) {
+        // Mirror the detector exactly: the cycle opens where the watch
+        // does, and superseded events are skipped inside on_expect —
+        // the closed-cycle sum is the batch announcement denominator.
+        peerq.advance(event.announce_time);
+        peerq.on_expect(event, threshold);
+      }
     }
   };
 
@@ -385,6 +421,10 @@ void LiveService::worker_loop(std::size_t shard) {
     } else {
       emerged.insert(key);
       ++emerged_n;
+      // One batch-equivalent ZombieRoute — the stuck-probability
+      // numerator. Resurrections are live-only and excluded, exactly
+      // as the batch pipeline never counts them.
+      if (peerq_on) peerq.on_stuck(alert);
     }
     m_transitions_.inc();
     if (journal.enabled(obs::kCatLive)) {
@@ -434,7 +474,7 @@ void LiveService::worker_loop(std::size_t shard) {
     dirty = true;
   });
 
-  const auto publish = [&] {
+  const auto publish = [&](bool force_peerq = false) {
     const auto publish_start = SteadyClock::now();
     auto next = std::make_shared<ShardSnapshot>();
     next->epoch = ++epoch;
@@ -449,9 +489,27 @@ void LiveService::worker_loop(std::size_t shard) {
     next->resurrected = resurrected_n;
     next->died = died_n;
     s.m_active.set(static_cast<std::int64_t>(next->zombies.size()));
+    // The peer-quality snapshot rides the same lock but is throttled:
+    // copied out on classifier-relevant changes (new peer, stuck
+    // route, cycle close, session reset) at most every 100 ms — a
+    // replay closes cycles far faster than any poller reads — on the
+    // forced finalize path, or at most 1 s behind, so the full-table
+    // copy stays off the per-batch cost the peerq_overhead bench
+    // gates.
+    std::shared_ptr<const PeerQShardSnapshot> peerq_next;
+    const std::uint64_t since_pub_ns =
+        elapsed_ns(last_peerq_pub, publish_start);
+    if (peerq_on &&
+        (force_peerq ||
+         (peerq.publish_due() && since_pub_ns >= 100'000'000ull) ||
+         since_pub_ns >= 1'000'000'000ull)) {
+      peerq_next = peerq.snapshot(clock, ++peerq_epoch);
+      last_peerq_pub = publish_start;
+    }
     {
       const std::lock_guard<std::mutex> lock(s.snap_mu);
       s.snap = std::shared_ptr<const ShardSnapshot>(std::move(next));
+      if (peerq_next) s.peerq_snap = std::move(peerq_next);
     }
     const auto published_at = SteadyClock::now();
     s.last_publish_ns.store(steady_ns(published_at),
@@ -477,7 +535,11 @@ void LiveService::worker_loop(std::size_t shard) {
         deliver_expects_until(item.advance_to);
         clock = std::max(clock, item.advance_to);
         detector.advance(item.advance_to);
-        publish();  // finalize() waits on the ack; snapshot must be current
+        if (peerq_on) peerq.advance(item.advance_to);
+        // finalize() waits on the ack; both snapshots must be current
+        // (the forced peerq publish is what makes the converge pass
+        // see every closed cycle).
+        publish(/*force_peerq=*/true);
         s.finalize_acks.fetch_add(1, std::memory_order_release);
         break;
       case ShardItem::Kind::kRecord: {
@@ -501,6 +563,10 @@ void LiveService::worker_loop(std::size_t shard) {
         deliver_expects_until(mrt::record_timestamp(item.record));
         clock = std::max(clock, mrt::record_timestamp(item.record));
         detector.ingest(item.record);
+        if (peerq_on) {
+          peerq.advance(clock);
+          peerq.on_record(item.record);
+        }
         if constexpr (obs::kLatHistCompiledIn) {
           stage_detect_.record_ns(elapsed_ns(dequeued, SteadyClock::now()));
         }
@@ -648,6 +714,74 @@ double LiveService::lag_quantile(double q) const {
   return merged.empty() ? 0.0 : merged.quantile_ns(q) * 1e-9;
 }
 
+std::shared_ptr<const PeerTable> LiveService::peers() const {
+  const std::lock_guard<std::mutex> lock(peer_mu_);
+  return peers_locked(/*converge=*/false);
+}
+
+std::shared_ptr<const PeerTable> LiveService::peers_locked(bool converge) const {
+  if (!config_.peerq.enabled) {
+    if (!peer_table_) peer_table_ = std::make_shared<const PeerTable>();
+    return peer_table_;
+  }
+  std::vector<std::shared_ptr<const PeerQShardSnapshot>> snaps;
+  snaps.reserve(shards_.size());
+  std::uint64_t fingerprint = 0;
+  netbase::TimePoint clock = 0;
+  for (const auto& shard : shards_) {
+    std::shared_ptr<const PeerQShardSnapshot> peerq_snap;
+    std::shared_ptr<const ShardSnapshot> snap;
+    {
+      const std::lock_guard<std::mutex> lock(shard->snap_mu);
+      peerq_snap = shard->peerq_snap;
+      snap = shard->snap;
+    }
+    if (peerq_snap) fingerprint += peerq_snap->epoch;
+    // Silence ages against the freshest stream clock — the main
+    // snapshot's, which publishes every batch even when the throttled
+    // peerq side does not.
+    if (snap) clock = std::max(clock, snap->clock);
+    snaps.push_back(std::move(peerq_snap));
+  }
+  const bool new_data =
+      !peer_table_ || peer_table_->fingerprint != fingerprint;
+  if (!converge && peer_table_ && !new_data && peer_table_->clock == clock) {
+    return peer_table_;
+  }
+  peer_table_ = peer_builder_.build(snaps, clock, new_data, converge);
+  m_peer_count_.set(static_cast<std::int64_t>(peer_table_->rows.size()));
+  m_peer_noisy_.set(static_cast<std::int64_t>(peer_table_->noisy_count));
+  m_peer_silent_.set(static_cast<std::int64_t>(peer_table_->silent_count));
+  m_peer_feeding_.set(static_cast<std::int64_t>(peer_table_->feeding_count));
+  if (!m_peer_topk_ppm_.empty()) {
+    // Worst offenders by stuck probability into the fixed top-K slots;
+    // unused slots read 0/-1 so dashboards can tell "no data" apart.
+    std::vector<const PeerRow*> ranked;
+    ranked.reserve(peer_table_->rows.size());
+    for (const auto& row : peer_table_->rows) ranked.push_back(&row);
+    const std::size_t k = std::min(m_peer_topk_ppm_.size(), ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(k),
+                      ranked.end(), [](const PeerRow* a, const PeerRow* b) {
+                        return a->probability > b->probability;
+                      });
+    for (std::size_t r = 0; r < m_peer_topk_ppm_.size(); ++r) {
+      if (r < k) {
+        m_peer_topk_ppm_[r].set(
+            static_cast<std::int64_t>(ranked[r]->probability * 1e6));
+        m_peer_topk_asn_[r].set(static_cast<std::int64_t>(ranked[r]->peer.asn));
+      } else {
+        m_peer_topk_ppm_[r].set(0);
+        m_peer_topk_asn_[r].set(-1);
+      }
+    }
+  }
+  return peer_table_;
+}
+
+std::string LiveService::peers_json(bool noisy_only) const {
+  return peer_table_json(*peers(), epoch(), noisy_only);
+}
+
 double LiveService::newest_publish_age_seconds() const {
   std::uint64_t newest = 0;
   for (const auto& shard : shards_) {
@@ -673,6 +807,18 @@ void LiveService::attach_http(obs::HttpServer& server,
     obs::HttpResponse response;
     response.content_type = "application/json";
     response.body = stats_json();
+    return response;
+  });
+  server.add_endpoint("/peers", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = peers_json(false);
+    return response;
+  });
+  server.add_endpoint("/peers/noisy", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = peers_json(true);
     return response;
   });
   server.add_stream("/live/events", &events_);
@@ -753,8 +899,21 @@ std::string LiveService::zombies_json() const {
   out += ',';
   append_kv(out, "died_total", std::to_string(died_total), false);
   out += ",\"zombies\":[";
+  const std::vector<LiveZombie> zs = zombies();
+  // Supporting-peer provenance (peerq): for each stuck prefix, which
+  // peers confirm it, and what fraction of the *non-noisy* peer
+  // universe that is — the paper's argument that a zombie seen only by
+  // noisy peers is probably not a zombie at all.
+  std::shared_ptr<const PeerTable> table;
+  std::set<zombie::PeerKey> noisy;
+  std::map<netbase::Prefix, std::set<zombie::PeerKey>> support;
+  if (config_.peerq.enabled) {
+    table = peers();
+    noisy = table->noisy_set();
+    for (const auto& z : zs) support[z.alert.prefix].insert(z.alert.peer);
+  }
   bool first = true;
-  for (const auto& z : zombies()) {
+  for (const auto& z : zs) {
     if (!first) out += ',';
     first = false;
     out += '{';
@@ -771,6 +930,25 @@ std::string LiveService::zombies_json() const {
     append_kv(out, "resurrected", z.resurrected ? "true" : "false", false);
     out += ',';
     append_kv(out, "stuck_path", z.alert.stuck_path.to_string(), true);
+    if (table) {
+      const auto& supporters = support[z.alert.prefix];
+      std::size_t non_noisy_support = 0;
+      for (const auto& peer : supporters) {
+        if (!noisy.contains(peer)) ++non_noisy_support;
+      }
+      const std::size_t universe = table->rows.size() - noisy.size();
+      const double confidence =
+          universe == 0 ? 0.0
+                        : static_cast<double>(non_noisy_support) /
+                              static_cast<double>(universe);
+      out += ',';
+      append_kv(out, "support_peers", std::to_string(supporters.size()), false);
+      out += ',';
+      append_kv(out, "support_non_noisy", std::to_string(non_noisy_support),
+                false);
+      out += ',';
+      append_kv(out, "confidence", format_seconds(confidence), false);
+    }
     out += '}';
   }
   out += "]}";

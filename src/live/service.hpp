@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "beacon/schedule.hpp"
+#include "live/peerq.hpp"
 #include "live/queue.hpp"
 #include "mrt/record.hpp"
 #include "netbase/ip.hpp"
@@ -72,6 +73,10 @@ struct LiveConfig {
   /// shard has space (replay and bench — zero loss by construction).
   bool block_on_full = false;
   zombie::RealTimeConfig detector;
+  /// Per-peer feed-quality accounting and the online noisy-peer
+  /// classifier (live/peerq.hpp). Enabled by default; the
+  /// peerq_overhead bench gates its hot-path cost against this switch.
+  PeerQConfig peerq;
 };
 
 /// The stable prefix → shard mapping (FNV-1a over family, address
@@ -206,6 +211,17 @@ class LiveService {
   /// before/after snapshots and diffs them per config).
   obs::LatSnapshot lag_snapshot() const;
 
+  /// The merged, classified per-peer feed-quality table (live/peerq.hpp).
+  /// Merges the newest per-shard peerq snapshots, runs the online
+  /// noisy-peer classifier, refreshes the zs_peer_* gauges, and caches
+  /// the result until shard peerq epochs or the stream clock move.
+  /// Returns an empty table when config.peerq.enabled is false.
+  /// finalize() runs a converge pass first, so after a replay the
+  /// noisy set equals batch NoisyPeerFilter's exactly.
+  std::shared_ptr<const PeerTable> peers() const;
+  /// JSON body of GET /peers (noisy_only: GET /peers/noisy).
+  std::string peers_json(bool noisy_only = false) const;
+
   // --- serving --------------------------------------------------------
 
   /// The /live/events SSE hub (exposed for tests; publish() is done by
@@ -291,12 +307,20 @@ class LiveService {
     /// steady_clock ns of the last snapshot publish (0 = never);
     /// drives the /healthz staleness probe.
     std::atomic<std::uint64_t> last_publish_ns{0};
+    /// The peer-quality side of the publication, same locking story as
+    /// `snap`. Published on classifier-relevant changes or at most 1 s
+    /// behind, not on every batch — peers() tolerates the staleness,
+    /// the hot path keeps the copy off its per-batch cost.
+    std::shared_ptr<const PeerQShardSnapshot> peerq_snap;
     obs::Gauge m_depth;
     obs::Gauge m_active;
   };
 
   bool push_to(std::size_t shard, ShardItem&& item);
   void worker_loop(std::size_t shard);
+  /// peers() body; peer_mu_ must be held. `converge` applies the raw
+  /// batch rule (finalize's equivalence pass).
+  std::shared_ptr<const PeerTable> peers_locked(bool converge) const;
 
   LiveConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -317,6 +341,20 @@ class LiveService {
   StageLat stage_detect_;
   StageLat stage_publish_;
   StageLat stage_fanout_;
+  // Peer-table merge + classifier state (live/peerq.hpp). One mutex
+  // serializes the builder (it owns the dwell/silence hysteresis) and
+  // the cached table readers share.
+  mutable std::mutex peer_mu_;
+  mutable PeerTableBuilder peer_builder_;
+  mutable std::shared_ptr<const PeerTable> peer_table_;
+  // Bounded-cardinality peer gauges (auto-swept into the TSDB as
+  // peer.*): aggregates plus top-K offender slots.
+  mutable obs::Gauge m_peer_count_;
+  mutable obs::Gauge m_peer_noisy_;
+  mutable obs::Gauge m_peer_silent_;
+  mutable obs::Gauge m_peer_feeding_;
+  mutable std::vector<obs::Gauge> m_peer_topk_ppm_;
+  mutable std::vector<obs::Gauge> m_peer_topk_asn_;
 };
 
 }  // namespace zombiescope::live

@@ -22,6 +22,7 @@ constexpr CategoryName kCategoryNames[] = {
     {kCatLifespan, "lifespan"}, {kCatCollector, "collector"},
     {kCatFault, "fault"},       {kCatPropagation, "propagation"},
     {kCatLive, "live"},     {kCatAlert, "alert"},
+    {kCatPeer, "peer"},
 };
 
 }  // namespace
@@ -96,6 +97,9 @@ constexpr EventTypeName kEventTypeNames[] = {
     {JournalEventType::kLiveClientEvicted, "live_client_evicted", kCatLive},
     {JournalEventType::kAlertFiring, "alert_firing", kCatAlert},
     {JournalEventType::kAlertResolved, "alert_resolved", kCatAlert},
+    {JournalEventType::kPeerNoisyEnter, "peer_noisy_enter", kCatPeer},
+    {JournalEventType::kPeerNoisyExit, "peer_noisy_exit", kCatPeer},
+    {JournalEventType::kPeerSilent, "peer_silent", kCatPeer},
 };
 
 }  // namespace

@@ -69,7 +69,8 @@ enum JournalCategory : std::uint32_t {
   kCatPropagation = 1u << 7,  // causal per-hop update provenance
   kCatLive = 1u << 8,         // zslive streaming service transitions
   kCatAlert = 1u << 9,        // zstsdb alert-rule transitions
-  kCatAll = (1u << 10) - 1,
+  kCatPeer = 1u << 10,        // zspeerq feed-quality transitions
+  kCatAll = (1u << 11) - 1,
 };
 
 /// One name per bit ("run", "state", ...). Empty for unknown bits.
@@ -126,6 +127,12 @@ enum class JournalEventType : std::uint16_t {
   // milli-units; c = rule index).
   kAlertFiring = 60,
   kAlertResolved = 61,
+  // kCatPeer (zspeerq classifier; emitted at merge time, so `time` is
+  // the merged stream clock)
+  kPeerNoisyEnter = 70,  // a = stuck probability (ppm), b = median
+                         // probability (ppm), c = stuck routes
+  kPeerNoisyExit = 71,   // same fields as kPeerNoisyEnter
+  kPeerSilent = 72,      // a = silent age (s), b = last update seen
 };
 
 /// Snake-case wire name ("zombie_declared"). Used by both serializers.

@@ -111,7 +111,10 @@ struct AlertRule {
     kRate,           // compare the counter-reset-aware rate
     kBaselineRatio,  // compare value / trailing-baseline-mean
   };
-  enum class Op { kGt, kLt };
+  /// Threshold direction. kAbove/kBelow are the descriptive spellings
+  /// (a floor rule like "feeding peers dropped below 1" reads as
+  /// kBelow); kGt/kLt remain for existing rules.
+  enum class Op { kGt, kLt, kAbove = kGt, kBelow = kLt };
 
   std::string name;    // stable identifier (journal c = index, not name)
   std::string metric;  // series the rule watches

@@ -18,6 +18,8 @@
 #include "live/service.hpp"
 #include "scenarios/longlived2024.hpp"
 #include "zombie/longlived.hpp"
+#include "zombie/noisy.hpp"
+#include "zombie/state.hpp"
 
 namespace zombiescope::live {
 namespace {
@@ -130,6 +132,95 @@ TEST_F(LiveE2E, PacedReplayMatchesBatchOnTruncatedWindow) {
   const auto flat_out = live_pairs(day, threshold, 4, /*speed=*/0.0);
   EXPECT_EQ(paced, flat_out);
   EXPECT_EQ(paced, batch);
+}
+
+TEST_F(LiveE2E, NoisyPeerSetMatchesBatchFilterExactly) {
+  // The streaming classifier (PeerQAccumulator + PeerTableBuilder) must
+  // converge, after finalize(), to the *exact* peer set the batch
+  // statistics pass in zsdetect --filter-noisy computes: dedicated
+  // detector run -> NoisyPeerFilter over (routes, tracker.peers(),
+  // pass.total_announcements). Same floor, same median multiplier, same
+  // universe, same denominator.
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+
+  // Batch reference, mirroring the longlived branch of zsdetect's
+  // statistics pass verbatim.
+  zombie::StateTracker tracker;
+  for (const auto& record : output_->updates) tracker.apply(record);
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto pass = detector.detect(output_->updates, output_->events, threshold);
+  std::vector<zombie::ZombieRoute> routes;
+  for (const auto& outbreak : pass.outbreaks)
+    for (const auto& route : outbreak.routes) routes.push_back(route);
+  const zombie::NoisyPeerFilter filter;
+  const std::set<PeerKey> batch =
+      filter.noisy_peer_keys(routes, tracker.peers(), pass.total_announcements);
+
+  // Live side: replay flat-out, finalize (which runs the converge pass
+  // that drops the streaming hysteresis), read the published table.
+  LiveConfig config;
+  config.shards = 4;
+  config.block_on_full = true;
+  config.detector.threshold = threshold;
+  LiveService service(config);
+  service.start();
+  for (const auto& event : output_->events) service.expect(event);
+  ReplayFeedSource feed(output_->updates, /*speed=*/0.0);
+  const auto stats = feed.run(service);
+  EXPECT_EQ(stats.records, output_->updates.size());
+  service.finalize();
+  EXPECT_EQ(service.drops(), 0u);
+
+  const auto table = service.peers();
+  ASSERT_NE(table, nullptr);
+  // The denominator must line up exactly: closed beacon cycles ==
+  // studied announcements of the batch pass.
+  EXPECT_EQ(table->total_cycles,
+            static_cast<std::uint64_t>(pass.total_announcements));
+  // Same peer universe as StateTracker.
+  EXPECT_EQ(table->rows.size(), tracker.peers().size());
+  // And the headline claim: identical noisy sets.
+  EXPECT_EQ(table->noisy_set(), batch);
+  service.stop();
+}
+
+TEST_F(LiveE2E, PeerTableCountsMatchBatchStats) {
+  // Beyond set equality, per-peer numerators must agree with the batch
+  // PeerStats: stuck == zombie_routes for every tracked peer.
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+
+  zombie::StateTracker tracker;
+  for (const auto& record : output_->updates) tracker.apply(record);
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto pass = detector.detect(output_->updates, output_->events, threshold);
+  std::vector<zombie::ZombieRoute> routes;
+  for (const auto& outbreak : pass.outbreaks)
+    for (const auto& route : outbreak.routes) routes.push_back(route);
+  const zombie::NoisyPeerFilter filter;
+  const auto stats =
+      filter.stats(routes, tracker.peers(), pass.total_announcements);
+
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  config.detector.threshold = threshold;
+  LiveService service(config);
+  service.start();
+  for (const auto& event : output_->events) service.expect(event);
+  ReplayFeedSource feed(output_->updates, /*speed=*/0.0);
+  feed.run(service);
+  service.finalize();
+  EXPECT_EQ(service.drops(), 0u);
+
+  const auto table = service.peers();
+  ASSERT_NE(table, nullptr);
+  for (const auto& ps : stats) {
+    const PeerRow* row = table->find(ps.peer);
+    ASSERT_NE(row, nullptr) << zombie::to_string(ps.peer);
+    EXPECT_EQ(row->stuck, static_cast<std::uint64_t>(ps.zombie_routes))
+        << zombie::to_string(ps.peer);
+  }
+  service.stop();
 }
 
 }  // namespace

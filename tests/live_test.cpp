@@ -21,9 +21,11 @@
 
 #include "live/feed.hpp"
 #include "live/loopback.hpp"
+#include "live/peerq.hpp"
 #include "live/queue.hpp"
 #include "live/service.hpp"
 #include "obs/http.hpp"
+#include "obs/journal.hpp"
 #include "obs/lathist.hpp"
 
 namespace zombiescope::live {
@@ -562,6 +564,530 @@ TEST(ObsLiveFeed, TcpFeedSubmitsParsedLines) {
   EXPECT_EQ(stats.records, 2u);
   EXPECT_EQ(stats.parse_errors, 1u);
   EXPECT_EQ(service.processed(), 2u);
+  service.stop();
+}
+
+TEST(ObsLiveFeed, TcpFeedFlushesFinalUnterminatedLineOnDisconnect) {
+  // A peer that disconnects mid-stream without a trailing newline must
+  // still have its buffered final line parsed and submitted — EOF acts
+  // as the line terminator.
+  LiveConfig config;
+  config.shards = 1;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  TcpNdjsonFeedSource feed(0);
+  ASSERT_NE(feed.port(), 0);
+  FeedSource::RunStats stats;
+  std::thread pump([&] { stats = feed.run(service); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(feed.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string lines =
+      R"({"timestamp":1717500000,"peer":"192.0.2.1","peer_asn":64500,)"
+      R"("type":"UPDATE","announcements":[{"next_hop":"192.0.2.1",)"
+      R"("prefixes":["93.175.147.0/24"]}]})"
+      "\n"
+      // No trailing newline: only EOF terminates this one.
+      R"({"timestamp":1717500100,"peer":"192.0.2.1","peer_asn":64500,)"
+      R"("type":"UPDATE","withdrawals":["93.175.147.0/24"]})";
+  ASSERT_EQ(::send(fd, lines.data(), lines.size(), 0),
+            static_cast<ssize_t>(lines.size()));
+  ::close(fd);
+
+  for (int spins = 0; spins < 200 && service.processed() < 2; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  feed.stop();
+  pump.join();
+  service.finalize(1717500200);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.parse_errors, 0u);
+  EXPECT_EQ(service.processed(), 2u);
+  service.stop();
+}
+
+TEST(ObsLiveFeed, TcpFeedSurvivesDisconnectAndAcceptsReconnect) {
+  // Client drops, another one (the "reconnect") comes back: the feed
+  // keeps serving, and per-client line buffers do not bleed between
+  // connections.
+  LiveConfig config;
+  config.shards = 1;
+  config.block_on_full = true;
+  LiveService service(config);
+  service.start();
+  TcpNdjsonFeedSource feed(0);
+  ASSERT_NE(feed.port(), 0);
+  FeedSource::RunStats stats;
+  std::thread pump([&] { stats = feed.run(service); });
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(feed.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+
+  // First connection dies holding half a line in its buffer; the
+  // half-line flushes at EOF and fails to parse — one parse error,
+  // nothing submitted, the server must not crash or stall.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string partial = R"({"timestamp":1717500000,"peer":"192.0)";
+    ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+              static_cast<ssize_t>(partial.size()));
+    ::close(fd);
+  }
+
+  // Reconnect and feed a complete record: must be parsed cleanly, with
+  // no residue from the first connection's buffer.
+  {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string line =
+        R"({"timestamp":1717500100,"peer":"192.0.2.1","peer_asn":64500,)"
+        R"("type":"UPDATE","announcements":[{"next_hop":"192.0.2.1",)"
+        R"("prefixes":["93.175.147.0/24"]}]})"
+        "\n";
+    ASSERT_EQ(::send(fd, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+    ::close(fd);
+  }
+
+  for (int spins = 0; spins < 200 && service.processed() < 1; ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  feed.stop();
+  pump.join();
+  service.finalize(1717500200);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.parse_errors, 1u);
+  EXPECT_EQ(service.processed(), 1u);
+  service.stop();
+}
+
+// ---------------------------------------------------------------------------
+// zspeerq: per-peer feed quality
+// ---------------------------------------------------------------------------
+
+mrt::MrtRecord session_drop(TimePoint t, const PeerKey& peer) {
+  mrt::Bgp4mpStateChange c;
+  c.timestamp = t;
+  c.peer_asn = peer.asn;
+  c.peer_address = peer.address;
+  c.old_state = bgp::SessionState::kEstablished;
+  c.new_state = bgp::SessionState::kIdle;
+  return mrt::MrtRecord{c};
+}
+
+BeaconEvent cycle_event(const Prefix& prefix, TimePoint announce,
+                        TimePoint withdraw, bool superseded = false) {
+  BeaconEvent event;
+  event.prefix = prefix;
+  event.announce_time = announce;
+  event.withdraw_time = withdraw;
+  event.superseded = superseded;
+  return event;
+}
+
+std::shared_ptr<const PeerQShardSnapshot> make_snap(
+    std::uint64_t epoch, TimePoint clock, std::uint64_t cycles,
+    std::vector<std::pair<PeerKey, PeerCell>> peers) {
+  auto snap = std::make_shared<PeerQShardSnapshot>();
+  snap->epoch = epoch;
+  snap->clock = clock;
+  snap->cycles_closed = cycles;
+  for (auto& [key, cell] : peers) snap->peers[key] = cell;
+  return snap;
+}
+
+PeerCell stuck_cell(std::uint64_t stuck, std::uint64_t updates = 100) {
+  PeerCell cell;
+  cell.updates = updates;
+  cell.stuck = stuck;
+  return cell;
+}
+
+TEST(ObsPeerQ, WilsonIntervalKnownValuesAndEdges) {
+  // No evidence: the full [0, 1] band.
+  const auto empty = wilson_interval(0, 0);
+  EXPECT_EQ(empty.low, 0.0);
+  EXPECT_EQ(empty.high, 1.0);
+  // Classic check: 5/10 at z = 1.96 -> [0.2366, 0.7634].
+  const auto half = wilson_interval(5, 10);
+  EXPECT_NEAR(half.low, 0.2366, 1e-3);
+  EXPECT_NEAR(half.high, 0.7634, 1e-3);
+  // More trials at the same ratio narrow the band.
+  const auto more = wilson_interval(500, 1000);
+  EXPECT_GT(more.low, half.low);
+  EXPECT_LT(more.high, half.high);
+  // Extremes stay clamped inside [0, 1].
+  const auto all = wilson_interval(10, 10);
+  EXPECT_GT(all.low, 0.5);
+  EXPECT_LE(all.high, 1.0);
+  const auto none = wilson_interval(0, 10);
+  EXPECT_GE(none.low, 0.0);
+  EXPECT_LT(none.high, 0.5);
+}
+
+TEST(ObsPeerQ, AccumulatorTracksCycleVisibilityAndMissStreaks) {
+  const Prefix prefix = Prefix::parse("93.175.147.0/24");
+  const netbase::Duration threshold = 90 * kMinute;
+  PeerQAccumulator acc;
+
+  // Cycle 1: both peers announce, only A withdraws in the window.
+  acc.on_expect(cycle_event(prefix, 1000, 1000 + 2 * 3600), threshold);
+  acc.on_record(announce(1100, peer_a(), prefix));
+  acc.on_record(announce(1200, peer_b(), prefix));
+  acc.on_record(withdraw(1000 + 2 * 3600 + 10, peer_a(), prefix));
+  // A withdrawal *before* the scheduled withdraw time belongs to an
+  // earlier window and must not count.
+  acc.on_record(withdraw(2000, peer_b(), prefix));
+  EXPECT_EQ(acc.cycles_closed(), 0u);
+  acc.advance(1000 + 2 * 3600 + threshold + 1);  // strictly past deadline
+  EXPECT_EQ(acc.cycles_closed(), 1u);
+
+  // Cycle 2: only A shows up; B starts a miss streak.
+  const TimePoint t2 = 1000 + 4 * 3600;
+  acc.on_expect(cycle_event(prefix, t2, t2 + 2 * 3600), threshold);
+  acc.on_record(announce(t2 + 100, peer_a(), prefix));
+  acc.advance(t2 + 2 * 3600 + threshold + 1);
+  EXPECT_EQ(acc.cycles_closed(), 2u);
+
+  // A superseded event never opens a cycle.
+  acc.on_expect(cycle_event(prefix, t2, t2 + 2 * 3600, /*superseded=*/true),
+                threshold);
+  acc.advance(t2 + 100 * 3600);
+  EXPECT_EQ(acc.cycles_closed(), 2u);
+
+  const auto snap = acc.snapshot(t2 + 100 * 3600, 1);
+  const PeerCell& a = snap->peers.at(peer_a());
+  EXPECT_EQ(a.ann_seen, 2u);
+  EXPECT_EQ(a.wd_seen, 1u);
+  EXPECT_EQ(a.miss_streak, 0u);
+  EXPECT_EQ(a.updates, 3u);
+  EXPECT_EQ(a.announcements, 2u);
+  EXPECT_EQ(a.withdrawals, 1u);
+  const PeerCell& b = snap->peers.at(peer_b());
+  EXPECT_EQ(b.ann_seen, 1u);
+  EXPECT_EQ(b.wd_seen, 0u);
+  EXPECT_EQ(b.miss_streak, 1u);
+}
+
+TEST(ObsPeerQ, AccumulatorUniverseMatchesStateTrackerRules) {
+  PeerQAccumulator acc;
+  // A session state change alone never creates a peer...
+  acc.on_record(session_drop(1000, peer_a()));
+  EXPECT_EQ(acc.peer_count(), 0u);
+  // ...but an update does, and later resets on that peer count.
+  acc.on_record(announce(1100, peer_a(), Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(acc.peer_count(), 1u);
+  acc.on_record(session_drop(1200, peer_a()));
+  acc.on_record(session_drop(1300, peer_a()));
+  // A stuck route creates its peer too (RIB-sourced zombies can
+  // involve peers never seen in the update stream).
+  zombie::ZombieAlert alert;
+  alert.prefix = Prefix::parse("10.0.0.0/8");
+  alert.peer = peer_b();
+  acc.on_stuck(alert);
+  EXPECT_EQ(acc.peer_count(), 2u);
+
+  const auto snap = acc.snapshot(2000, 1);
+  EXPECT_EQ(snap->peers.at(peer_a()).session_resets, 2u);
+  EXPECT_EQ(snap->peers.at(peer_b()).stuck, 1u);
+  EXPECT_EQ(snap->peers.at(peer_b()).updates, 0u);
+}
+
+TEST(ObsPeerQ, SnapshotClearsPublishDue) {
+  PeerQAccumulator acc;
+  EXPECT_FALSE(acc.publish_due());
+  acc.on_record(announce(1000, peer_a(), Prefix::parse("10.0.0.0/8")));
+  EXPECT_TRUE(acc.publish_due());
+  (void)acc.snapshot(1000, 1);
+  EXPECT_FALSE(acc.publish_due());
+  // Another update to a known peer is not classifier-relevant...
+  acc.on_record(announce(1100, peer_a(), Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(acc.publish_due());
+  // ...a session reset is.
+  acc.on_record(session_drop(1200, peer_a()));
+  EXPECT_TRUE(acc.publish_due());
+}
+
+TEST(ObsPeerQ, MergeSumsPrefixRoutedAndMaxesBroadcastCounters) {
+  PeerCell shard0;
+  shard0.updates = 10;
+  shard0.announcements = 7;
+  shard0.withdrawals = 3;
+  shard0.stuck = 2;
+  shard0.ann_seen = 5;
+  shard0.wd_seen = 4;
+  shard0.last_seen = 1000;
+  shard0.session_resets = 2;  // broadcast: both shards saw both resets
+  shard0.miss_streak = 1;
+  PeerCell shard1 = shard0;
+  shard1.updates = 4;
+  shard1.last_seen = 1500;
+  shard1.miss_streak = 3;
+
+  PeerTableBuilder builder{PeerQConfig{}};
+  const auto table = builder.build(
+      {make_snap(1, 1500, 60, {{peer_a(), shard0}}),
+       make_snap(2, 1500, 40, {{peer_a(), shard1}})},
+      /*clock=*/1500, /*new_data=*/true, /*converge=*/false);
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->fingerprint, 3u);
+  EXPECT_EQ(table->total_cycles, 100u);
+  const PeerRow& row = table->rows[0];
+  EXPECT_EQ(row.updates, 14u);         // summed
+  EXPECT_EQ(row.announcements, 14u);   // summed
+  EXPECT_EQ(row.stuck, 4u);            // summed
+  EXPECT_EQ(row.ann_seen, 10u);        // summed
+  EXPECT_EQ(row.last_seen, 1500);      // max
+  EXPECT_EQ(row.session_resets, 2u);   // max, NOT 4
+  EXPECT_EQ(row.miss_streak, 3u);      // max
+  EXPECT_DOUBLE_EQ(row.probability, 0.04);
+}
+
+TEST(ObsPeerQ, ClassifierEntryNeedsCyclesWilsonAndDwell) {
+  PeerQConfig config;
+  config.dwell = 2;
+  PeerTableBuilder builder{config};
+  // Two clean peers keep the median at zero; peer B is the offender
+  // (an odd universe size makes the median the middle clean value).
+  const PeerKey clean{64502, IpAddress::parse("192.0.2.3")};
+  const auto snaps_at = [&](std::uint64_t epoch, std::uint64_t cycles,
+                            std::uint64_t stuck) {
+    return std::vector<std::shared_ptr<const PeerQShardSnapshot>>{make_snap(
+        epoch, 1000, cycles,
+        {{peer_a(), stuck_cell(0)},
+         {clean, stuck_cell(0)},
+         {peer_b(), stuck_cell(stuck)}})};
+  };
+
+  // Raw-noisy but below min_cycles: published entry is blocked.
+  auto table = builder.build(snaps_at(1, 10, 5), 1000, true, false);
+  const PeerRow* b = table->find(peer_b());
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->noisy_raw);
+  EXPECT_FALSE(b->noisy);
+
+  // Enough cycles and a Wilson lower bound past the floor: the dwell
+  // still holds the flip for `dwell` consecutive data epochs.
+  table = builder.build(snaps_at(2, 100, 30), 1000, true, false);
+  EXPECT_TRUE(table->find(peer_b())->noisy_raw);
+  EXPECT_FALSE(table->find(peer_b())->noisy);  // streak 1 of 2
+  // A no-new-data rebuild (poll) must not age the streak.
+  table = builder.build(snaps_at(2, 100, 30), 1000, false, false);
+  EXPECT_FALSE(table->find(peer_b())->noisy);
+  // Second data epoch: flips.
+  table = builder.build(snaps_at(3, 100, 30), 1000, true, false);
+  EXPECT_TRUE(table->find(peer_b())->noisy);
+  EXPECT_EQ(table->noisy_count, 1u);
+
+  // Exit follows the raw rule with the same dwell.
+  table = builder.build(snaps_at(4, 1000, 30), 1000, true, false);
+  EXPECT_FALSE(table->find(peer_b())->noisy_raw);  // p = 0.03 < floor
+  EXPECT_TRUE(table->find(peer_b())->noisy);       // streak 1 of 2
+  table = builder.build(snaps_at(5, 1000, 30), 1000, true, false);
+  EXPECT_FALSE(table->find(peer_b())->noisy);
+}
+
+TEST(ObsPeerQ, ConvergeSnapsPublishedStateToRawRule) {
+  PeerQConfig config;
+  config.dwell = 100;  // a dwell the stream could never satisfy
+  PeerTableBuilder builder{config};
+  const std::vector<std::shared_ptr<const PeerQShardSnapshot>> snaps{make_snap(
+      1, 1000, 100,
+      {{peer_a(), stuck_cell(0)},
+       {PeerKey{64502, IpAddress::parse("192.0.2.3")}, stuck_cell(0)},
+       {peer_b(), stuck_cell(30)}})};
+  auto table = builder.build(snaps, 1000, true, false);
+  EXPECT_FALSE(table->find(peer_b())->noisy);
+  // converge (finalize) bypasses dwell, min_cycles, and Wilson gates.
+  table = builder.build(snaps, 1000, true, true);
+  EXPECT_TRUE(table->find(peer_b())->noisy);
+  EXPECT_FALSE(table->find(peer_a())->noisy);
+}
+
+TEST(ObsPeerQ, SilentEpisodeJournaledOncePerEpisode) {
+  obs::Journal& journal = obs::Journal::global();
+  const std::uint32_t saved = journal.enabled_categories();
+  journal.set_enabled_categories(obs::kCatPeer);
+  journal.reset();
+
+  PeerQConfig config;
+  PeerTableBuilder builder{config};
+  PeerCell cell;
+  cell.updates = 5;
+  cell.last_seen = 1000;
+  const auto build_at = [&](std::uint64_t epoch, TimePoint clock) {
+    return builder.build({make_snap(epoch, clock, 0, {{peer_a(), cell}})},
+                         clock, true, false);
+  };
+
+  auto table = build_at(1, 1000 + config.silent_after);  // not yet past
+  EXPECT_FALSE(table->rows[0].silent);
+  EXPECT_EQ(table->feeding_count, 1u);
+  table = build_at(2, 1000 + config.silent_after + 1);
+  EXPECT_TRUE(table->rows[0].silent);
+  EXPECT_EQ(table->silent_count, 1u);
+  EXPECT_EQ(table->feeding_count, 0u);
+  // Still silent on the next build: no second journal event.
+  table = build_at(3, 1000 + 2 * config.silent_after);
+  EXPECT_TRUE(table->rows[0].silent);
+  // Peer comes back, goes quiet again: a fresh episode, a fresh event.
+  cell.last_seen = 100000;
+  cell.updates = 6;
+  table = build_at(4, 100000 + 60);
+  EXPECT_FALSE(table->rows[0].silent);
+  table = build_at(5, 100000 + config.silent_after + 1);
+  EXPECT_TRUE(table->rows[0].silent);
+
+  const auto events = journal.tail(16);
+  std::size_t silent_events = 0;
+  for (const auto& ev : events) {
+    if (ev.type != obs::JournalEventType::kPeerSilent) continue;
+    ++silent_events;
+    EXPECT_TRUE(ev.has_peer);
+    EXPECT_EQ(ev.peer_asn, peer_a().asn);
+    EXPECT_GT(ev.a, config.silent_after);  // silent age
+  }
+  EXPECT_EQ(silent_events, 2u);
+  journal.reset();
+  journal.set_enabled_categories(saved);
+}
+
+TEST(ObsPeerQ, NoisyTransitionsEmitJournalEvents) {
+  obs::Journal& journal = obs::Journal::global();
+  const std::uint32_t saved = journal.enabled_categories();
+  journal.set_enabled_categories(obs::kCatPeer);
+  journal.reset();
+
+  PeerQConfig config;
+  config.dwell = 1;
+  PeerTableBuilder builder{config};
+  const auto snaps_at = [&](std::uint64_t epoch, std::uint64_t stuck) {
+    return std::vector<std::shared_ptr<const PeerQShardSnapshot>>{make_snap(
+        epoch, 1000, 100,
+        {{peer_a(), stuck_cell(0)},
+         {PeerKey{64502, IpAddress::parse("192.0.2.3")}, stuck_cell(0)},
+         {peer_b(), stuck_cell(stuck)}})};
+  };
+  (void)builder.build(snaps_at(1, 30), 1000, true, false);  // enter
+  (void)builder.build(snaps_at(2, 0), 2000, true, false);   // exit
+
+  const auto events = journal.tail(8);
+  std::vector<obs::JournalEvent> peer_events;
+  for (const auto& ev : events) {
+    if (ev.type == obs::JournalEventType::kPeerNoisyEnter ||
+        ev.type == obs::JournalEventType::kPeerNoisyExit) {
+      peer_events.push_back(ev);
+    }
+  }
+  ASSERT_EQ(peer_events.size(), 2u);
+  EXPECT_EQ(peer_events[0].type, obs::JournalEventType::kPeerNoisyEnter);
+  EXPECT_EQ(peer_events[0].peer_asn, peer_b().asn);
+  EXPECT_EQ(peer_events[0].a, 300000);  // p = 0.30 in ppm
+  EXPECT_EQ(peer_events[0].c, 30);      // stuck routes
+  EXPECT_EQ(peer_events[1].type, obs::JournalEventType::kPeerNoisyExit);
+  journal.reset();
+  journal.set_enabled_categories(saved);
+}
+
+TEST(ObsPeerQ, JsonCarriesTableAndNoisyOnlyFiltersSorted) {
+  PeerQConfig config;
+  config.dwell = 1;
+  PeerTableBuilder builder{config};
+  PeerCell worst = stuck_cell(40);
+  const auto table = builder.build(
+      {make_snap(7, 5000, 100,
+                 {{peer_a(), stuck_cell(0)},
+                  {PeerKey{64503, IpAddress::parse("192.0.2.4")}, stuck_cell(0)},
+                  {PeerKey{64504, IpAddress::parse("192.0.2.5")}, stuck_cell(0)},
+                  {peer_b(), stuck_cell(30)},
+                  {PeerKey{64502, IpAddress::parse("192.0.2.3")}, worst}})},
+      5000, true, false);
+  const std::string full = peer_table_json(*table, 42, false);
+  EXPECT_NE(full.find("\"epoch\":42"), std::string::npos);
+  EXPECT_NE(full.find("\"total_cycles\":100"), std::string::npos);
+  EXPECT_NE(full.find("\"noisy_count\":2"), std::string::npos);
+  EXPECT_NE(full.find("\"address\":\"192.0.2.1\""), std::string::npos);
+  EXPECT_NE(full.find("\"wilson_low\":"), std::string::npos);
+  EXPECT_NE(full.find("\"probability\":0.300000"), std::string::npos);
+
+  const std::string noisy = peer_table_json(*table, 42, true);
+  // Clean peer A excluded; offenders sorted worst-first.
+  EXPECT_EQ(noisy.find("\"address\":\"192.0.2.1\""), std::string::npos);
+  const auto worst_pos = noisy.find("\"asn\":64502");
+  const auto next_pos = noisy.find("\"asn\":64501");
+  ASSERT_NE(worst_pos, std::string::npos);
+  ASSERT_NE(next_pos, std::string::npos);
+  EXPECT_LT(worst_pos, next_pos);
+}
+
+TEST(ObsPeerQ, ServicePublishesPeersEndpointAndProvenance) {
+  // End-to-end through LiveService: the /peers surface reflects the
+  // replayed stream, and /live/zombies carries supporting-peer
+  // provenance fields.
+  LiveConfig config;
+  config.shards = 2;
+  config.block_on_full = true;
+  config.detector.threshold = 90 * kMinute;
+  LiveService service(config);
+  service.start();
+  const Prefix prefix = Prefix::parse("93.175.147.0/24");
+  service.expect(cycle_event(prefix, 1000, 1000 + 2 * 3600));
+  service.submit(announce(1100, peer_a(), prefix));
+  service.submit(announce(1200, peer_b(), prefix));
+  // A withdraws in the window; B keeps the route stuck.
+  service.submit(withdraw(1000 + 2 * 3600 + 5, peer_a(), prefix));
+  service.finalize(1000 + 24 * 3600);
+
+  const auto table = service.peers();
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->total_cycles, 1u);
+  ASSERT_EQ(table->rows.size(), 2u);
+  const PeerRow* a = table->find(peer_a());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->stuck, 0u);
+  EXPECT_EQ(a->ann_seen, 1u);
+  EXPECT_EQ(a->wd_seen, 1u);
+  const PeerRow* b = table->find(peer_b());
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->stuck, 1u);
+  EXPECT_EQ(b->wd_seen, 0u);
+
+  const std::string json = service.peers_json(false);
+  EXPECT_NE(json.find("\"asn\":64500"), std::string::npos);
+  EXPECT_NE(json.find("\"asn\":64501"), std::string::npos);
+  const std::string zombies = service.zombies_json();
+  EXPECT_NE(zombies.find("\"support_peers\":1"), std::string::npos);
+  EXPECT_NE(zombies.find("\"support_non_noisy\":1"), std::string::npos);
+  EXPECT_NE(zombies.find("\"confidence\":"), std::string::npos);
+  service.stop();
+}
+
+TEST(ObsPeerQ, DisabledConfigServesEmptyTable) {
+  LiveConfig config;
+  config.shards = 1;
+  config.block_on_full = true;
+  config.peerq.enabled = false;
+  LiveService service(config);
+  service.start();
+  service.submit(announce(1000, peer_a(), Prefix::parse("10.0.0.0/8")));
+  service.finalize(2000);
+  const auto table = service.peers();
+  ASSERT_NE(table, nullptr);
+  EXPECT_TRUE(table->rows.empty());
+  EXPECT_EQ(service.peers_json(false).find("\"asn\""), std::string::npos);
   service.stop();
 }
 

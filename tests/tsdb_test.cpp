@@ -262,6 +262,86 @@ TEST(ObsTsdbAlerts, SustainedBreachFiresAndHysteresisHolds) {
   EXPECT_EQ(h.tsdb->firing_names(), "");
 }
 
+TEST(ObsTsdbAlerts, BelowRuleFiresWhenValueDropsUnderThreshold) {
+  // Op::kBelow inverts the comparison: breach when value < threshold,
+  // clear when value >= clear_threshold (zslived's peers_silent rule
+  // watches a feeding-peer count this way).
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "feed_lost";
+  rule.metric = "test.metric";
+  rule.op = AlertRule::Op::kBelow;
+  rule.threshold = 1.0;
+  rule.for_seconds = 2.0;
+  rule.clear_for_seconds = 1.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(5);  // healthy: above threshold
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  step(0);  // drops under: pending
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kPending);
+  step(0);
+  step(0);  // sustained 2 s -> fires
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  EXPECT_EQ(h.tsdb->firing_names(), "feed_lost");
+  // Exactly at the threshold is NOT a breach for kBelow (strict <).
+  step(1);
+  step(1);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+  EXPECT_EQ(h.tsdb->firing_count(), 0u);
+}
+
+TEST(ObsTsdbAlerts, BelowRuleHysteresisBandHoldsFiring) {
+  // With a clear_threshold above the trigger, a kBelow rule must keep
+  // firing while the value sits inside the (threshold, clear) band and
+  // resolve only once it climbs past clear for clear_for seconds.
+  Harness h({{kSec, 64}}, SeriesKind::kGauge);
+  AlertRule rule;
+  rule.name = "feed_low";
+  rule.metric = "test.metric";
+  rule.op = AlertRule::Op::kBelow;
+  rule.threshold = 10.0;
+  rule.clear_threshold = 15.0;  // must recover well past the trigger
+  rule.for_seconds = 2.0;
+  rule.clear_for_seconds = 2.0;
+  h.tsdb->add_rule(rule);
+
+  std::int64_t t = 0;
+  auto step = [&](double v) {
+    h.value = v;
+    h.tsdb->sample_once(t * kSec);
+    ++t;
+  };
+  step(20);
+  for (int i = 0; i < 3; ++i) step(5);  // sustained drop -> fires
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  // In the band (10 <= 12 < 15): firing holds.
+  step(12);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  // Recovered, but only for 1 s: still firing.
+  step(20);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  // A dip back into the band restarts the clear clock.
+  step(12);
+  step(20);
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kFiring);
+  step(20);
+  step(20);  // >= 2 s clean recovery -> resolved
+  EXPECT_EQ(h.tsdb->alert_statuses()[0].state, AlertState::kOk);
+}
+
+TEST(ObsTsdbAlerts, AboveAndBelowAliasesMatchGtLt) {
+  // The Op aliases are interchangeable spellings, not separate modes.
+  EXPECT_EQ(AlertRule::Op::kAbove, AlertRule::Op::kGt);
+  EXPECT_EQ(AlertRule::Op::kBelow, AlertRule::Op::kLt);
+}
+
 TEST(ObsTsdbAlerts, InBandSampleRestartsPendingClock) {
   Harness h({{kSec, 64}}, SeriesKind::kGauge);
   AlertRule rule;

@@ -319,6 +319,40 @@ int main(int argc, char** argv) {
     stale.for_seconds = 10.0;
     stale.clear_for_seconds = 5.0;
     tsdb.add_rule(stale);
+
+    // Peer feed quality (zspeerq). The probe polls the merged peer
+    // table each cadence, which also refreshes the zs_peer_* gauges
+    // the registry sweep stores as peer.* — so noisy/silent counts and
+    // the top-K offender slots get 1 s series without any extra work.
+    tsdb.add_probe("peer.feeding_count_probe", obs::SeriesKind::kGauge,
+                   [&service] {
+                     const auto table = service.peers();
+                     return static_cast<double>(table->feeding_count);
+                   });
+
+    // Every peer went quiet (kBelow: the feed floor dropped under 1
+    // feeding peer) while the daemon keeps running — the exact failure
+    // mode behind the paper's looking-glass disagreements. for=30 s
+    // tolerates startup: the first updates arrive well inside that.
+    obs::AlertRule silent_peers;
+    silent_peers.name = "peers_silent";
+    silent_peers.metric = "peer.feeding_count_probe";
+    silent_peers.op = obs::AlertRule::Op::kBelow;
+    silent_peers.threshold = 1.0;
+    silent_peers.for_seconds = 30.0;
+    silent_peers.clear_for_seconds = 5.0;
+    tsdb.add_rule(silent_peers);
+
+    // A noisy-peer population spike: statistically-excluded peers
+    // sustained above zero means zombie counts upstream of the filter
+    // are inflated and the feed needs operator attention.
+    obs::AlertRule noisy_spike;
+    noisy_spike.name = "noisy_count_spike";
+    noisy_spike.metric = "peer.noisy_count";
+    noisy_spike.threshold = 0.0;
+    noisy_spike.for_seconds = 30.0;
+    noisy_spike.clear_for_seconds = 15.0;
+    tsdb.add_rule(noisy_spike);
   }
 
   obs::HttpServer http;

@@ -9,9 +9,12 @@
 //   * per-peer zombie probabilities (the paper's Table 4/5 view) when
 //     the journal carries run metadata;
 //   * resurrection chains per prefix (the Fig. 4 view);
+//   * with --peers, the peer feed-quality history the live zspeerq
+//     classifier journaled (noisy enter/exit with the probability and
+//     median that drove each flip, silence episodes, final noisy set);
 //   * with --prefix, the full chronological timeline of one prefix.
 //
-//   zsreport JOURNAL [--prefix P] [--json] [--max-rows N]
+//   zsreport JOURNAL [--prefix P] [--peers] [--json] [--max-rows N]
 //            [--profile-out FILE]
 //
 // JOURNAL may be `-` to read the journal from stdin, so a pipeline
@@ -38,7 +41,7 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s JOURNAL [--prefix PREFIX] [--json] [--max-rows N]\n"
+               "usage: %s JOURNAL [--prefix PREFIX] [--peers] [--json] [--max-rows N]\n"
                "          [--profile-out FILE] [--version]\n"
                "       (JOURNAL may be '-' to read from stdin)\n",
                argv0);
@@ -48,6 +51,7 @@ namespace {
 struct Options {
   std::string journal_path;
   std::optional<netbase::Prefix> prefix;
+  bool peers = false;
   bool json = false;
   int max_rows = 50;
   std::string profile_out;
@@ -65,6 +69,8 @@ Options parse_options(int argc, char** argv) {
       const auto parsed = netbase::Prefix::try_parse(need_value(i));
       if (!parsed.has_value()) usage(argv[0]);
       opt.prefix = *parsed;
+    } else if (arg == "--peers") {
+      opt.peers = true;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--max-rows") {
@@ -112,6 +118,11 @@ struct Report {
   std::map<std::string, std::size_t> zombies_by_peer;
   // prefix -> resurrection events, by reappearance time
   std::map<netbase::Prefix, std::vector<obs::JournalEvent>> resurrections;
+  // peer label -> zspeerq classifier transitions in time order
+  // (peer_noisy_enter/exit, peer_silent)
+  std::map<std::string, std::vector<obs::JournalEvent>> peer_transitions;
+  // peers noisy after the last journaled transition
+  std::vector<std::string> noisy_final;
 };
 
 Report build_report(std::vector<obs::JournalEvent> events) {
@@ -162,9 +173,24 @@ Report build_report(std::vector<obs::JournalEvent> events) {
       case obs::JournalEventType::kResurrectionDetected:
         report.resurrections[ev.prefix].push_back(ev);
         break;
+      case obs::JournalEventType::kPeerNoisyEnter:
+      case obs::JournalEventType::kPeerNoisyExit:
+      case obs::JournalEventType::kPeerSilent:
+        report.peer_transitions[peer_label(ev)].push_back(ev);
+        break;
       default:
         break;
     }
+  }
+  // Replay each peer's transitions (already time-ordered) to the final
+  // classification — the offline reconstruction of GET /peers/noisy.
+  for (const auto& [peer, transitions] : report.peer_transitions) {
+    bool noisy = false;
+    for (const auto& ev : transitions) {
+      if (ev.type == obs::JournalEventType::kPeerNoisyEnter) noisy = true;
+      if (ev.type == obs::JournalEventType::kPeerNoisyExit) noisy = false;
+    }
+    if (noisy) report.noisy_final.push_back(peer);
   }
   return report;
 }
@@ -229,6 +255,36 @@ void print_text(const Report& report, const Options& opt) {
     }
   }
 
+  if (opt.peers) {
+    std::printf("\n== peer feed quality: %zu peer(s) with journaled transitions",
+                report.peer_transitions.size());
+    std::printf(", %zu noisy at end\n", report.noisy_final.size());
+    for (const auto& [peer, transitions] : report.peer_transitions) {
+      std::printf("%s\n", peer.c_str());
+      for (const auto& ev : transitions) {
+        if (ev.type == obs::JournalEventType::kPeerSilent) {
+          std::printf("    %s  silent (no update for %s, last seen %s)\n",
+                      netbase::format_utc(ev.time).c_str(),
+                      netbase::format_duration(ev.a).c_str(),
+                      netbase::format_utc(ev.b).c_str());
+        } else {
+          std::printf("    %s  %-16s p=%.4f median=%.4f stuck=%lld\n",
+                      netbase::format_utc(ev.time).c_str(),
+                      ev.type == obs::JournalEventType::kPeerNoisyEnter
+                          ? "noisy ENTER" : "noisy exit",
+                      static_cast<double>(ev.a) * 1e-6,
+                      static_cast<double>(ev.b) * 1e-6,
+                      static_cast<long long>(ev.c));
+        }
+      }
+    }
+    if (!report.noisy_final.empty()) {
+      std::printf("  final noisy set:\n");
+      for (const auto& peer : report.noisy_final)
+        std::printf("    %s\n", peer.c_str());
+    }
+  }
+
   if (opt.prefix.has_value()) {
     std::printf("\n== timeline for %s\n", opt.prefix->to_string().c_str());
     for (const auto& ev : report.events) {
@@ -288,6 +344,27 @@ void print_json(const Report& report, const Options& opt) {
     }
   }
   out += report.resurrections.empty() ? "]" : "\n  ]";
+  if (opt.peers) {
+    out += ",\n  \"peer_transitions\": [";
+    first = true;
+    for (const auto& [peer, transitions] : report.peer_transitions) {
+      (void)peer;
+      for (const auto& ev : transitions) {
+        if (!first) out += ',';
+        first = false;
+        out += "\n    " + obs::to_ndjson(ev);
+      }
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    out += "  \"noisy_final\": [";
+    first = true;
+    for (const auto& peer : report.noisy_final) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + peer + "\"";
+    }
+    out += "]";
+  }
   if (opt.prefix.has_value()) {
     out += ",\n  \"timeline\": [";
     first = true;

@@ -11,6 +11,9 @@
 //   stage p99    every latency:*:p99 series the store knows about
 //   queue        live.queue_depth + the live.ingest_dropped_total rate
 //   zombies      live.active_zombies
+//   peers        /peers feed-quality counts, noisy-count series, and the
+//                worst stuck-probability offenders (when the daemon
+//                serves the zspeerq table)
 //   alerts       every rule with state / value / threshold, firing first
 //
 // Capability detection goes through GET / (the endpoint index): when
@@ -33,6 +36,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -343,6 +347,7 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
   if (!client.get_json("/", index, status)) return false;
   bool has_tsdb = false;
   bool has_alerts = false;
+  bool has_peers = false;
   if (const Json* endpoints = index.get("endpoints");
       endpoints != nullptr && endpoints->kind == Json::kArr) {
     for (const Json& e : endpoints->arr) {
@@ -350,6 +355,7 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
       if (path == nullptr) continue;
       if (path->str == "/tsdb/query") has_tsdb = true;
       if (path->str == "/alerts") has_alerts = true;
+      if (path->str == "/peers") has_peers = true;
     }
   }
 
@@ -417,6 +423,71 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
 
   const Series zombies = client.query("live.active_zombies", nullptr);
   render_series_row(out, "zombies", "active", zombies, fmt_si(zombies.last));
+
+  // PEERS: the zspeerq feed-quality table — who is feeding, who is
+  // statistically noisy, who went silent, worst offenders first.
+  if (has_peers) {
+    out += '\n';
+    Json peers;
+    if (client.get_json("/peers", peers, status) && status == 200) {
+      const auto count_of = [&peers](const char* key) {
+        const Json* v = peers.get(key);
+        return v != nullptr ? static_cast<int>(v->number_or(0)) : 0;
+      };
+      const int feeding = count_of("feeding_count");
+      const int noisy = count_of("noisy_count");
+      const int silent = count_of("silent_count");
+      const std::string noisy_text = std::to_string(noisy) + " noisy";
+      const std::string silent_text = std::to_string(silent) + " silent";
+      out += "peers      " + std::to_string(feeding) + " feeding, " +
+             (noisy > 0 ? style.red(style.bold(noisy_text)) : style.green(noisy_text)) +
+             ", " + (silent > 0 ? style.yellow(silent_text) : silent_text) + "\n";
+      const Series noisy_series = client.query("peer.noisy_count", nullptr);
+      render_series_row(out, "", "noisy count", noisy_series,
+                        fmt_si(noisy_series.last));
+      // Worst stuck probabilities, noisy and silent rows always shown.
+      if (const Json* rows = peers.get("peers");
+          rows != nullptr && rows->kind == Json::kArr) {
+        std::vector<const Json*> ranked;
+        for (const Json& r : rows->arr) ranked.push_back(&r);
+        std::sort(ranked.begin(), ranked.end(), [](const Json* a, const Json* b) {
+          const double pa = a->get("probability") != nullptr
+                                ? a->get("probability")->number_or(0) : 0;
+          const double pb = b->get("probability") != nullptr
+                                ? b->get("probability")->number_or(0) : 0;
+          return pa > pb;
+        });
+        int shown = 0;
+        for (const Json* r : ranked) {
+          const bool is_noisy = r->get("noisy") != nullptr && r->get("noisy")->b;
+          const bool is_silent = r->get("silent") != nullptr && r->get("silent")->b;
+          if (shown >= 3 && !is_noisy && !is_silent) break;
+          const double p = r->get("probability") != nullptr
+                               ? r->get("probability")->number_or(0) : 0;
+          const double lo = r->get("wilson_low") != nullptr
+                                ? r->get("wilson_low")->number_or(0) : 0;
+          const double hi = r->get("wilson_high") != nullptr
+                                ? r->get("wilson_high")->number_or(0) : 0;
+          char row[192];
+          std::snprintf(row, sizeof(row),
+                        "  AS%-8d %-24s p=%.3f [%.3f,%.3f] stuck %-6d%s%s\n",
+                        r->get("asn") != nullptr
+                            ? static_cast<int>(r->get("asn")->number_or(0)) : 0,
+                        r->get("address") != nullptr
+                            ? r->get("address")->string_or("?").c_str() : "?",
+                        p, lo, hi,
+                        r->get("stuck") != nullptr
+                            ? static_cast<int>(r->get("stuck")->number_or(0)) : 0,
+                        is_noisy ? " NOISY" : "", is_silent ? " SILENT" : "");
+          const std::string text(row);
+          out += is_noisy ? style.red(text) : is_silent ? style.yellow(text) : text;
+          ++shown;
+        }
+      }
+    } else {
+      out += "peers      n/a\n";
+    }
+  }
 
   out += '\n';
   if (!has_alerts) {
