@@ -1,0 +1,241 @@
+// wire_session — what the BGP-4 wire speaker costs, end to end and in
+// its hot paths:
+//
+//   * the headline table: the longlived2024 archive replayed into the
+//     live service twice — once directly (ReplayFeedSource, the
+//     in-process archive path) and once through real loopback sockets
+//     (replay_over_wire → BgpSpeaker → BgpFeedSource). Both must land
+//     the same emerged count with zero drops; the wire row's updates/s
+//     and bytes/s are the speaker's end-to-end ingest capacity, and
+//     the direct row is the ceiling the socket hop is measured
+//     against (README's wire-vs-archive ingest comparison).
+//   * BM_SessionEstablish: full loopback TCP connect + OPEN/KEEPALIVE
+//     handshake + teardown — the per-peer session setup cost.
+//   * BM_EncodeUpdate / BM_DecodeUpdate: the wire framing codec around
+//     the bgp/update body (per-message cost on the speaker hot path).
+//   * BM_FrameReader: header-validated reassembly at KEEPALIVE size,
+//     the per-message floor every inbound byte pays.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "live/bgp_feed.hpp"
+#include "live/feed.hpp"
+#include "live/service.hpp"
+#include "obs/metrics.hpp"
+#include "wire/bridge.hpp"
+#include "wire/message.hpp"
+#include "wire/speaker.hpp"
+
+using namespace zombiescope;
+
+namespace {
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double wall_ups = 0.0;
+  std::uint64_t drops = 0;
+  std::uint64_t emerged = 0;
+  wire::BridgeStats bridge;
+};
+
+live::LiveConfig service_config() {
+  live::LiveConfig config;
+  config.shards = 4;
+  config.block_on_full = true;
+  config.detector.threshold = 90 * netbase::kMinute;
+  return config;
+}
+
+RunResult replay_direct(const scenarios::LongLived2024Output& data) {
+  live::LiveService service(service_config());
+  service.start();
+  for (const auto& event : data.events) service.expect(event);
+  const auto start = std::chrono::steady_clock::now();
+  live::ReplayFeedSource feed(data.updates, /*speed=*/0.0);
+  feed.run(service);
+  service.finalize();
+  RunResult r;
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  r.wall_ups = r.wall_seconds > 0
+                   ? static_cast<double>(data.updates.size()) / r.wall_seconds
+                   : 0.0;
+  r.drops = service.drops();
+  r.emerged = static_cast<std::uint64_t>(service.emerged_pairs().size());
+  service.stop();
+  return r;
+}
+
+RunResult replay_wire(const scenarios::LongLived2024Output& data) {
+  live::LiveService service(service_config());
+  service.start();
+  for (const auto& event : data.events) service.expect(event);
+
+  wire::SpeakerConfig speaker_config;
+  speaker_config.hold_time = 3600;  // replay pacing is bursty
+  speaker_config.keepalive_interval = 1200;
+  live::BgpFeedSource feed(speaker_config, /*port=*/0);
+  std::thread feeder([&] { feed.run(service); });
+
+  const auto start = std::chrono::steady_clock::now();
+  wire::BridgeOptions options;
+  options.hold_time = 3600;
+  RunResult r;
+  r.bridge = wire::replay_over_wire(data.updates, "127.0.0.1", feed.port(),
+                                    options);
+  // Sessions end with Cease; the snapshot drains once the speaker has
+  // digested every byte.
+  while (!feed.speaker().snapshot().empty())
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  feed.stop();
+  feeder.join();
+  service.finalize();
+  r.wall_ups = r.wall_seconds > 0
+                   ? static_cast<double>(data.updates.size()) / r.wall_seconds
+                   : 0.0;
+  r.drops = service.drops();
+  r.emerged = static_cast<std::uint64_t>(service.emerged_pairs().size());
+  service.stop();
+  return r;
+}
+
+void print_table() {
+  bench::print_header(
+      "zswire session cost — archive replay direct vs over BGP-4 sockets",
+      "the wire speaker as a collector (§2 data collection, live ingest)");
+  const auto data = bench::load_longlived2024();
+  std::printf("  %zu update records, %zu beacon events\n\n",
+              data.updates.size(), data.events.size());
+  (void)replay_direct(data);  // warm the page cache / allocators
+  const RunResult direct = replay_direct(data);
+  const RunResult wired = replay_wire(data);
+
+  std::printf("  %-8s %12s %10s %8s %9s %10s %9s\n", "path", "upd/s", "wall s",
+              "drops", "emerged", "sessions", "MB sent");
+  std::printf("  %-8s %12.0f %10.2f %8llu %9llu %10s %9s\n", "direct",
+              direct.wall_ups, direct.wall_seconds,
+              static_cast<unsigned long long>(direct.drops),
+              static_cast<unsigned long long>(direct.emerged), "-", "-");
+  std::printf("  %-8s %12.0f %10.2f %8llu %9llu %10zu %9.1f\n", "wire",
+              wired.wall_ups, wired.wall_seconds,
+              static_cast<unsigned long long>(wired.drops),
+              static_cast<unsigned long long>(wired.emerged),
+              wired.bridge.sessions,
+              static_cast<double>(wired.bridge.bytes_sent) / 1e6);
+  const double slowdown = wired.wall_ups > 0
+                              ? direct.wall_ups / wired.wall_ups
+                              : 0.0;
+  std::printf("\n  socket hop cost: %.2fx the direct path (%zu msgs, %zu"
+              " splits)\n",
+              slowdown, wired.bridge.messages_sent, wired.bridge.splits);
+  if (direct.emerged != wired.emerged)
+    std::printf("  WARNING: emerged sets differ — the wire path is broken\n");
+
+  auto& registry = obs::Registry::global();
+  registry.gauge("zs_bench_wire_replay_ups")
+      .set(static_cast<std::int64_t>(wired.wall_ups));
+  registry.gauge("zs_bench_wire_direct_ups")
+      .set(static_cast<std::int64_t>(direct.wall_ups));
+  registry.gauge("zs_bench_wire_slowdown_x100")
+      .set(static_cast<std::int64_t>(slowdown * 100.0));
+  registry.gauge("zs_bench_wire_sessions")
+      .set(static_cast<std::int64_t>(wired.bridge.sessions));
+  registry.gauge("zs_bench_wire_bytes_sent")
+      .set(static_cast<std::int64_t>(wired.bridge.bytes_sent));
+  registry.gauge("zs_bench_wire_emerged")
+      .set(static_cast<std::int64_t>(wired.emerged));
+}
+
+void BM_SessionEstablish(benchmark::State& state) {
+  wire::SpeakerConfig config;
+  wire::BgpSpeaker speaker(config, /*listen=*/true, /*port=*/0);
+  std::thread runner([&] { speaker.run(); });
+  for (auto _ : state) {
+    const int fd = wire::wire_connect("127.0.0.1", speaker.port());
+    wire::wire_handshake(fd, 65001, 0xc0000201, 90, std::nullopt);
+    ::close(fd);
+  }
+  speaker.stop();
+  runner.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SessionEstablish)->Unit(benchmark::kMicrosecond);
+
+bgp::UpdateMessage sample_update() {
+  bgp::UpdateMessage update;
+  update.attributes.as_path = bgp::AsPath{65001, 64511, 210312};
+  update.attributes.next_hop = netbase::IpAddress::parse("192.0.2.1");
+  for (std::uint32_t i = 0; i < 8; ++i)
+    update.announced.push_back(
+        netbase::Prefix(netbase::IpAddress::v4((10u << 24) | (i << 8)), 24));
+  return update;
+}
+
+void BM_EncodeUpdate(benchmark::State& state) {
+  const auto update = sample_update();
+  for (auto _ : state) {
+    auto wire_bytes = wire::encode_update(update);
+    benchmark::DoNotOptimize(wire_bytes.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EncodeUpdate);
+
+void BM_DecodeUpdate(benchmark::State& state) {
+  const auto wire_bytes = wire::encode_update(sample_update());
+  for (auto _ : state) {
+    auto update = wire::decode_update(wire_bytes);
+    benchmark::DoNotOptimize(update.announced.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeUpdate);
+
+void BM_FrameReader(benchmark::State& state) {
+  // 64 KEEPALIVEs per batch: the per-message floor of header-validated
+  // reassembly, without codec or socket cost.
+  std::vector<std::uint8_t> batch;
+  for (int i = 0; i < 64; ++i) {
+    const auto ka = wire::encode_keepalive();
+    batch.insert(batch.end(), ka.begin(), ka.end());
+  }
+  for (auto _ : state) {
+    wire::FrameReader reader;
+    reader.append(batch.data(), batch.size());
+    std::size_t frames = 0;
+    while (reader.next().has_value()) ++frames;
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_FrameReader);
+
+}  // namespace
+
+// Expanded BENCHMARK_MAIN so the run ends with the BENCH_wire_session
+// telemetry snapshot for the regression gate.
+int main(int argc, char** argv) {
+  zombiescope::bench::begin_bench_session();
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  zombiescope::bench::emit_metrics_snapshot("wire_session");
+  // print_header's atexit snapshot would write a duplicate under the
+  // binary name; the canonical BENCH_wire_session.json is already out.
+  setenv("ZS_NO_BENCH_JSON", "1", 1);
+  return 0;
+}

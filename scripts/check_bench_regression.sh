@@ -34,8 +34,10 @@ else
   # what --gate-latency below turns into a tripping metric), AND the
   # zstsdb sampler-on/off A/B (so the metrics store can't quietly tax
   # the pipeline it observes), AND the zspeerq on/off A/B (same
-  # contract for the per-peer feed-quality accounting).
-  BENCHES=(micro_hotpaths live_throughput live_latency tsdb_overhead peerq_overhead)
+  # contract for the per-peer feed-quality accounting), AND the zswire
+  # socket replay (so the BGP-4 speaker's end-to-end ingest rate and
+  # per-session handshake cost stay gated too).
+  BENCHES=(micro_hotpaths live_throughput live_latency tsdb_overhead peerq_overhead wire_session)
 fi
 
 REPEATS="${ZS_BENCH_REPEATS:-3}"

@@ -34,7 +34,8 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 OBS_TARGETS="obs_test journal_test http_test prof_test benchdiff_test prof_compileout_test \
   heap_test heap_compileout_test lathist_test lathist_compileout_test \
   tsdb_test tsdb_compileout_test \
-  causal_test causal_e2e_test causal_compileout_test live_test zslived zstop"
+  causal_test causal_e2e_test causal_compileout_test live_test \
+  wire_test wirefault_test zswire zslived zstop"
 
 # A 30-second zslived soak under the instrumented build: the tap demo
 # feeds a live simulation through the sharded service while curl
@@ -180,18 +181,98 @@ soak_zslived() {
   echo "== tier-1: zslived soak (${label}) OK (final epoch ${last_epoch}, lag p99 ${lag_p99}s, alerts clean, peers clean)"
 }
 
+# A short BGP loopback soak under the instrumented build: zslived as a
+# real BGP-4 collector (--bgp-listen) with a zswire peer holding a live
+# session and announcing a prefix across it — the socket reader, FSM,
+# retention, and /sessions snapshot path under the sanitizer. Asserts
+# /healthz answers ok, /peers is served, and /sessions shows the peer
+# Established with its announced route.
+soak_bgp() {
+  local build_dir="$1" label="$2"
+  local log="${build_dir}/zslived-bgp.stderr"
+  echo "== tier-1: zslived BGP loopback soak (${label})"
+  "${build_dir}/tools/zslived" --bgp-listen 0 --http-port 0 --duration 20 \
+    --gr-restart 5 >"${build_dir}/zslived-bgp.stdout" 2>"${log}" &
+  local pid=$!
+  local http_port="" bgp_port=""
+  for _ in $(seq 1 100); do
+    http_port=$(sed -n 's|^serving http://127.0.0.1:\([0-9]*\)/.*|\1|p' "${log}" | head -1)
+    bgp_port=$(sed -n 's|^BGP feed on port \([0-9]*\).*|\1|p' "${log}" | head -1)
+    [ -n "${http_port}" ] && [ -n "${bgp_port}" ] && break
+    sleep 0.2
+  done
+  if [ -z "${http_port}" ] || [ -z "${bgp_port}" ]; then
+    echo "zslived (${label}) BGP mode never started serving"; cat "${log}"
+    kill "${pid}" 2>/dev/null || true
+    exit 1
+  fi
+  "${build_dir}/tools/zswire" peer 127.0.0.1 "${bgp_port}" --asn 65010 \
+    --address 198.51.100.10 --announce 203.0.113.0/24 --wait 12 \
+    >"${build_dir}/zswire-peer.out" 2>&1 &
+  local peer_pid=$!
+  # Poll /sessions until the peer session is Established with its route.
+  local sessions="" i
+  for i in $(seq 1 40); do
+    sessions=$(curl -s --max-time 5 "http://127.0.0.1:${http_port}/sessions" || true)
+    case "${sessions}" in
+      *'"established":1'*'"asn":65010'*'"routes":1'*) break ;;
+    esac
+    sleep 0.25
+  done
+  case "${sessions}" in
+    *'"established":1'*'"asn":65010'*'"routes":1'*) ;;
+    *) echo "zslived (${label}) /sessions never showed the established peer: ${sessions}"
+       kill "${pid}" "${peer_pid}" 2>/dev/null || true
+       exit 1 ;;
+  esac
+  local health
+  health=$(curl -s --max-time 5 "http://127.0.0.1:${http_port}/healthz" || true)
+  case "${health}" in
+    *'ok'*) ;;
+    *) echo "zslived (${label}) /healthz not ok in BGP mode: ${health}"
+       kill "${pid}" "${peer_pid}" 2>/dev/null || true
+       exit 1 ;;
+  esac
+  local peers
+  peers=$(curl -s --max-time 5 "http://127.0.0.1:${http_port}/peers" || true)
+  case "${peers}" in
+    *'"peers":'*) ;;
+    *) echo "zslived (${label}) /peers not served in BGP mode: ${peers}"
+       kill "${pid}" "${peer_pid}" 2>/dev/null || true
+       exit 1 ;;
+  esac
+  wait "${peer_pid}" || {
+    echo "zslived (${label}) zswire peer exited nonzero"
+    cat "${build_dir}/zswire-peer.out"
+    kill "${pid}" 2>/dev/null || true
+    exit 1
+  }
+  if ! wait "${pid}"; then
+    echo "zslived (${label}) BGP soak exited nonzero"; cat "${log}"
+    exit 1
+  fi
+  if grep -E 'ThreadSanitizer|AddressSanitizer|LeakSanitizer|runtime error' \
+    "${log}" "${build_dir}/zslived-bgp.stdout" "${build_dir}/zswire-peer.out"; then
+    echo "zslived (${label}) BGP soak produced sanitizer reports"
+    exit 1
+  fi
+  echo "== tier-1: zslived BGP soak (${label}) OK (session established, healthz ok)"
+}
+
 echo "== tier-1: obs tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DZS_SANITIZE=thread
 # shellcheck disable=SC2086
 cmake --build "${TSAN_DIR}" -j --target ${OBS_TARGETS}
-ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs'
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -R '^Obs|^Wire'
 soak_zslived "${TSAN_DIR}" "tsan"
+soak_bgp "${TSAN_DIR}" "tsan"
 
 echo "== tier-1: obs tests under ASan+UBSan (${ASAN_DIR})"
 cmake -B "${ASAN_DIR}" -S . -DZS_SANITIZE=address,undefined
 # shellcheck disable=SC2086
 cmake --build "${ASAN_DIR}" -j --target ${OBS_TARGETS}
-ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs'
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -R '^Obs|^Wire'
 soak_zslived "${ASAN_DIR}" "asan"
+soak_bgp "${ASAN_DIR}" "asan"
 
 echo "== tier-1: OK"

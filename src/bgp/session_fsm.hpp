@@ -40,13 +40,31 @@ enum class FsmState : std::uint8_t {
 std::string to_string(FsmState state);
 
 struct FsmConfig {
-  /// Negotiated hold time; 0 disables keepalives (not recommended).
+  /// Our *offered* hold time; 0 disables keepalives (not recommended).
+  /// The operative value once the peer's OPEN is seen is
+  /// negotiated_hold_time() = min(ours, theirs) per RFC 4271 §4.2.
   netbase::Duration hold_time = 90;
-  /// KEEPALIVE interval, conventionally hold_time / 3.
+  /// KEEPALIVE interval, conventionally hold_time / 3. Like the hold
+  /// time this is the pre-negotiation value; once an OPEN carries the
+  /// peer's offer, negotiated_keepalive_interval() governs.
   netbase::Duration keepalive_interval = 30;
   /// RFC 9687 SendHoldTimer: tear the session down if no send progress
   /// for this long. 0 = disabled (pre-RFC 9687 behaviour).
   netbase::Duration send_hold_time = 0;
+  /// RFC 4271 §8.2.2 ConnectRetryTimer: while in Connect, re-attempt
+  /// the transport every this many seconds. 0 = never retry (the
+  /// pre-wire behaviour, where the harness always connects promptly).
+  netbase::Duration connect_retry = 0;
+};
+
+/// The OPEN payload fields the FSM negotiates on (the full capability
+/// set lives in wire/message.hpp; the FSM only needs these three).
+struct FsmOpen {
+  netbase::Duration hold_time = 90;
+  std::uint32_t bgp_id = 0;
+  Asn asn = 0;
+
+  friend bool operator==(const FsmOpen&, const FsmOpen&) = default;
 };
 
 /// A message on the session, as far as the FSM cares.
@@ -54,6 +72,9 @@ struct FsmMessage {
   MessageType type = MessageType::kKeepalive;
   /// Payload for UPDATE messages.
   std::optional<UpdateMessage> update;
+  /// Payload for OPEN messages; absent means "no negotiation info"
+  /// (the pre-wire harness), in which case configured timers stand.
+  std::optional<FsmOpen> open;
 };
 
 /// One endpoint of a BGP session. Drive it with events and `poll()`;
@@ -101,6 +122,32 @@ class SessionFsm {
   /// Diagnostics: number of Established→down transitions.
   int session_drops() const { return session_drops_; }
 
+  /// The peer's OPEN, once received.
+  const std::optional<FsmOpen>& peer_open() const { return peer_open_; }
+
+  /// RFC 4271 §4.2: min(our offer, the peer's offer) once the peer's
+  /// OPEN is in; our configured value before that (and always, for the
+  /// payload-less OPENs of the simulation harness).
+  netbase::Duration negotiated_hold_time() const;
+
+  /// hold/3 once negotiated (0 when the negotiated hold is 0);
+  /// the configured interval before negotiation.
+  netbase::Duration negotiated_keepalive_interval() const;
+
+  /// Times the ConnectRetryTimer fired (tick() re-arms it while the
+  /// state stays Connect; the transport layer watches this counter to
+  /// know when to re-dial).
+  int connect_retries() const { return connect_retries_; }
+
+  /// RFC 4271 §6.8 connection collision resolution: with two
+  /// connections to the same peer in flight, the one initiated by the
+  /// side with the higher BGP Identifier survives. Returns true when
+  /// the *local* connection (ours, initiated-by-us iff local_initiated)
+  /// is the one to close.
+  static bool collision_close_local(std::uint32_t local_id,
+                                    std::uint32_t remote_id,
+                                    bool local_initiated);
+
  private:
   void enqueue(netbase::TimePoint now, FsmMessage message);
   void drop_session(netbase::TimePoint now, const std::string& reason);
@@ -108,8 +155,11 @@ class SessionFsm {
   FsmConfig config_;
   FsmState state_ = FsmState::kIdle;
   std::deque<FsmMessage> out_queue_;
+  std::optional<FsmOpen> peer_open_;
   netbase::TimePoint hold_expires_ = 0;       // no message received by then => drop
   netbase::TimePoint keepalive_due_ = 0;
+  netbase::TimePoint connect_retry_at_ = 0;   // next ConnectRetry firing
+  int connect_retries_ = 0;
   /// Set while the out queue is non-empty; no progress past this
   /// instant trips the RFC 9687 send hold timer.
   std::optional<netbase::TimePoint> send_hold_expires_;

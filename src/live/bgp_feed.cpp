@@ -1,0 +1,135 @@
+#include "live/bgp_feed.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "wire/bridge.hpp"
+
+namespace zombiescope::live {
+
+namespace {
+
+netbase::TimePoint system_seconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+BgpFeedSource::BgpFeedSource(wire::SpeakerConfig config, std::uint16_t port)
+    : config_(config), speaker_(config, /*listen=*/true, port) {}
+
+void BgpFeedSource::attach_http(obs::HttpServer& http) {
+  http.add_endpoint("/sessions", [this](std::string_view) {
+    obs::HttpResponse response;
+    response.content_type = "application/json";
+    response.body = speaker_.sessions_json();
+    return response;
+  });
+}
+
+void BgpFeedSource::submit_or_queue(LiveService& service, PendingRecord&& pending,
+                                    bool stamped, RunStats& stats) {
+  if (!stamped) {
+    ++stats.records;
+    service.submit(FeedItem{std::move(pending.record), pending.ingest});
+    return;
+  }
+  // Bridge records re-sequence: the archive order must survive the
+  // kernel's cross-socket interleaving for live == batch equivalence.
+  reorder_.push(std::move(pending));
+  while (!reorder_.empty() && reorder_.top().sequence <= next_sequence_) {
+    PendingRecord release = reorder_.top();
+    reorder_.pop();
+    if (release.sequence == next_sequence_) ++next_sequence_;
+    ++stats.records;
+    service.submit(FeedItem{std::move(release.record), release.ingest});
+  }
+}
+
+FeedSource::RunStats BgpFeedSource::run(LiveService& service) {
+  RunStats stats;
+
+  speaker_.on_update([this, &service, &stats](
+                         const wire::SessionRef& ref, bgp::UpdateMessage&& update,
+                         std::chrono::steady_clock::time_point ingest) {
+    const auto stamp = wire::extract_stamp(update);
+    const auto state = wire::extract_state(update);
+    if (state.has_value()) {
+      // An attr-253 empty UPDATE: a Bgp4mpStateChange in transit.
+      mrt::Bgp4mpStateChange change;
+      change.timestamp = stamp ? stamp->timestamp : system_seconds();
+      change.peer_asn = ref.peer_asn;
+      change.local_asn = config_.local_asn;
+      change.peer_address = ref.peer_address;
+      change.old_state = static_cast<bgp::SessionState>(state->first);
+      change.new_state = static_cast<bgp::SessionState>(state->second);
+      submit_or_queue(service,
+                      PendingRecord{stamp ? stamp->sequence : 0,
+                                    mrt::MrtRecord{std::move(change)}, ingest},
+                      stamp.has_value(), stats);
+      return;
+    }
+    mrt::Bgp4mpMessage message;
+    message.timestamp = stamp ? stamp->timestamp : system_seconds();
+    message.peer_asn = ref.peer_asn;
+    message.local_asn = config_.local_asn;
+    message.peer_address = ref.peer_address;
+    message.update = std::move(update);
+    submit_or_queue(service,
+                    PendingRecord{stamp ? stamp->sequence : 0,
+                                  mrt::MrtRecord{std::move(message)}, ingest},
+                    stamp.has_value(), stats);
+  });
+
+  speaker_.on_state([this, &service, &stats](const wire::SessionRef& ref,
+                                             bgp::SessionState old_state,
+                                             bgp::SessionState new_state,
+                                             bool retained) {
+    // Bridge transport flaps are not routing events; a GR-retained
+    // drop deliberately hides from the detector (the RIB kept the
+    // routes — that is the zombie being manufactured).
+    if (ref.bridged || retained) return;
+    mrt::Bgp4mpStateChange change;
+    change.timestamp = system_seconds();
+    change.peer_asn = ref.peer_asn;
+    change.local_asn = config_.local_asn;
+    change.peer_address = ref.peer_address;
+    change.old_state = old_state;
+    change.new_state = new_state;
+    ++stats.records;
+    service.submit(FeedItem{mrt::MrtRecord{std::move(change)},
+                            std::chrono::steady_clock::now()});
+  });
+
+  speaker_.on_flush([this, &service, &stats](const wire::SessionRef& ref,
+                                             std::vector<netbase::Prefix>&& prefixes,
+                                             wire::FlushReason) {
+    // Retention ended (End-of-RIB sweep, restart or LLGR expiry): the
+    // stale routes leave the RIB now, as explicit withdrawals.
+    mrt::Bgp4mpMessage message;
+    message.timestamp = system_seconds();
+    message.peer_asn = ref.peer_asn;
+    message.local_asn = config_.local_asn;
+    message.peer_address = ref.peer_address;
+    message.update.withdrawn = std::move(prefixes);
+    ++stats.records;
+    service.submit(FeedItem{mrt::MrtRecord{std::move(message)},
+                            std::chrono::steady_clock::now()});
+  });
+
+  speaker_.run();
+
+  // Anything still parked in the reorder heap (a bridge died mid-run)
+  // flushes in sequence order rather than vanishing.
+  while (!reorder_.empty()) {
+    PendingRecord release = reorder_.top();
+    reorder_.pop();
+    ++stats.records;
+    service.submit(FeedItem{std::move(release.record), release.ingest});
+  }
+  return stats;
+}
+
+}  // namespace zombiescope::live

@@ -22,7 +22,7 @@ constexpr CategoryName kCategoryNames[] = {
     {kCatLifespan, "lifespan"}, {kCatCollector, "collector"},
     {kCatFault, "fault"},       {kCatPropagation, "propagation"},
     {kCatLive, "live"},     {kCatAlert, "alert"},
-    {kCatPeer, "peer"},
+    {kCatPeer, "peer"},     {kCatSession, "session"},
 };
 
 }  // namespace
@@ -100,6 +100,12 @@ constexpr EventTypeName kEventTypeNames[] = {
     {JournalEventType::kPeerNoisyEnter, "peer_noisy_enter", kCatPeer},
     {JournalEventType::kPeerNoisyExit, "peer_noisy_exit", kCatPeer},
     {JournalEventType::kPeerSilent, "peer_silent", kCatPeer},
+    {JournalEventType::kWireSessionState, "wire_session_state", kCatSession},
+    {JournalEventType::kWireNotifySent, "wire_notify_sent", kCatSession},
+    {JournalEventType::kWireNotifyReceived, "wire_notify_received", kCatSession},
+    {JournalEventType::kWireGrRetained, "wire_gr_retained", kCatSession},
+    {JournalEventType::kWireGrFlushed, "wire_gr_flushed", kCatSession},
+    {JournalEventType::kWireCollision, "wire_collision", kCatSession},
 };
 
 }  // namespace

@@ -70,7 +70,8 @@ enum JournalCategory : std::uint32_t {
   kCatLive = 1u << 8,         // zslive streaming service transitions
   kCatAlert = 1u << 9,        // zstsdb alert-rule transitions
   kCatPeer = 1u << 10,        // zspeerq feed-quality transitions
-  kCatAll = (1u << 11) - 1,
+  kCatSession = 1u << 11,     // zswire BGP session lifecycle
+  kCatAll = (1u << 12) - 1,
 };
 
 /// One name per bit ("run", "state", ...). Empty for unknown bits.
@@ -133,6 +134,14 @@ enum class JournalEventType : std::uint16_t {
                          // probability (ppm), c = stuck routes
   kPeerNoisyExit = 71,   // same fields as kPeerNoisyEnter
   kPeerSilent = 72,      // a = silent age (s), b = last update seen
+  // kCatSession (zswire BGP-4 speaker; peer fields carry the session's
+  // logical peer identity)
+  kWireSessionState = 80,     // a = old FsmState, b = new FsmState
+  kWireNotifySent = 81,       // a = error code, b = subcode
+  kWireNotifyReceived = 82,   // a = error code, b = subcode
+  kWireGrRetained = 83,       // a = routes retained, b = deadline (s)
+  kWireGrFlushed = 84,        // a = routes flushed, b = FlushReason
+  kWireCollision = 85,        // a = 1 kept our initiated connection
 };
 
 /// Snake-case wire name ("zombie_declared"). Used by both serializers.

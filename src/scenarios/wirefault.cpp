@@ -1,0 +1,350 @@
+#include "scenarios/wirefault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bgp/session_fsm.hpp"
+#include "zombie/realtime.hpp"
+
+namespace zombiescope::scenarios {
+
+std::string to_string(WireFaultKind kind) {
+  switch (kind) {
+    case WireFaultKind::kHoldExpiry:
+      return "hold_expiry";
+    case WireFaultKind::kSendHoldStall:
+      return "send_hold_stall";
+    case WireFaultKind::kGrStaleRetention:
+      return "gr_stale_retention";
+    case WireFaultKind::kLlgrLongRetention:
+      return "llgr_long_retention";
+  }
+  return "unknown";
+}
+
+std::string WireScenarioSpec::name() const {
+  return to_string(kind) + "/seed" + std::to_string(seed);
+}
+
+namespace {
+
+struct SessionRun {
+  netbase::TimePoint drop_time = 0;
+  std::string reason;
+};
+
+/// Drives a real collector/peer SessionFsm pair second by second: a
+/// full handshake, a healthy phase, then the fault. kHoldExpiry goes
+/// silent (nothing more arrives from the peer); kSendHoldStall keeps
+/// the peer's KEEPALIVEs coming but stops draining the collector's out
+/// queue (the zero-window wedge of RFC 9687). Returns when — and why —
+/// the collector's side leaves Established.
+SessionRun run_session_pair(const WireScenarioSpec& spec, netbase::TimePoint start,
+                            netbase::TimePoint fault_time,
+                            netbase::TimePoint give_up) {
+  bgp::FsmConfig collector_config;
+  collector_config.hold_time = spec.hold_time;
+  collector_config.keepalive_interval = spec.hold_time / 3;
+  collector_config.send_hold_time =
+      spec.kind == WireFaultKind::kSendHoldStall ? spec.send_hold_time : 0;
+  bgp::FsmConfig peer_config;
+  peer_config.hold_time = spec.hold_time;
+  peer_config.keepalive_interval = spec.hold_time / 3;
+
+  bgp::SessionFsm collector(collector_config);
+  bgp::SessionFsm peer(peer_config);
+  collector.start(start);
+  peer.start(start);
+  collector.connected(start);
+  peer.connected(start);
+
+  const bgp::FsmOpen collector_open{spec.hold_time, 0xc0000201, 64999};
+  const bgp::FsmOpen peer_open{spec.hold_time, 0xc0000202, 65000};
+
+  SessionRun run;
+  netbase::TimePoint wedged_keepalive_due = fault_time;
+  for (netbase::TimePoint t = start; t <= give_up; ++t) {
+    collector.tick(t);
+    const bool wedged =
+        spec.kind == WireFaultKind::kSendHoldStall && t >= fault_time;
+    const bool silent = spec.kind == WireFaultKind::kHoldExpiry && t >= fault_time;
+    if (!wedged) {
+      for (bgp::FsmMessage& message : collector.drain(t, 16)) {
+        if (message.type == bgp::MessageType::kOpen && !message.open.has_value())
+          message.open = collector_open;
+        peer.receive(t, message);
+      }
+    }
+    if (wedged) {
+      // The RFC 9687 pathology: the peer's control plane is stuck —
+      // its FSM no longer runs (so its own hold timer cannot save us)
+      // — yet KEEPALIVEs keep flowing from a part of the box that
+      // still works. Only send progress can expose this peer.
+      if (t >= wedged_keepalive_due) {
+        collector.receive(t, bgp::FsmMessage{bgp::MessageType::kKeepalive,
+                                             std::nullopt, std::nullopt});
+        wedged_keepalive_due = t + std::max<netbase::Duration>(spec.hold_time / 3, 1);
+      }
+    } else {
+      peer.tick(t);
+      if (!silent) {
+        for (bgp::FsmMessage& message : peer.drain(t, 16)) {
+          if (message.type == bgp::MessageType::kOpen && !message.open.has_value())
+            message.open = peer_open;
+          collector.receive(t, message);
+        }
+      }
+    }
+    if (t >= fault_time && collector.state() != bgp::FsmState::kEstablished) {
+      run.drop_time = t;
+      run.reason = collector.last_error();
+      return run;
+    }
+  }
+  return run;  // drop_time 0: the session survived (should not happen)
+}
+
+mrt::Bgp4mpMessage make_announce(const WireScenarioResult& result,
+                                 netbase::TimePoint t) {
+  mrt::Bgp4mpMessage message;
+  message.timestamp = t;
+  message.peer_asn = result.peer.asn;
+  message.local_asn = 64999;
+  message.peer_address = result.peer.address;
+  message.update.announced = {result.prefix};
+  message.update.attributes.as_path =
+      bgp::AsPath{result.peer.asn, 64511, 64496};
+  return message;
+}
+
+mrt::Bgp4mpMessage make_withdraw(const WireScenarioResult& result,
+                                 netbase::TimePoint t) {
+  mrt::Bgp4mpMessage message;
+  message.timestamp = t;
+  message.peer_asn = result.peer.asn;
+  message.local_asn = 64999;
+  message.peer_address = result.peer.address;
+  message.update.withdrawn = {result.prefix};
+  return message;
+}
+
+mrt::Bgp4mpStateChange make_state_change(const WireScenarioResult& result,
+                                         netbase::TimePoint t) {
+  mrt::Bgp4mpStateChange change;
+  change.timestamp = t;
+  change.peer_asn = result.peer.asn;
+  change.local_asn = 64999;
+  change.peer_address = result.peer.address;
+  change.old_state = bgp::SessionState::kEstablished;
+  change.new_state = bgp::SessionState::kIdle;
+  return change;
+}
+
+}  // namespace
+
+WireScenarioResult run_wire_scenario(const WireScenarioSpec& spec) {
+  WireScenarioResult result;
+  result.spec = spec;
+
+  const auto kind_index = static_cast<std::uint64_t>(spec.kind);
+  result.prefix = netbase::Prefix(
+      netbase::IpAddress::v4(
+          (10u << 24) | (static_cast<std::uint32_t>(kind_index) << 16) |
+          (static_cast<std::uint32_t>(spec.seed % 250) << 8)),
+      24);
+  result.peer.asn = static_cast<bgp::Asn>(65000 + spec.seed);
+  result.peer.address =
+      netbase::IpAddress::v4((192u << 24) | (0u << 16) | (2u << 8) |
+                             static_cast<std::uint32_t>(10 + spec.seed % 200));
+
+  const netbase::TimePoint announce = 1000000 + static_cast<netbase::TimePoint>(
+                                                    spec.seed) * 10000;
+  const netbase::TimePoint withdraw = announce + 2 * netbase::kHour;
+  result.beacon = {result.prefix, announce, withdraw, false};
+
+  // Seed jitter keeps fault instants off round numbers without ever
+  // moving them across a deadline boundary.
+  const netbase::TimePoint jitter = static_cast<netbase::TimePoint>(spec.seed % 60);
+
+  switch (spec.kind) {
+    case WireFaultKind::kHoldExpiry: {
+      // Peer goes silent 15 min before the withdrawal; the negotiated
+      // hold timer must kill the session long before the threshold.
+      result.fault_time = withdraw - 15 * netbase::kMinute + jitter;
+      const SessionRun run = run_session_pair(spec, announce, result.fault_time,
+                                              withdraw + spec.threshold);
+      result.session_drop_time = run.drop_time;
+      result.drop_reason = run.reason;
+      result.records.push_back(make_announce(result, announce));
+      result.records.push_back(make_state_change(result, run.drop_time));
+      result.expect_zombie = false;
+      break;
+    }
+    case WireFaultKind::kSendHoldStall: {
+      // Peer wedges 10 min before the withdrawal: KEEPALIVEs keep the
+      // hold timer quiet, the lost withdrawal makes the zombie, and
+      // only the send-hold teardown resolves it.
+      result.fault_time = withdraw - 10 * netbase::kMinute + jitter;
+      const SessionRun run =
+          run_session_pair(spec, announce, result.fault_time,
+                           result.fault_time + spec.send_hold_time +
+                               2 * spec.hold_time);
+      result.session_drop_time = run.drop_time;
+      result.drop_reason = run.reason;
+      result.records.push_back(make_announce(result, announce));
+      result.records.push_back(make_state_change(result, run.drop_time));
+      result.expect_zombie = true;
+      result.expected_emergence = withdraw + spec.threshold;
+      result.expect_resolution = true;
+      result.expected_resolution = run.drop_time;
+      break;
+    }
+    case WireFaultKind::kGrStaleRetention: {
+      // Session drops 5 min before the withdrawal with GR negotiated:
+      // the state change is suppressed (the RIB kept the routes), the
+      // withdrawal never arrives, and the restart-time expiry emits
+      // the synthetic withdrawal that resolves the zombie.
+      result.fault_time = withdraw - 5 * netbase::kMinute + jitter;
+      wire::RetentionConfig config;
+      config.gr_enabled = true;
+      wire::StaleRetention retention(config);
+      retention.set_peer_times(spec.restart_time, 0);
+      retention.route_announced(result.prefix);
+      const bool retained = retention.session_down(result.fault_time);
+      netbase::TimePoint flush_time = 0;
+      std::vector<netbase::Prefix> flushed;
+      for (netbase::TimePoint t = result.fault_time;
+           retained && flushed.empty() &&
+           t <= result.fault_time + spec.restart_time + 60;
+           ++t) {
+        flushed = retention.tick(t);
+        if (!flushed.empty()) flush_time = t;
+      }
+      result.flush_reason = retention.last_flush_reason();
+      result.records.push_back(make_announce(result, announce));
+      result.records.push_back(make_withdraw(result, flush_time));
+      result.expect_zombie = true;
+      result.expected_emergence = withdraw + spec.threshold;
+      result.expect_resolution = true;
+      result.expected_resolution = flush_time;
+      break;
+    }
+    case WireFaultKind::kLlgrLongRetention: {
+      // Same drop, but LLGR stretches retention to ~a day: the
+      // restart window hands over to the LLGR window, and the flush —
+      // and the zombie's resolution — happens ~24h later. This is the
+      // paper's long-lived zombie, manufactured to order.
+      result.fault_time = withdraw - 5 * netbase::kMinute + jitter;
+      wire::RetentionConfig config;
+      config.gr_enabled = true;
+      config.llgr_enabled = true;
+      wire::StaleRetention retention(config);
+      retention.set_peer_times(600, spec.llgr_stale_time);
+      retention.route_announced(result.prefix);
+      const bool retained = retention.session_down(result.fault_time);
+      // Step through both deadlines without walking every second of a
+      // day: probe just before and at each boundary.
+      netbase::TimePoint flush_time = 0;
+      std::vector<netbase::Prefix> flushed;
+      const netbase::TimePoint first_deadline = result.fault_time + 600;
+      const netbase::TimePoint second_deadline =
+          first_deadline + spec.llgr_stale_time;
+      for (const netbase::TimePoint t :
+           {first_deadline - 1, first_deadline, second_deadline - 1,
+            second_deadline}) {
+        if (!retained || !flushed.empty()) break;
+        flushed = retention.tick(t);
+        if (!flushed.empty()) flush_time = t;
+      }
+      result.flush_reason = retention.last_flush_reason();
+      result.records.push_back(make_announce(result, announce));
+      result.records.push_back(make_withdraw(result, flush_time));
+      result.expect_zombie = true;
+      result.expected_emergence = withdraw + spec.threshold;
+      result.expect_resolution = true;
+      result.expected_resolution = flush_time;
+      break;
+    }
+  }
+
+  // Score: the detector sees exactly what the collector archived.
+  zombie::RealTimeConfig detector_config;
+  detector_config.threshold = spec.threshold;
+  zombie::RealTimeZombieDetector detector(detector_config);
+  detector.on_alert([&result](const zombie::ZombieAlert& alert) {
+    result.measured_emergence = alert.raised_at;
+  });
+  detector.on_resolution([&result](const zombie::ZombieResolution& resolution) {
+    result.measured_resolution = resolution.resolved_at;
+  });
+  detector.expect(result.beacon);
+  std::sort(result.records.begin(), result.records.end(),
+            [](const mrt::MrtRecord& a, const mrt::MrtRecord& b) {
+              return mrt::record_timestamp(a) < mrt::record_timestamp(b);
+            });
+  for (const mrt::MrtRecord& record : result.records) detector.ingest(record);
+  detector.advance(withdraw + spec.threshold + spec.llgr_stale_time +
+                   2 * netbase::kHour);
+  result.alerts = detector.alerts_raised();
+  result.resolutions = detector.resolutions();
+
+  auto fail = [&result](std::string why) {
+    if (result.failure.empty()) result.failure = std::move(why);
+  };
+  if (result.expect_zombie) {
+    if (result.alerts != 1) fail("expected exactly one alert");
+    if (result.measured_emergence != result.expected_emergence)
+      fail("emergence time mismatch");
+    if (result.expect_resolution) {
+      if (result.resolutions != 1) fail("expected exactly one resolution");
+      if (result.measured_resolution != result.expected_resolution)
+        fail("resolution time mismatch");
+    }
+  } else {
+    if (result.alerts != 0) fail("expected no alert");
+  }
+  if (spec.kind == WireFaultKind::kHoldExpiry &&
+      result.drop_reason.find("hold timer") == std::string::npos)
+    fail("expected a hold-timer drop, got: " + result.drop_reason);
+  if (spec.kind == WireFaultKind::kSendHoldStall &&
+      result.drop_reason.find("send hold") == std::string::npos)
+    fail("expected a send-hold drop, got: " + result.drop_reason);
+  if (spec.kind == WireFaultKind::kGrStaleRetention &&
+      result.flush_reason != wire::FlushReason::kRestartExpired)
+    fail("expected a restart-time flush");
+  if (spec.kind == WireFaultKind::kLlgrLongRetention &&
+      result.flush_reason != wire::FlushReason::kLlgrExpired)
+    fail("expected an LLGR flush");
+  result.passed = result.failure.empty();
+  return result;
+}
+
+std::vector<WireScenarioSpec> default_wire_suite(int seeds) {
+  std::vector<WireScenarioSpec> specs;
+  for (int seed = 0; seed < std::max(seeds, 1); ++seed) {
+    for (const WireFaultKind kind :
+         {WireFaultKind::kHoldExpiry, WireFaultKind::kSendHoldStall,
+          WireFaultKind::kGrStaleRetention, WireFaultKind::kLlgrLongRetention}) {
+      WireScenarioSpec spec;
+      spec.seed = static_cast<std::uint64_t>(seed);
+      spec.kind = kind;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+WireSuiteSummary summarize_wire(const std::vector<WireScenarioResult>& results) {
+  WireSuiteSummary summary;
+  for (const WireScenarioResult& result : results) {
+    ++summary.total;
+    if (result.passed) ++summary.passed;
+    if (result.expect_zombie) ++summary.zombies_expected;
+    summary.zombies_detected += result.alerts;
+    if (result.expect_resolution) ++summary.resolutions_expected;
+    summary.resolutions_detected += result.resolutions;
+  }
+  return summary;
+}
+
+}  // namespace zombiescope::scenarios

@@ -1,0 +1,124 @@
+// scenarios/wirefault.hpp — session-layer fault scenarios with exact
+// ground truth, for scoring the wire subsystem's zombie mechanics.
+//
+// Where faultlab (faultlab.hpp) injects faults into the *propagation*
+// graph, wirefault injects them into the *session* layer between one
+// peer and the collector, exercising the zswire machinery end to end
+// in virtual time: the real SessionFsm pair decides when a hold or
+// send-hold timer fires, and the real StaleRetention decides when a
+// graceful-restart window flushes. Each scenario derives its ground
+// truth (which (prefix, peer) pairs become zombies, when they emerge,
+// when and why they resolve) from those components, builds the MRT
+// record stream a collector would archive, and is scored by running
+// the RealTimeZombieDetector over that stream.
+//
+// The four kinds pair off into the contrasts the paper cares about:
+//
+//   kHoldExpiry         the peer goes silent: the hold timer kills the
+//                       session well before the detection threshold,
+//                       so a lost withdrawal does NOT make a zombie.
+//   kSendHoldStall      the peer wedges (keeps KEEPALIVE-ing, stops
+//                       reading): only the RFC 9687 send-hold timer
+//                       ends it — a zombie lives from threshold until
+//                       the send-hold teardown.
+//   kGrStaleRetention   graceful restart retains the dropped peer's
+//                       routes past the threshold; the restart-time
+//                       expiry resolves the zombie.
+//   kLlgrLongRetention  LLGR stretches retention to ~a day: the
+//                       paper's long-lived zombie, manufactured.
+//
+// Detection threshold is 30 minutes here, not the paper's 90: GR
+// restart times are a 12-bit field (<= 4095 s), so a pure-GR zombie
+// can only outlive a threshold shorter than that.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "beacon/schedule.hpp"
+#include "mrt/record.hpp"
+#include "wire/retention.hpp"
+#include "zombie/types.hpp"
+
+namespace zombiescope::scenarios {
+
+enum class WireFaultKind : std::uint8_t {
+  kHoldExpiry = 0,
+  kSendHoldStall = 1,
+  kGrStaleRetention = 2,
+  kLlgrLongRetention = 3,
+};
+
+std::string to_string(WireFaultKind kind);
+
+struct WireScenarioSpec {
+  std::uint64_t seed = 0;
+  WireFaultKind kind = WireFaultKind::kHoldExpiry;
+
+  /// Detection threshold (see header comment for why not 90 min).
+  netbase::Duration threshold = 30 * netbase::kMinute;
+  /// Collector's offered hold time (negotiated with the peer's).
+  netbase::Duration hold_time = 180;
+  /// RFC 9687 send-hold (used by kSendHoldStall).
+  netbase::Duration send_hold_time = 3600;
+  /// GR restart window the peer advertises (<= 4095).
+  netbase::Duration restart_time = 2400;
+  /// LLGR stale window (kLlgrLongRetention).
+  netbase::Duration llgr_stale_time = 24 * netbase::kHour;
+
+  std::string name() const;
+};
+
+struct WireScenarioResult {
+  WireScenarioSpec spec;
+  netbase::Prefix prefix;
+  zombie::PeerKey peer;
+  beacon::BeaconEvent beacon;
+
+  /// The record stream the collector archives for this scenario.
+  std::vector<mrt::MrtRecord> records;
+
+  /// Ground truth, derived from the FSM / retention run.
+  netbase::TimePoint fault_time = 0;        // when the peer breaks
+  netbase::TimePoint session_drop_time = 0; // 0 = session never drops
+  std::string drop_reason;                  // SessionFsm::last_error()
+  wire::FlushReason flush_reason = wire::FlushReason::kSessionLoss;
+  bool expect_zombie = false;
+  netbase::TimePoint expected_emergence = 0;
+  bool expect_resolution = false;
+  netbase::TimePoint expected_resolution = 0;
+
+  /// Measured by the detector over `records`.
+  int alerts = 0;
+  int resolutions = 0;
+  netbase::TimePoint measured_emergence = 0;
+  netbase::TimePoint measured_resolution = 0;
+
+  bool passed = false;
+  std::string failure;  // empty when passed
+};
+
+/// Runs one scenario in virtual time. Deterministic per spec.
+WireScenarioResult run_wire_scenario(const WireScenarioSpec& spec);
+
+/// All four kinds x `seeds` seeds.
+std::vector<WireScenarioSpec> default_wire_suite(int seeds);
+
+struct WireSuiteSummary {
+  int total = 0;
+  int passed = 0;
+  int zombies_expected = 0;
+  int zombies_detected = 0;
+  int resolutions_expected = 0;
+  int resolutions_detected = 0;
+
+  double pass_rate() const {
+    return total == 0 ? 0.0 : static_cast<double>(passed) / total;
+  }
+};
+
+WireSuiteSummary summarize_wire(const std::vector<WireScenarioResult>& results);
+
+}  // namespace zombiescope::scenarios

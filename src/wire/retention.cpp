@@ -1,0 +1,111 @@
+#include "wire/retention.hpp"
+
+#include <algorithm>
+
+namespace zombiescope::wire {
+
+std::string to_string(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kSessionLoss:
+      return "session-loss";
+    case FlushReason::kEndOfRib:
+      return "end-of-rib";
+    case FlushReason::kRestartExpired:
+      return "restart-expired";
+    case FlushReason::kLlgrExpired:
+      return "llgr-expired";
+  }
+  return "?";
+}
+
+void StaleRetention::set_peer_times(netbase::Duration restart_time,
+                                    netbase::Duration llgr_stale_time) {
+  restart_time_ = restart_time;
+  if (config_.max_restart_time > 0)
+    restart_time_ = std::min(restart_time_, config_.max_restart_time);
+  llgr_stale_time_ = config_.llgr_enabled ? llgr_stale_time : 0;
+  if (config_.max_llgr_stale_time > 0)
+    llgr_stale_time_ = std::min(llgr_stale_time_, config_.max_llgr_stale_time);
+}
+
+void StaleRetention::route_announced(const netbase::Prefix& prefix) {
+  auto [it, inserted] = routes_.try_emplace(prefix, false);
+  if (!inserted && it->second) {
+    // A re-announcement refreshes a stale route (RFC 4724 §4.1).
+    it->second = false;
+    --stale_count_;
+  }
+}
+
+void StaleRetention::route_withdrawn(const netbase::Prefix& prefix) {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return;
+  if (it->second) --stale_count_;
+  routes_.erase(it);
+}
+
+bool StaleRetention::session_down(netbase::TimePoint now) {
+  if (!config_.gr_enabled || restart_time_ <= 0) {
+    routes_.clear();
+    stale_count_ = 0;
+    retaining_ = false;
+    last_flush_reason_ = FlushReason::kSessionLoss;
+    return false;
+  }
+  for (auto& [prefix, stale] : routes_) stale = true;
+  stale_count_ = routes_.size();
+  retaining_ = true;
+  in_llgr_phase_ = false;
+  deadline_ = now + restart_time_;
+  return true;
+}
+
+void StaleRetention::session_up(netbase::TimePoint now) {
+  (void)now;
+  // Stale marks survive; the deadlines stop. RFC 4724 bounds the
+  // re-sync by End-of-RIB (plus an optional selection-deferral timer
+  // we do not model): routes not refreshed by then are swept there.
+  retaining_ = false;
+  in_llgr_phase_ = false;
+}
+
+std::vector<netbase::Prefix> StaleRetention::take_stale() {
+  std::vector<netbase::Prefix> flushed;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    if (it->second) {
+      flushed.push_back(it->first);
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stale_count_ = 0;
+  return flushed;
+}
+
+std::vector<netbase::Prefix> StaleRetention::end_of_rib() {
+  auto flushed = take_stale();
+  if (!flushed.empty()) last_flush_reason_ = FlushReason::kEndOfRib;
+  retaining_ = false;
+  in_llgr_phase_ = false;
+  return flushed;
+}
+
+std::vector<netbase::Prefix> StaleRetention::tick(netbase::TimePoint now) {
+  if (!retaining_ || now < deadline_) return {};
+  if (!in_llgr_phase_ && llgr_stale_time_ > 0) {
+    // Restart window over; the long-lived window begins (RFC 9494
+    // semantics: routes stay, depreferenced — the control plane still
+    // carries them, which is all the zombie detector sees).
+    in_llgr_phase_ = true;
+    deadline_ += llgr_stale_time_;
+    if (now < deadline_) return {};
+  }
+  last_flush_reason_ =
+      in_llgr_phase_ ? FlushReason::kLlgrExpired : FlushReason::kRestartExpired;
+  retaining_ = false;
+  in_llgr_phase_ = false;
+  return take_stale();
+}
+
+}  // namespace zombiescope::wire

@@ -1,0 +1,114 @@
+// wire/retention.hpp — graceful-restart stale-path retention.
+//
+// The canonical zombie-manufacturing primitive. Under RFC 4724 a
+// receiving speaker that negotiated graceful restart does NOT flush a
+// peer's routes when the session drops: it marks them stale and keeps
+// forwarding on them until the peer returns and re-syncs (End-of-RIB)
+// or the restart time runs out. RFC 9494-family long-lived graceful
+// restart (LLGR) extends the window from seconds to hours or days.
+// Every route the origin withdrew while the session was down is, for
+// the duration of that window, indistinguishable from a paper-§4
+// zombie: present in the RIB, absent from the origin. This module is
+// that window, isolated: a per-session route table with stale marks,
+// two retention deadlines, and the three flush paths (End-of-RIB
+// sweep, restart-time expiry, LLGR expiry).
+//
+// Deterministic and clock-free: callers pass `now`, so the scenario
+// suite drives it in virtual time while the speaker drives it in wall
+// time.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netbase/ip.hpp"
+#include "netbase/time.hpp"
+
+namespace zombiescope::wire {
+
+struct RetentionConfig {
+  /// Local policy: retain at all when the peer advertised GR.
+  bool gr_enabled = false;
+  /// Cap on the peer-advertised restart time (seconds); 0 = accept the
+  /// peer's value as-is.
+  netbase::Duration max_restart_time = 0;
+  /// Local policy: honor the peer's LLGR stale time.
+  bool llgr_enabled = false;
+  /// Cap on the peer-advertised LLGR stale time; 0 = accept as-is.
+  netbase::Duration max_llgr_stale_time = 0;
+};
+
+enum class FlushReason : std::uint8_t {
+  kSessionLoss = 0,     // no GR negotiated: classic session flush
+  kEndOfRib = 1,        // peer returned, EOR swept the leftovers
+  kRestartExpired = 2,  // restart time ran out before the peer returned
+  kLlgrExpired = 3,     // the long-lived stale window ran out too
+};
+
+std::string to_string(FlushReason reason);
+
+/// One peer session's retained routes. The owner calls
+/// route_announced / route_withdrawn while the session is up, then the
+/// session-lifecycle trio (session_down / session_up / end_of_rib) and
+/// tick() as time passes; every call that removes routes returns them
+/// so the owner can emit the withdrawals the detector must see.
+class StaleRetention {
+ public:
+  explicit StaleRetention(RetentionConfig config) : config_(config) {}
+
+  /// The peer's advertised windows, learned from its OPEN. Both are
+  /// clamped by the config caps.
+  void set_peer_times(netbase::Duration restart_time,
+                      netbase::Duration llgr_stale_time);
+
+  void route_announced(const netbase::Prefix& prefix);
+  void route_withdrawn(const netbase::Prefix& prefix);
+
+  /// The session left Established. Returns true when GR retains the
+  /// routes (stale marks set, deadlines armed); false when the caller
+  /// must flush immediately — in which case the table is cleared.
+  bool session_down(netbase::TimePoint now);
+
+  /// The peer reconnected. Stale marks stay; deadlines stop (the
+  /// re-sync is now bounded by End-of-RIB, not the restart clock).
+  void session_up(netbase::TimePoint now);
+
+  /// End-of-RIB after a reconnect: every route still stale (not
+  /// re-announced since session_up) is removed and returned.
+  std::vector<netbase::Prefix> end_of_rib();
+
+  /// Deadline processing. When a retention window expires, all stale
+  /// routes are removed and returned (flush `reason()` tells which
+  /// window it was).
+  std::vector<netbase::Prefix> tick(netbase::TimePoint now);
+
+  /// The reason of the most recent flush (valid after a non-empty
+  /// session_down-false / end_of_rib / tick result).
+  FlushReason last_flush_reason() const { return last_flush_reason_; }
+
+  std::size_t routes() const { return routes_.size(); }
+  std::size_t stale_count() const { return stale_count_; }
+  bool retaining() const { return retaining_; }
+  /// When the current retention window flushes; 0 when not retaining.
+  netbase::TimePoint deadline() const { return retaining_ ? deadline_ : 0; }
+  netbase::Duration effective_restart_time() const { return restart_time_; }
+  netbase::Duration effective_llgr_stale_time() const { return llgr_stale_time_; }
+
+ private:
+  std::vector<netbase::Prefix> take_stale();
+
+  RetentionConfig config_;
+  netbase::Duration restart_time_ = 0;
+  netbase::Duration llgr_stale_time_ = 0;
+  std::map<netbase::Prefix, bool> routes_;  // prefix -> stale?
+  std::size_t stale_count_ = 0;
+  bool retaining_ = false;      // session down, routes held
+  bool in_llgr_phase_ = false;  // restart window passed, LLGR window running
+  netbase::TimePoint deadline_ = 0;
+  FlushReason last_flush_reason_ = FlushReason::kSessionLoss;
+};
+
+}  // namespace zombiescope::wire

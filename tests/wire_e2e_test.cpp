@@ -1,0 +1,336 @@
+// End-to-end tests for the BGP-4 wire subsystem over real loopback
+// sockets: session establishment with capability negotiation, the
+// malformed-input NOTIFICATION path, graceful-restart ghost retention,
+// and the flagship equivalence claim — replaying the longlived2024
+// archive over wire sessions through BgpFeedSource must produce the
+// EXACT (prefix, peer) zombie set the batch detector computes from the
+// same archive. The socket hop must be semantically invisible.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "live/bgp_feed.hpp"
+#include "live/service.hpp"
+#include "scenarios/longlived2024.hpp"
+#include "wire/bridge.hpp"
+#include "wire/message.hpp"
+#include "wire/speaker.hpp"
+#include "zombie/longlived.hpp"
+
+namespace zombiescope::wire {
+namespace {
+
+using netbase::IpAddress;
+using netbase::Prefix;
+using zombie::PeerKey;
+
+/// Runs a BgpSpeaker's poll loop on its own thread; stops and joins on
+/// destruction. Handlers must be installed before start().
+struct SpeakerThread {
+  BgpSpeaker speaker;
+  std::thread thread;
+
+  explicit SpeakerThread(SpeakerConfig config)
+      : speaker(config, /*listen=*/true, /*port=*/0) {}
+
+  void start() {
+    thread = std::thread([this] { speaker.run(); });
+  }
+
+  ~SpeakerThread() {
+    speaker.stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+/// Waits until `pred` holds, polling; false on timeout.
+bool wait_for(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return pred();
+}
+
+void send_all(int fd, const std::vector<std::uint8_t>& wire) {
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = ::send(fd, wire.data() + off, wire.size() - off, 0);
+    ASSERT_GT(n, 0) << "send failed";
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(WireE2E, LoopbackSessionEstablishesAndDeliversUpdates) {
+  SpeakerConfig config;
+  config.local_asn = 64999;
+  SpeakerThread harness(config);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<SessionRef, bgp::UpdateMessage>> updates;
+  harness.speaker.on_update([&](const SessionRef& ref, bgp::UpdateMessage&& update,
+                                std::chrono::steady_clock::time_point) {
+    std::lock_guard<std::mutex> lock(mutex);
+    updates.emplace_back(ref, std::move(update));
+    cv.notify_all();
+  });
+  harness.start();
+
+  // A bridged client: capability 240 carries the logical peer address
+  // of the monitor this loopback session re-enacts.
+  const auto logical = IpAddress::parse("2001:7f8:4::8447:1");
+  const int fd = wire_connect("127.0.0.1", harness.speaker.port());
+  wire_handshake(fd, 65001, 0xc0000301, 90, logical);
+
+  bgp::UpdateMessage update;
+  update.announced.push_back(Prefix::parse("2a0d:3dc1:1851::/48"));
+  update.attributes.as_path = bgp::AsPath{65001, 64511, 210312};
+  send_all(fd, encode_update(update));
+
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return !updates.empty(); }));
+    const auto& [ref, received] = updates.front();
+    EXPECT_EQ(ref.peer_asn, 65001u);
+    EXPECT_TRUE(ref.bridged);
+    EXPECT_EQ(ref.peer_address, logical)
+        << "PeerKey identity must be the logical address, not 127.0.0.1";
+    EXPECT_EQ(received.announced, update.announced);
+    EXPECT_EQ(received.attributes.as_path, update.attributes.as_path);
+  }
+
+  ASSERT_TRUE(wait_for([&] { return harness.speaker.established_count() == 1; }));
+  const auto rows = harness.speaker.snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].state, "Established");
+  EXPECT_TRUE(rows[0].bridged);
+  EXPECT_EQ(rows[0].peer_asn, 65001u);
+  EXPECT_EQ(rows[0].peer_address, logical.to_string());
+  EXPECT_EQ(rows[0].routes, 1u);
+  EXPECT_EQ(rows[0].negotiated_hold, 90);
+
+  const std::string json = harness.speaker.sessions_json();
+  EXPECT_NE(json.find("\"established\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"asn\":65001"), std::string::npos) << json;
+
+  ::close(fd);
+  EXPECT_TRUE(wait_for([&] { return harness.speaker.snapshot().empty(); }))
+      << "EOF must tear the session down";
+}
+
+TEST(WireE2E, MalformedInputDrawsTheExactNotification) {
+  SpeakerConfig config;
+  SpeakerThread harness(config);
+  harness.start();
+
+  const int fd = wire_connect("127.0.0.1", harness.speaker.port());
+  wire_handshake(fd, 65002, 0xc0000302, 90, std::nullopt);
+
+  // 19 bytes of zeros: a complete header with a corrupt marker. The
+  // speaker owes us NOTIFICATION Message Header Error / Connection Not
+  // Synchronized, then the close.
+  send_all(fd, std::vector<std::uint8_t>(kHeaderSize, 0x00));
+
+  FrameReader reader;
+  std::optional<NotificationMessage> notification;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF: speaker closed after notifying
+    reader.append(reinterpret_cast<const std::uint8_t*>(buf),
+                  static_cast<std::size_t>(n));
+    while (auto frame = reader.next()) {
+      if (decode_header(*frame).type == bgp::MessageType::kNotification)
+        notification = NotificationMessage::decode(*frame);
+    }
+    if (notification.has_value()) break;
+  }
+  ASSERT_TRUE(notification.has_value());
+  EXPECT_EQ(notification->code, NotifyCode::kMessageHeaderError);
+  EXPECT_EQ(notification->subcode, kHdrConnectionNotSynchronized);
+  ::close(fd);
+  EXPECT_TRUE(wait_for([&] { return harness.speaker.snapshot().empty(); }));
+}
+
+TEST(WireE2E, GrRetentionMakesAGhostThenFlushesAtRestartExpiry) {
+  SpeakerConfig config;
+  config.retention.gr_enabled = true;
+  SpeakerThread harness(config);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool retained_drop = false;
+  std::vector<Prefix> flushed;
+  FlushReason flush_reason = FlushReason::kSessionLoss;
+  harness.speaker.on_state([&](const SessionRef&, bgp::SessionState,
+                               bgp::SessionState new_state, bool retained) {
+    if (new_state != bgp::SessionState::kIdle) return;
+    std::lock_guard<std::mutex> lock(mutex);
+    retained_drop = retained;
+    cv.notify_all();
+  });
+  harness.speaker.on_flush([&](const SessionRef&, std::vector<Prefix>&& prefixes,
+                               FlushReason reason) {
+    std::lock_guard<std::mutex> lock(mutex);
+    flushed = std::move(prefixes);
+    flush_reason = reason;
+    cv.notify_all();
+  });
+  harness.start();
+
+  // Hand-rolled handshake so the OPEN advertises graceful restart with
+  // a 1-second window — the shortest flush the test can wait for.
+  const int fd = wire_connect("127.0.0.1", harness.speaker.port());
+  OpenMessage open;
+  open.asn = 65003;
+  open.bgp_id = 0xc0000303;
+  open.hold_time = 90;
+  open.graceful_restart = GracefulRestart{false, 1, {{1, 1, true}}};
+  send_all(fd, open.encode());
+  send_all(fd, encode_keepalive());
+  ASSERT_TRUE(wait_for([&] { return harness.speaker.established_count() == 1; }));
+
+  const Prefix prefix = Prefix::parse("198.51.100.0/24");
+  bgp::UpdateMessage update;
+  update.announced.push_back(prefix);
+  update.attributes.as_path = bgp::AsPath{65003};
+  update.attributes.next_hop = IpAddress::parse("192.0.2.9");
+  send_all(fd, encode_update(update));
+  ASSERT_TRUE(wait_for([&] {
+    const auto rows = harness.speaker.snapshot();
+    return rows.size() == 1 && rows[0].routes == 1;
+  }));
+
+  // The peer dies without a word: GR retains instead of flushing.
+  ::close(fd);
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return retained_drop; }))
+        << "the drop must be reported retained=true";
+  }
+  // While retained, the session lives on as a ghost row.
+  ASSERT_TRUE(wait_for([&] {
+    const auto rows = harness.speaker.snapshot();
+    return rows.size() == 1 && rows[0].state == "GrStale" &&
+           rows[0].stale_routes == 1;
+  })) << "expected a GrStale ghost holding the route";
+
+  // ...until the 1-second restart window expires and the route comes
+  // back out through the flush callback.
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                            [&] { return !flushed.empty(); }));
+    EXPECT_EQ(flushed, std::vector<Prefix>{prefix});
+    EXPECT_EQ(flush_reason, FlushReason::kRestartExpired);
+  }
+  EXPECT_TRUE(wait_for([&] { return harness.speaker.snapshot().empty(); }));
+}
+
+// ------------------------------------------------- the equivalence run
+
+using PairSet = std::vector<std::pair<Prefix, PeerKey>>;
+
+PairSet batch_pairs(const scenarios::LongLived2024Output& out,
+                    netbase::Duration threshold) {
+  zombie::LongLivedZombieDetector detector{zombie::LongLivedConfig{}};
+  const auto result = detector.detect(out.updates, out.events, threshold);
+  std::set<std::pair<Prefix, PeerKey>> merged;
+  for (const auto& outbreak : result.outbreaks) {
+    for (const auto& route : outbreak.routes) {
+      merged.insert({outbreak.prefix, route.peer});
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+class WireE2EReplay : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenarios::LongLived2024Spec spec;
+    output_ = new scenarios::LongLived2024Output(
+        scenarios::run_longlived2024(spec));
+  }
+  static void TearDownTestSuite() {
+    delete output_;
+    output_ = nullptr;
+  }
+
+  static scenarios::LongLived2024Output* output_;
+};
+
+scenarios::LongLived2024Output* WireE2EReplay::output_ = nullptr;
+
+TEST_F(WireE2EReplay, WireReplayMatchesBatchDetectorExactly) {
+  const netbase::Duration threshold = 90 * netbase::kMinute;
+  const auto batch = batch_pairs(*output_, threshold);
+  ASSERT_FALSE(batch.empty()) << "scenario produced no zombies to compare";
+
+  live::LiveConfig live_config;
+  live_config.shards = 4;
+  live_config.block_on_full = true;  // equivalence demands zero drops
+  live_config.detector.threshold = threshold;
+  live::LiveService service(live_config);
+  service.start();
+  for (const auto& event : output_->events) service.expect(event);
+
+  // Generous hold: a flat-out replay must never lose a session to the
+  // hold timer while the kernel schedules other sockets.
+  SpeakerConfig speaker_config;
+  speaker_config.local_asn = 64999;
+  speaker_config.hold_time = 3600;
+  speaker_config.keepalive_interval = 1200;
+  live::BgpFeedSource feed(speaker_config, /*port=*/0);
+  ASSERT_GT(feed.port(), 0);
+
+  live::FeedSource::RunStats stats;
+  std::thread feeder([&] { stats = feed.run(service); });
+
+  BridgeOptions options;
+  options.hold_time = 3600;
+  const BridgeStats bridge =
+      replay_over_wire(output_->updates, "127.0.0.1", feed.port(), options);
+  EXPECT_GT(bridge.sessions, 0u);
+  EXPECT_GT(bridge.updates_sent, 0u);
+
+  // Every session said Cease; once the speaker has digested them all
+  // the snapshot drains to empty and the feed can stop.
+  EXPECT_TRUE(wait_for([&] { return feed.speaker().snapshot().empty(); },
+                       /*timeout_ms=*/120000))
+      << "sessions still open after replay finished";
+  feed.stop();
+  feeder.join();
+
+  // Every wire message the bridge sent became exactly one submitted
+  // record: nothing lost, nothing reordered out of existence.
+  EXPECT_EQ(stats.records, bridge.updates_sent + bridge.state_changes_sent);
+
+  service.finalize();
+  EXPECT_EQ(service.drops(), 0u);
+  EXPECT_EQ(service.processed(), service.submitted());
+  const auto live_pairs = service.emerged_pairs();
+  service.stop();
+
+  EXPECT_EQ(live_pairs, batch)
+      << "the socket hop changed the zombie set: wire replay is not "
+         "equivalent to archive replay";
+}
+
+}  // namespace
+}  // namespace zombiescope::wire

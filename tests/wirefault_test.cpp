@@ -1,0 +1,114 @@
+// Tests for the session-layer fault scenarios (scenarios/wirefault):
+// the full suite must score 100%, and each kind's ground-truth shape
+// must match the contrast it was built to demonstrate — hold expiry
+// prevents the zombie, send-hold stall and the GR/LLGR retentions
+// manufacture one with the documented lifetime.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenarios/wirefault.hpp"
+
+namespace zombiescope::scenarios {
+namespace {
+
+WireScenarioSpec spec_for(WireFaultKind kind, std::uint64_t seed = 1) {
+  WireScenarioSpec spec;
+  spec.kind = kind;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(WirefaultSuite, EveryScenarioPassesAtOneHundredPercent) {
+  std::vector<WireScenarioResult> results;
+  for (const auto& spec : default_wire_suite(/*seeds=*/3))
+    results.push_back(run_wire_scenario(spec));
+  const auto summary = summarize_wire(results);
+  EXPECT_EQ(summary.total, 12);
+  for (const auto& r : results)
+    EXPECT_TRUE(r.passed) << r.spec.name() << ": " << r.failure;
+  EXPECT_EQ(summary.passed, summary.total);
+  EXPECT_DOUBLE_EQ(summary.pass_rate(), 1.0);
+  // Three of the four kinds manufacture a zombie; all zombies resolve.
+  EXPECT_EQ(summary.zombies_expected, 9);
+  EXPECT_EQ(summary.zombies_detected, 9);
+  EXPECT_EQ(summary.resolutions_detected, summary.resolutions_expected);
+}
+
+TEST(WirefaultSuite, SuiteIsDeterministicPerSpec) {
+  const auto spec = spec_for(WireFaultKind::kGrStaleRetention, 2);
+  const auto a = run_wire_scenario(spec);
+  const auto b = run_wire_scenario(spec);
+  EXPECT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.measured_emergence, b.measured_emergence);
+  EXPECT_EQ(a.measured_resolution, b.measured_resolution);
+  EXPECT_EQ(a.session_drop_time, b.session_drop_time);
+}
+
+TEST(WirefaultSuite, SeedsVaryTheTimeline) {
+  std::set<netbase::TimePoint> drops;
+  for (std::uint64_t seed = 0; seed < 3; ++seed)
+    drops.insert(
+        run_wire_scenario(spec_for(WireFaultKind::kSendHoldStall, seed))
+            .session_drop_time);
+  EXPECT_EQ(drops.size(), 3u) << "seeds must actually jitter the run";
+}
+
+TEST(WirefaultHoldExpiry, SilentPeerDropsBeforeThresholdNoZombie) {
+  const auto r = run_wire_scenario(spec_for(WireFaultKind::kHoldExpiry));
+  ASSERT_TRUE(r.passed) << r.failure;
+  EXPECT_FALSE(r.expect_zombie);
+  EXPECT_EQ(r.alerts, 0);
+  // The hold timer is the protection: the session dies well within one
+  // hold time of the fault, far before the detection threshold.
+  EXPECT_NE(r.drop_reason.find("hold timer"), std::string::npos);
+  EXPECT_LE(r.session_drop_time, r.fault_time + r.spec.hold_time + 5);
+  EXPECT_LT(r.session_drop_time, r.beacon.withdraw_time + r.spec.threshold);
+}
+
+TEST(WirefaultSendHoldStall, WedgedPeerMakesAZombieUntilRfc9687Fires) {
+  const auto r = run_wire_scenario(spec_for(WireFaultKind::kSendHoldStall));
+  ASSERT_TRUE(r.passed) << r.failure;
+  EXPECT_TRUE(r.expect_zombie);
+  EXPECT_EQ(r.alerts, 1);
+  EXPECT_EQ(r.resolutions, 1);
+  EXPECT_NE(r.drop_reason.find("send hold"), std::string::npos);
+  // Emergence at withdraw + threshold; resolution when RFC 9687 tears
+  // the wedged session down — which is *after* emergence, else there
+  // would be no zombie to observe.
+  EXPECT_EQ(r.measured_emergence, r.beacon.withdraw_time + r.spec.threshold);
+  EXPECT_EQ(r.measured_resolution, r.session_drop_time);
+  EXPECT_GT(r.session_drop_time, r.measured_emergence);
+}
+
+TEST(WirefaultGr, StaleRetentionZombieResolvesAtRestartExpiry) {
+  const auto r = run_wire_scenario(spec_for(WireFaultKind::kGrStaleRetention));
+  ASSERT_TRUE(r.passed) << r.failure;
+  EXPECT_TRUE(r.expect_zombie);
+  EXPECT_EQ(r.flush_reason, wire::FlushReason::kRestartExpired);
+  EXPECT_EQ(r.measured_resolution, r.fault_time + r.spec.restart_time);
+}
+
+TEST(WirefaultLlgr, LongRetentionOutlivesTheRestartWindowByTheStaleTime) {
+  const auto r = run_wire_scenario(spec_for(WireFaultKind::kLlgrLongRetention));
+  ASSERT_TRUE(r.passed) << r.failure;
+  EXPECT_TRUE(r.expect_zombie);
+  EXPECT_EQ(r.flush_reason, wire::FlushReason::kLlgrExpired);
+  // The paper's long-lived zombie: lifetime approximately the LLGR
+  // stale window (a day), two orders past the GR-only case.
+  const auto lifetime = r.measured_resolution - r.measured_emergence;
+  EXPECT_GT(lifetime, 20 * netbase::kHour);
+}
+
+TEST(WirefaultNames, KindAndScenarioNamesAreStable) {
+  EXPECT_EQ(to_string(WireFaultKind::kHoldExpiry), "hold_expiry");
+  EXPECT_EQ(to_string(WireFaultKind::kSendHoldStall), "send_hold_stall");
+  EXPECT_EQ(to_string(WireFaultKind::kGrStaleRetention), "gr_stale_retention");
+  EXPECT_EQ(to_string(WireFaultKind::kLlgrLongRetention), "llgr_long_retention");
+  EXPECT_EQ(spec_for(WireFaultKind::kSendHoldStall, 4).name(),
+            "send_hold_stall/seed4");
+}
+
+}  // namespace
+}  // namespace zombiescope::scenarios

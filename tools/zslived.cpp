@@ -18,10 +18,18 @@
 //       accepts RIS-Live-style NDJSON on a TCP socket (one JSON
 //       object per line) and detects on it as it arrives.
 //
+//   zslived --bgp-listen 1790 --schedule ris --start ... --end ...
+//       a real BGP-4 collector: accepts peering sessions (RFC 4271
+//       OPEN/KEEPALIVE/UPDATE over TCP), optionally with graceful-
+//       restart stale retention (--gr-restart / --llgr-stale), and
+//       detects on what the peers announce. --bgp-peer HOST:PORT
+//       (repeatable) dials out as well. curl /sessions for the live
+//       session table.
+//
 // Endpoints: /live/zombies (JSON snapshot, ETag = epoch), /live/events
-// (SSE), /live/stats (shard health), plus the standard zsobs set
-// (/metrics, /healthz, /spans, /journal/tail, /causal, /profile,
-// /heap).
+// (SSE), /live/stats (shard health), /sessions (BGP mode), plus the
+// standard zsobs set (/metrics, /healthz, /spans, /journal/tail,
+// /causal, /profile, /heap).
 
 #include <atomic>
 #include <chrono>
@@ -34,6 +42,7 @@
 #include <vector>
 
 #include "beacon/schedule.hpp"
+#include "live/bgp_feed.hpp"
 #include "live/feed.hpp"
 #include "live/loopback.hpp"
 #include "live/service.hpp"
@@ -54,7 +63,9 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--replay FILE | --tcp-port N | --tap-demo)\n"
+      "usage: %s (--replay FILE | --tcp-port N | --tap-demo | --bgp-listen N)\n"
+      "          [--bgp-peer HOST:PORT]... [--local-asn N]\n"
+      "          [--gr-restart SECONDS] [--llgr-stale SECONDS]\n"
       "          [--speed N] [--duration WALL_SECONDS]\n"
       "          [--schedule ris|daily|fifteen --start YYYY-MM-DD --end YYYY-MM-DD]\n"
       "          [--shards N] [--queue-depth N] [--threshold MINUTES]\n"
@@ -96,6 +107,11 @@ int main(int argc, char** argv) {
   std::string replay_path;
   int tcp_port = -1;
   bool tap_demo = false;
+  int bgp_port = -1;
+  std::vector<std::string> bgp_peers;
+  std::uint32_t local_asn = 64999;
+  long gr_restart = 0;   // > 0 enables graceful-restart retention
+  long llgr_stale = 0;   // > 0 additionally enables LLGR
   double speed = 0.0;  // replay: <= 0 = max; tap: <= 0 = default 60
   long duration = 0;   // wall seconds; 0 = until the feed ends (replay) / forever
   std::string schedule;
@@ -135,6 +151,12 @@ int main(int argc, char** argv) {
       if (arg == "--replay") replay_path = need_value(i);
       else if (arg == "--tcp-port") tcp_port = std::stoi(need_value(i));
       else if (arg == "--tap-demo") tap_demo = true;
+      else if (arg == "--bgp-listen") bgp_port = std::stoi(need_value(i));
+      else if (arg == "--bgp-peer") bgp_peers.push_back(need_value(i));
+      else if (arg == "--local-asn")
+        local_asn = static_cast<std::uint32_t>(std::stoul(need_value(i)));
+      else if (arg == "--gr-restart") gr_restart = std::stol(need_value(i));
+      else if (arg == "--llgr-stale") llgr_stale = std::stol(need_value(i));
       else if (arg == "--speed") speed = std::stod(need_value(i));
       else if (arg == "--duration") duration = std::stol(need_value(i));
       else if (arg == "--schedule") schedule = need_value(i);
@@ -177,9 +199,15 @@ int main(int argc, char** argv) {
   }
 
   const int feed_modes = (replay_path.empty() ? 0 : 1) + (tcp_port >= 0 ? 1 : 0) +
-                         (tap_demo ? 1 : 0);
+                         (tap_demo ? 1 : 0) + (bgp_port >= 0 ? 1 : 0);
   if (feed_modes != 1) {
-    std::fprintf(stderr, "error: pick exactly one of --replay / --tcp-port / --tap-demo\n");
+    std::fprintf(stderr,
+                 "error: pick exactly one of --replay / --tcp-port / --tap-demo "
+                 "/ --bgp-listen\n");
+    usage(argv[0]);
+  }
+  if (!bgp_peers.empty() && bgp_port < 0) {
+    std::fprintf(stderr, "error: --bgp-peer needs --bgp-listen (0 = ephemeral)\n");
     usage(argv[0]);
   }
   if (!schedule.empty() && (start == 0 || end == 0 || end <= start)) {
@@ -223,6 +251,7 @@ int main(int argc, char** argv) {
     }
   }
   std::unique_ptr<live::FeedSource> feed;
+  live::BgpFeedSource* bgp_feed = nullptr;  // borrowed view of `feed`
   std::vector<beacon::BeaconEvent> events;
   if (!schedule.empty()) {
     if (schedule == "ris") {
@@ -248,6 +277,33 @@ int main(int argc, char** argv) {
           static_cast<std::uint16_t>(tcp_port));
       std::fprintf(stderr, "NDJSON feed on port %u\n",
                    static_cast<live::TcpNdjsonFeedSource*>(feed.get())->port());
+    } else if (bgp_port >= 0) {
+      wire::SpeakerConfig speaker_config;
+      speaker_config.local_asn = local_asn;
+      if (gr_restart > 0) {
+        speaker_config.retention.gr_enabled = true;
+        speaker_config.advertised_restart_time = gr_restart;
+        if (llgr_stale > 0) {
+          speaker_config.retention.llgr_enabled = true;
+          speaker_config.advertised_llgr_stale_time = llgr_stale;
+        }
+      }
+      auto bgp = std::make_unique<live::BgpFeedSource>(
+          speaker_config, static_cast<std::uint16_t>(bgp_port));
+      for (const std::string& peer : bgp_peers) {
+        const auto colon = peer.rfind(':');
+        if (colon == std::string::npos) {
+          std::fprintf(stderr, "error: --bgp-peer wants HOST:PORT, got '%s'\n",
+                       peer.c_str());
+          usage(argv[0]);
+        }
+        bgp->connect_to(peer.substr(0, colon),
+                        static_cast<std::uint16_t>(
+                            std::stoul(peer.substr(colon + 1))));
+      }
+      bgp_feed = bgp.get();
+      std::fprintf(stderr, "BGP feed on port %u\n", bgp->port());
+      feed = std::move(bgp);
     } else {
       auto tap = std::make_unique<live::SimTapFeedSource>(tap_config);
       events = tap->schedule();
@@ -368,6 +424,7 @@ int main(int argc, char** argv) {
       tsdb.attach_http(http);
     }
     service.attach_http(http, stale_after, std::move(alerts_degraded));
+    if (bgp_feed != nullptr) bgp_feed->attach_http(http);
     if (!http.start(static_cast<std::uint16_t>(http_port))) {
       std::fprintf(stderr, "error: cannot bind HTTP port %d\n", http_port);
       return 1;

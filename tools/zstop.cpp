@@ -348,6 +348,7 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
   bool has_tsdb = false;
   bool has_alerts = false;
   bool has_peers = false;
+  bool has_sessions = false;
   if (const Json* endpoints = index.get("endpoints");
       endpoints != nullptr && endpoints->kind == Json::kArr) {
     for (const Json& e : endpoints->arr) {
@@ -356,6 +357,7 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
       if (path->str == "/tsdb/query") has_tsdb = true;
       if (path->str == "/alerts") has_alerts = true;
       if (path->str == "/peers") has_peers = true;
+      if (path->str == "/sessions") has_sessions = true;
     }
   }
 
@@ -486,6 +488,60 @@ bool render_frame(const Client& client, const Style& style, std::string& out) {
       }
     } else {
       out += "peers      n/a\n";
+    }
+  }
+
+  // SESSIONS: the zswire BGP speaker — who is peered over a real
+  // socket, what was negotiated, and which ghosts are retaining stale
+  // routes (the zombie-manufacturing state, so stale > 0 is loud).
+  if (has_sessions) {
+    out += '\n';
+    Json sessions;
+    if (client.get_json("/sessions", sessions, status) && status == 200) {
+      const auto count_of = [&sessions](const char* key) {
+        const Json* v = sessions.get(key);
+        return v != nullptr ? static_cast<int>(v->number_or(0)) : 0;
+      };
+      const int established = count_of("established");
+      const int stale = count_of("stale_routes");
+      const std::string stale_text = std::to_string(stale) + " stale";
+      out += "sessions   AS" + std::to_string(count_of("local_asn")) + ", " +
+             std::to_string(established) + " established, " +
+             (stale > 0 ? style.red(style.bold(stale_text)) : style.green(stale_text)) +
+             "\n";
+      if (const Json* rows = sessions.get("sessions");
+          rows != nullptr && rows->kind == Json::kArr) {
+        int shown = 0;
+        for (const Json& r : rows->arr) {
+          const std::string state =
+              r.get("state") != nullptr ? r.get("state")->string_or("?") : "?";
+          const bool ghost = state == "GrStale";
+          if (shown >= 6 && !ghost) continue;  // ghosts always shown
+          const bool gr = r.get("gr") != nullptr && r.get("gr")->b;
+          const bool llgr = r.get("llgr") != nullptr && r.get("llgr")->b;
+          char row[192];
+          std::snprintf(row, sizeof(row),
+                        "  AS%-8d %-24s %-12s hold %-5d routes %-6d%s%s%s\n",
+                        r.get("asn") != nullptr
+                            ? static_cast<int>(r.get("asn")->number_or(0)) : 0,
+                        r.get("address") != nullptr
+                            ? r.get("address")->string_or("?").c_str() : "?",
+                        state.c_str(),
+                        r.get("hold") != nullptr
+                            ? static_cast<int>(r.get("hold")->number_or(0)) : 0,
+                        r.get("routes") != nullptr
+                            ? static_cast<int>(r.get("routes")->number_or(0)) : 0,
+                        llgr ? " LLGR" : gr ? " GR" : "",
+                        r.get("bridged") != nullptr && r.get("bridged")->b
+                            ? " bridge" : "",
+                        ghost ? " GHOST" : "");
+          const std::string text(row);
+          out += ghost ? style.yellow(text) : text;
+          ++shown;
+        }
+      }
+    } else {
+      out += "sessions   n/a\n";
     }
   }
 
